@@ -1,0 +1,103 @@
+"""Shared, cached resources for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures (see the
+experiment index in DESIGN.md).  The expensive inputs — statistics traces
+and the pretrained DRNN predictor — are produced once per session and
+shared across files, so the whole suite runs in minutes rather than hours
+while every benchmark still *times* its own analysis step.
+
+Scale note: trace lengths and rates are chosen so the suite completes on
+a laptop; EXPERIMENTS.md records the parameters alongside the measured
+numbers.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.experiments.prediction import evaluate_models_on_trace
+from repro.experiments.reliability import (
+    run_reliability_scenario,
+    train_calibration_predictor,
+)
+from repro.experiments.traces import collect_trace
+
+#: Standard scales used across the suite (kept in one place on purpose).
+TRACE_DURATION = 480.0
+TRACE_RATE = 200.0
+TRACE_SEED = 0
+WINDOW = 8
+HORIZON = 5
+
+RELIABILITY = dict(
+    base_rate=250.0,
+    duration=240.0,
+    fault_start=80.0,
+    fault_duration=140.0,
+    slowdown_factor=25.0,
+    seed=11,
+)
+
+
+@functools.lru_cache(maxsize=None)
+def get_trace(app: str):
+    return collect_trace(
+        app=app, duration=TRACE_DURATION, base_rate=TRACE_RATE, seed=TRACE_SEED
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def get_prediction_result(app: str, interference: bool = True,
+                          hidden: tuple = (48, 48), epochs: int = 200):
+    bundle = get_trace(app)
+    monitor = bundle.monitor if interference else bundle.monitor_no_interference
+    return evaluate_models_on_trace(
+        monitor,
+        app=app,
+        window=WINDOW,
+        horizon=HORIZON,
+        drnn_hidden=hidden,
+        drnn_epochs=epochs,
+        seed=TRACE_SEED,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def get_calibration_predictor(app: str):
+    return train_calibration_predictor(
+        app, RELIABILITY["base_rate"], RELIABILITY["seed"], window=6
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def get_reliability_run(app: str, control: str | None, k: int):
+    predictor = get_calibration_predictor(app) if control == "drnn" else None
+    return run_reliability_scenario(
+        app=app,
+        control=control,
+        k_misbehaving=k,
+        predictor=predictor,
+        **RELIABILITY,
+    )
+
+
+@pytest.fixture(scope="session")
+def caches():
+    """Expose the cached getters to benchmark bodies."""
+    return {
+        "trace": get_trace,
+        "prediction": get_prediction_result,
+        "predictor": get_calibration_predictor,
+        "reliability": get_reliability_run,
+    }
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are system experiments, not microbenchmarks: repetition would
+    multiply minutes-long simulations for no statistical gain.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

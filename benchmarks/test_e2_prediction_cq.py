@@ -1,0 +1,29 @@
+"""E2 — Prediction accuracy on Continuous Queries: DRNN vs ARIMA vs SVR.
+
+Same protocol as E1 on the paper's second application.
+"""
+
+from benchmarks.conftest import HORIZON, WINDOW, get_prediction_result, once
+from repro.experiments import format_table
+
+
+def test_e2_prediction_accuracy_continuous_query(benchmark):
+    result = once(benchmark, lambda: get_prediction_result("continuous_query"))
+    print()
+    print(
+        format_table(
+            ["model", "MAPE %", "RMSE (s)", "MAE (s)"],
+            result.table_rows(),
+            title=(
+                f"E2: Continuous Queries — {HORIZON}-interval-ahead "
+                f"processing-time prediction (window={WINDOW})"
+            ),
+        )
+    )
+    scores = result.scores
+    # Paper shape: DRNN clearly beats SVR and wins RMSE against ARIMA;
+    # on this app ARIMA stays close on MAPE (see EXPERIMENTS.md).
+    assert scores["drnn"]["mape"] < scores["svr"]["mape"]
+    assert scores["drnn"]["mape"] < scores["arima"]["mape"] * 1.25
+    assert scores["drnn"]["rmse"] < scores["arima"]["rmse"] * 1.05
+    assert scores["drnn"]["rmse"] < scores["svr"]["rmse"]

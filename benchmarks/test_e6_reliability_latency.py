@@ -1,0 +1,49 @@
+"""E6 — Complete latency under a misbehaving worker: framework vs baseline.
+
+Companion to E5 on the latency axis: mean complete latency during the
+fault window plus whole-run percentiles.  Reuses E5's cached runs.
+"""
+
+from benchmarks.conftest import get_reliability_run, once
+from repro.experiments import format_table
+
+
+def test_e6_latency_under_misbehaving_worker(benchmark):
+    def run_both():
+        return (
+            get_reliability_run("url_count", None, 1),
+            get_reliability_run("url_count", "drnn", 1),
+        )
+
+    baseline, framework = once(benchmark, run_both)
+    rows = []
+    for arm in (baseline, framework):
+        r = arm.result
+        rows.append(
+            [
+                arm.label,
+                round(arm.latency_during_fault() * 1e3, 1),
+                round(r.latency_percentile(0.50) * 1e3, 1),
+                round(r.latency_percentile(0.99) * 1e3, 1),
+                r.failed,
+                r.dropped,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "arm",
+                "mean lat in fault (ms)",
+                "p50 (ms)",
+                "p99 (ms)",
+                "failed",
+                "dropped",
+            ],
+            rows,
+            title="E6: URL Count complete latency, 1 worker slowed 25x",
+        )
+    )
+    # Paper shape: the framework's latency under fault is a small fraction
+    # of the baseline's.
+    assert framework.latency_during_fault() < baseline.latency_during_fault() / 5

@@ -1,0 +1,68 @@
+"""E7 — Degradation vs number of misbehaving workers (0..2), both arms.
+
+Regenerates the summary table: throughput degradation and fault-window
+latency for k = 0, 1, 2 misbehaving workers, plain-Storm baseline vs the
+DRNN framework.  k = 0 doubles as the overhead check (cross-checked by
+E10): with nothing misbehaving the two arms should be nearly equal.
+"""
+
+from benchmarks.conftest import get_reliability_run, once
+from repro.experiments import format_table
+
+KS = (0, 1, 2)
+
+
+def test_e7_degradation_sweep(benchmark):
+    def run_all():
+        out = {}
+        for arm in (None, "drnn"):
+            for k in KS:
+                out[(arm or "baseline", k)] = get_reliability_run(
+                    "url_count", arm, k
+                )
+        return out
+
+    runs = once(benchmark, run_all)
+    rows = []
+    for k in KS:
+        b = runs[("baseline", k)]
+        f = runs[("drnn", k)]
+        rows.append(
+            [
+                k,
+                round(b.degradation_pct(), 1),
+                round(f.degradation_pct(), 1),
+                round(b.latency_during_fault() * 1e3, 1),
+                round(f.latency_during_fault() * 1e3, 1),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "#misbehaving",
+                "baseline deg %",
+                "framework deg %",
+                "baseline lat (ms)",
+                "framework lat (ms)",
+            ],
+            rows,
+            title="E7: degradation vs number of misbehaving workers (25x slowdown)",
+        )
+    )
+    # Paper shapes:
+    # k=0 crossover — both arms are healthy and near-equal (low single-digit
+    # "degradation" is interval noise).
+    assert abs(runs[("baseline", 0)].degradation_pct()) < 5
+    assert abs(runs[("drnn", 0)].degradation_pct()) < 5
+    # For every faulty k the framework degrades far less than the baseline.
+    for k in KS[1:]:
+        assert (
+            runs[("drnn", k)].degradation_pct()
+            < runs[("baseline", k)].degradation_pct() / 2
+        )
+    # Baseline monotonically worsens with more misbehaving workers.
+    assert (
+        runs[("baseline", 2)].degradation_pct()
+        > runs[("baseline", 1)].degradation_pct() * 0.8
+    )

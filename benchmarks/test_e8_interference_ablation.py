@@ -1,0 +1,38 @@
+"""E8 — Ablation: co-located-interference features on/off.
+
+The paper's DRNN is distinguished by "careful consideration for
+interference of co-located worker processes".  This ablation trains the
+same DRNN on the same trace with and without the interference feature
+block (node utilisation + co-located workers' CPU/executed/backlog) and
+compares forecast accuracy.
+"""
+
+from benchmarks.conftest import get_prediction_result, once
+from repro.experiments import format_table
+
+
+def test_e8_interference_feature_ablation(benchmark):
+    def run_both():
+        with_f = get_prediction_result("url_count", interference=True)
+        without_f = get_prediction_result("url_count", interference=False)
+        return with_f, without_f
+
+    with_f, without_f = once(benchmark, run_both)
+    rows = [
+        ["with interference features", with_f.scores["drnn"]["mape"],
+         with_f.scores["drnn"]["rmse"]],
+        ["without (ablated)", without_f.scores["drnn"]["mape"],
+         without_f.scores["drnn"]["rmse"]],
+    ]
+    print()
+    print(
+        format_table(
+            ["DRNN variant", "MAPE %", "RMSE (s)"],
+            rows,
+            title="E8: DRNN with vs without co-location interference features",
+        )
+    )
+    # Paper shape: dropping the interference features hurts accuracy.
+    assert (
+        with_f.scores["drnn"]["mape"] < without_f.scores["drnn"]["mape"]
+    ), "interference features should improve DRNN accuracy on this trace"

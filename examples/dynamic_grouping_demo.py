@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Dynamic grouping in isolation: arbitrary split ratios, changed live.
+
+A condensed version of benchmark E4 ("dynamic grouping works as
+expected"): a plain pipeline whose consumer stage is fed by the dynamic
+grouping; at runtime the split ratios are retargeted twice, and the
+achieved per-task tuple shares are printed against the requested ones.
+
+Run:  python examples/dynamic_grouping_demo.py
+"""
+
+import numpy as np
+
+from repro.experiments.tables import format_table
+from repro.storm import (
+    Bolt,
+    Emission,
+    Spout,
+    StormSimulation,
+    TopologyBuilder,
+    TopologyConfig,
+)
+
+
+class FirehoseSpout(Spout):
+    outputs = {"default": ("n",)}
+
+    def __init__(self, rate=500.0):
+        self.rate = rate
+        self.i = 0
+
+    def open(self, ctx):
+        self.rng = ctx.rng
+
+    def inter_arrival(self):
+        return float(self.rng.exponential(1.0 / self.rate))
+
+    def next_tuple(self):
+        self.i += 1
+        return Emission(values=(self.i,), msg_id=self.i)
+
+
+class CountingBolt(Bolt):
+    outputs = {}
+    default_cpu_cost = 0.1e-3
+
+    def execute(self, tup, collector):
+        pass  # the executor's executed_count is the measurement
+
+
+def main() -> None:
+    builder = TopologyBuilder()
+    builder.set_spout("src", FirehoseSpout(rate=500.0))
+    builder.set_bolt("sink", CountingBolt(), parallelism=4).dynamic_grouping("src")
+    topology = builder.build("dg-demo", TopologyConfig(num_workers=4))
+    sim = StormSimulation(topology, seed=42)
+
+    schedule = [
+        (0.0, [0.25, 0.25, 0.25, 0.25]),
+        (20.0, [0.70, 0.10, 0.10, 0.10]),
+        (40.0, [0.00, 0.50, 0.30, 0.20]),
+    ]
+
+    def controller():
+        for when, ratios in schedule:
+            if when > sim.env.now:
+                yield sim.env.timeout(when - sim.env.now)
+            sim.cluster.set_split_ratios("src", "sink", ratios)
+
+    sim.env.process(controller())
+
+    sinks = sorted(
+        (ex for ex in sim.cluster.executors.values() if ex.component_id == "sink"),
+        key=lambda e: e.task_id,
+    )
+    prev = [0] * 4
+    rows = []
+    for (when, ratios), horizon in zip(schedule, (20.0, 20.0, 20.0)):
+        sim.run(duration=horizon)
+        counts = [ex.executed_count for ex in sinks]
+        delta = [c - p for c, p in zip(counts, prev)]
+        prev = counts
+        total = sum(delta)
+        achieved = [d / total for d in delta]
+        for i in range(4):
+            rows.append(
+                [f"{when:.0f}-{when + horizon:.0f}s", i, ratios[i],
+                 round(achieved[i], 4), round(abs(achieved[i] - ratios[i]), 4)]
+            )
+    print(format_table(
+        ["phase", "task", "requested", "achieved", "abs err"],
+        rows,
+        title="Dynamic grouping: requested vs achieved split (on-the-fly changes)",
+    ))
+    errs = [r[4] for r in rows]
+    print(f"\nmax split error over all phases/tasks: {max(errs):.4f} "
+          "(deficit-WRR converges at O(1/n))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Final deliverable runs: tee test and benchmark outputs into the repo root.
+set -x
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
+python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee /root/repo/bench_output.txt

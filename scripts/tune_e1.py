@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Calibration helper: E1 at bench scale, printing all model scores.
+
+Not part of the test/bench suites — used while developing to verify the
+experiment produces the paper's shape (DRNN best) before freezing the
+benchmark assertions.
+"""
+
+import sys
+import time
+
+from repro.experiments import collect_trace, evaluate_models_on_trace, format_table
+
+app = sys.argv[1] if len(sys.argv) > 1 else "url_count"
+t0 = time.time()
+bundle = collect_trace(app=app, duration=480, base_rate=200, seed=0)
+print(f"trace: {time.time() - t0:.0f}s, acked={bundle.result.acked}, "
+      f"failed={bundle.result.failed}")
+t0 = time.time()
+res = evaluate_models_on_trace(
+    bundle.monitor, app=app, window=8, horizon=5,
+    drnn_hidden=(48,), drnn_epochs=120, seed=0,
+)
+print(f"models: {time.time() - t0:.0f}s")
+print(format_table(["model", "MAPE %", "RMSE", "MAE"], res.table_rows(),
+                   title=f"E1 calibration ({app})"))
+
+# Ablation preview (E8): interference features off.
+t0 = time.time()
+res_abl = evaluate_models_on_trace(
+    bundle.monitor_no_interference, app=app, window=8, horizon=5,
+    drnn_hidden=(48,), drnn_epochs=120, seed=0, models=("drnn",),
+)
+print(f"ablation: {time.time() - t0:.0f}s")
+print("DRNN MAPE without interference features:",
+      round(res_abl.scores["drnn"]["mape"], 3))

@@ -1,0 +1,10 @@
+"""Setup shim for offline legacy editable installs.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-use-pep517`` with this shim
+works everywhere.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""repro — reproduction of "A Deep Recurrent Neural Network Based
+Predictive Control Framework for Reliable Distributed Stream Data
+Processing" (IPDPS 2019).
+
+Public layers (see README.md for the tour):
+
+* :mod:`repro.des` — discrete-event simulation kernel.
+* :mod:`repro.storm` — Storm-like stream-processing simulator.
+* :mod:`repro.models` — DRNN + ARIMA/SVR prediction models.
+* :mod:`repro.core` — the paper's predictive control framework.
+* :mod:`repro.apps` — Windowed URL Count and Continuous Queries.
+* :mod:`repro.experiments` — the evaluation harness behind ``benchmarks/``.
+"""
+
+__version__ = "0.1.0"

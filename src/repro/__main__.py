@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the quickstart scenario (predictive control around a slowed
+    worker) and print the outcome.
+``trace``
+    Collect a multilevel-statistics trace for one of the paper's
+    applications and print summary statistics (optionally save the
+    per-worker target series to ``.npz``).
+``predict``
+    Collect a trace and run the DRNN/ARIMA/SVR comparison on it.
+``reliability``
+    Run one misbehaving-worker scenario (baseline / reactive / drnn).
+
+Every command accepts ``--seed`` and prints deterministic results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import (
+        ControllerConfig,
+        PerformancePredictor,
+        PredictiveController,
+    )
+    from repro.experiments.reliability import run_reliability_scenario
+
+    res = run_reliability_scenario(
+        app=args.app,
+        control="reactive",
+        k_misbehaving=1,
+        base_rate=args.rate,
+        duration=args.duration,
+        fault_start=args.duration * 0.3,
+        fault_duration=args.duration * 0.5,
+        seed=args.seed,
+    )
+    print(f"app                : {args.app}")
+    print(f"acked              : {res.result.acked}")
+    print(f"healthy throughput : {res.throughput_healthy():.1f} tuples/s")
+    print(f"faulty throughput  : {res.throughput_during_fault():.1f} tuples/s")
+    print(f"degradation        : {res.degradation_pct():.1f} %")
+    assert res.controller is not None
+    for t, worker, event in res.controller.flag_intervals():
+        print(f"  t={t:7.1f}s worker {worker} {event.upper()}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments import collect_trace
+
+    bundle = collect_trace(
+        app=args.app, duration=args.duration, base_rate=args.rate, seed=args.seed
+    )
+    mon = bundle.monitor
+    print(f"app       : {args.app}")
+    print(f"intervals : {mon.n_intervals}")
+    print(f"workers   : {len(mon.worker_ids)}")
+    print(f"features  : {len(mon.feature_names)} -> {mon.feature_names}")
+    print(f"acked     : {bundle.result.acked}  failed: {bundle.result.failed}")
+    for wid in mon.worker_ids:
+        t = mon.target_series(wid)
+        print(
+            f"  worker {wid}: target mean={t.mean() * 1e3:7.3f} ms "
+            f"std={t.std() * 1e3:7.3f} ms max={t.max() * 1e3:7.3f} ms"
+        )
+    if args.out:
+        data = {
+            f"target_w{wid}": mon.target_series(wid) for wid in mon.worker_ids
+        }
+        data.update(
+            {f"features_w{wid}": mon.feature_matrix(wid) for wid in mon.worker_ids}
+        )
+        np.savez(args.out, **data)
+        print(f"saved trace arrays to {args.out}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        collect_trace,
+        evaluate_models_on_trace,
+        format_table,
+    )
+
+    bundle = collect_trace(
+        app=args.app, duration=args.duration, base_rate=args.rate, seed=args.seed
+    )
+    res = evaluate_models_on_trace(
+        bundle.monitor,
+        app=args.app,
+        window=args.window,
+        horizon=args.horizon,
+        drnn_epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["model", "MAPE %", "RMSE (s)", "MAE (s)"],
+            res.table_rows(),
+            title=f"{args.app}: {args.horizon}-interval-ahead prediction",
+        )
+    )
+    return 0
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    from repro.experiments.reliability import run_reliability_scenario
+
+    control = None if args.arm == "baseline" else args.arm
+    res = run_reliability_scenario(
+        app=args.app,
+        control=control,
+        k_misbehaving=args.k,
+        base_rate=args.rate,
+        duration=args.duration,
+        fault_start=args.duration / 3,
+        fault_duration=args.duration / 2,
+        seed=args.seed,
+    )
+    print(f"arm         : {res.label}")
+    print(f"healthy thr : {res.throughput_healthy():.1f} t/s")
+    print(f"faulty thr  : {res.throughput_during_fault():.1f} t/s")
+    print(f"degradation : {res.degradation_pct():.1f} %")
+    print(f"fault lat.  : {res.latency_during_fault() * 1e3:.1f} ms")
+    print(f"failed      : {res.result.failed}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, duration):
+        p.add_argument("--app", default="url_count",
+                       choices=("url_count", "continuous_query"))
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--rate", type=float, default=200.0)
+        p.add_argument("--duration", type=float, default=duration)
+
+    p = sub.add_parser("demo", help="quick misbehaving-worker demo")
+    common(p, 180.0)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("trace", help="collect a statistics trace")
+    common(p, 240.0)
+    p.add_argument("--out", default=None, help="save arrays to this .npz")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("predict", help="DRNN vs ARIMA vs SVR on a trace")
+    common(p, 360.0)
+    p.add_argument("--window", type=int, default=8)
+    p.add_argument("--horizon", type=int, default=5)
+    p.add_argument("--epochs", type=int, default=60)
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("reliability", help="one misbehaving-worker scenario")
+    common(p, 240.0)
+    p.add_argument("--arm", default="reactive",
+                   choices=("baseline", "reactive", "drnn"))
+    p.add_argument("--k", type=int, default=1, help="misbehaving workers")
+    p.set_defaults(func=_cmd_reliability)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

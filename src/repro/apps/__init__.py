@@ -1,0 +1,32 @@
+"""The paper's two evaluation applications, on the public topology API.
+
+* :mod:`~repro.apps.url_count` — **Windowed URL Count**: parse a click
+  stream, count URL hits over a sliding window, aggregate a live top-k.
+* :mod:`~repro.apps.continuous_query` — **Continuous Queries**: evaluate
+  standing window-aggregate queries (avg/min/max/count + threshold) over a
+  sensor stream.
+* :mod:`~repro.apps.workload` — synthetic stream generators (Zipf-skewed
+  URLs, drifting sensors) with composable time-varying rate profiles —
+  the stand-in for the paper's production traces (see DESIGN.md,
+  "Substitutions").
+"""
+
+from repro.apps.continuous_query import (
+    ContinuousQuery,
+    build_continuous_query_topology,
+)
+from repro.apps.url_count import build_url_count_topology
+from repro.apps.workload import (
+    RateProfile,
+    SensorEventGenerator,
+    ZipfUrlGenerator,
+)
+
+__all__ = [
+    "ContinuousQuery",
+    "RateProfile",
+    "SensorEventGenerator",
+    "ZipfUrlGenerator",
+    "build_continuous_query_topology",
+    "build_url_count_topology",
+]

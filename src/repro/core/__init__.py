@@ -1,0 +1,39 @@
+"""The paper's predictive control framework.
+
+The closed loop, as described in the paper:
+
+1. **Monitor** (:mod:`~repro.core.monitor`) — assemble per-worker feature
+   vectors from multilevel runtime statistics, including statistics of
+   *co-located* workers (the interference signal).
+2. **Predict** (:mod:`~repro.core.predictor`) — a model-agnostic wrapper
+   that forecasts each worker's next-interval tuple processing time from
+   its statistics window; the paper's DRNN and the ARIMA/SVR baselines all
+   fit behind the same interface.
+3. **Detect** (:mod:`~repro.core.detector`) — flag misbehaving workers
+   whose *predicted* performance deviates from their peers (with
+   hysteresis, plus a backlog guard for stalled workers that stop
+   producing latency samples at all).
+4. **Plan** (:mod:`~repro.core.planner`) — convert predicted per-worker
+   service rates into split ratios for the dynamic-grouping edges,
+   with a minimum probe ratio and damping.
+5. **Act** (:mod:`~repro.core.controller`) — apply the ratios through
+   :meth:`repro.storm.cluster.Cluster.set_split_ratios`, redirecting
+   tuples around misbehaving workers on the fly.
+"""
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import ControlAction, PredictiveController
+from repro.core.detector import MisbehaviorDetector
+from repro.core.monitor import StatsMonitor
+from repro.core.planner import SplitRatioPlanner
+from repro.core.predictor import PerformancePredictor
+
+__all__ = [
+    "ControlAction",
+    "ControllerConfig",
+    "MisbehaviorDetector",
+    "PerformancePredictor",
+    "PredictiveController",
+    "SplitRatioPlanner",
+    "StatsMonitor",
+]

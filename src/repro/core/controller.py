@@ -1,0 +1,175 @@
+"""The closed control loop: sample → predict → detect → plan → act.
+
+:class:`PredictiveController` attaches to a :class:`~repro.storm.runner.
+StormSimulation` *before* the run and then iterates every
+``control_interval`` simulation seconds:
+
+1. ingest new metrics snapshots into the :class:`~repro.core.monitor.
+   StatsMonitor`;
+2. forecast each worker's next-interval tuple processing time with the
+   :class:`~repro.core.predictor.PerformancePredictor` (DRNN in the paper;
+   ARIMA/SVR/reactive for the comparison experiments);
+3. update the :class:`~repro.core.detector.MisbehaviorDetector`;
+4. for every controlled dynamic-grouping edge, compute new split ratios
+   with the :class:`~repro.core.planner.SplitRatioPlanner`;
+5. apply them through :meth:`Cluster.set_split_ratios` — tuples re-route
+   around misbehaving workers on the fly.
+
+Every action is logged (:class:`ControlAction`) for the experiment plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+from repro.core.detector import MisbehaviorDetector
+from repro.core.monitor import StatsMonitor
+from repro.core.planner import SplitRatioPlanner
+from repro.core.predictor import PerformancePredictor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storm.runner import StormSimulation
+
+
+@dataclass
+class ControlAction:
+    """One control-loop decision, recorded for analysis."""
+
+    time: float
+    predictions: Dict[int, float]
+    flagged: Set[int]
+    ratios: Dict[Tuple[str, str, str], np.ndarray] = field(default_factory=dict)
+
+
+class PredictiveController:
+    """The paper's framework, wired to a simulation.
+
+    Parameters
+    ----------
+    sim:
+        The (not yet run) simulation to control.
+    predictor:
+        A fitted :class:`PerformancePredictor`; pass
+        ``PerformancePredictor(None)`` for the reactive ablation.
+    config:
+        Loop configuration.
+    edges:
+        Dynamic edges ``(source, consumer, stream)`` to control; defaults
+        to every dynamic edge in the topology.
+    online_fit_after:
+        If set, the controller (re)fits its predictor from the monitor's
+        own history once that many intervals have been observed — the
+        fully-online mode (no pre-training run needed).
+    """
+
+    def __init__(
+        self,
+        sim: "StormSimulation",
+        predictor: PerformancePredictor,
+        config: Optional[ControllerConfig] = None,
+        edges: Optional[Sequence[Tuple[str, str, str]]] = None,
+        online_fit_after: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or ControllerConfig()
+        self.config.validate()
+        self.predictor = predictor
+        self.monitor = StatsMonitor(sim.cluster)
+        self.detector = MisbehaviorDetector(self.config)
+        self.planner = SplitRatioPlanner(self.config)
+        self.online_fit_after = online_fit_after
+        if edges is None:
+            edges = sorted(sim.cluster.ratio_controls)
+        else:
+            for e in edges:
+                if e not in sim.cluster.ratio_controls:
+                    raise KeyError(f"{e} is not a dynamic edge of this topology")
+        self.edges: List[Tuple[str, str, str]] = list(edges)
+        if not self.edges:
+            raise ValueError(
+                "topology has no dynamic-grouping edge for the controller "
+                "to actuate"
+            )
+        self._task_worker = {
+            task_id: ex.worker.worker_id
+            for task_id, ex in sim.cluster.executors.items()
+        }
+        self._seen_snapshots = 0
+        self.actions: List[ControlAction] = []
+        self._proc = sim.env.process(self._loop(), name="predictive-controller")
+
+    # -- the loop -----------------------------------------------------------------
+
+    def _loop(self):
+        env = self.sim.env
+        while True:
+            yield env.timeout(self.config.control_interval)
+            self._step()
+
+    def _step(self) -> None:
+        snapshots = self.sim.metrics.snapshots
+        new = snapshots[self._seen_snapshots :]
+        self._seen_snapshots = len(snapshots)
+        self.monitor.observe_all(new)
+        if self.monitor.n_intervals < self.config.window:
+            return
+        if (
+            self.online_fit_after is not None
+            and not self.predictor.fitted
+            and self.monitor.n_intervals >= self.online_fit_after
+        ):
+            self.predictor.fit_from_monitor(self.monitor)
+        if not self.predictor.fitted:
+            return
+        predictions = self.predictor.predict_workers(self.monitor)
+        backlogs = self.monitor.latest_backlogs()
+        observed = self.monitor.latest_latencies()
+        flagged = self.detector.update(
+            predictions, observed, backlogs, now=self.sim.env.now
+        )
+        action = ControlAction(
+            time=self.sim.env.now,
+            predictions=dict(predictions),
+            flagged=set(flagged),
+        )
+        topology = self.sim.topology
+        for edge in self.edges:
+            source, consumer, stream = edge
+            tasks = topology.task_ids[consumer]
+            control = self.sim.cluster.ratio_controls[edge]
+            ratios = self.planner.plan(
+                tasks=tasks,
+                task_worker=self._task_worker,
+                health_ratios=self.detector.ratios,
+                flagged=flagged,
+                prev_ratios=control.ratios,
+            )
+            self.sim.cluster.set_split_ratios(source, consumer, ratios, stream)
+            action.ratios[edge] = ratios
+        self.actions.append(action)
+
+    # -- analysis helpers ---------------------------------------------------------------
+
+    def flag_intervals(self) -> List[Tuple[float, int, str]]:
+        """The detector's flag/clear decisions as (time, worker, event)."""
+        return list(self.detector.log)
+
+    def prediction_trace(self, worker_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, predicted latency) for one worker across all actions."""
+        t, p = [], []
+        for a in self.actions:
+            if worker_id in a.predictions:
+                t.append(a.time)
+                p.append(a.predictions[worker_id])
+        return np.array(t), np.array(p)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PredictiveController edges={len(self.edges)}"
+            f" actions={len(self.actions)}"
+            f" flagged={sorted(self.detector.flagged)}>"
+        )

@@ -1,0 +1,142 @@
+"""Misbehaving-worker detection from predicted performance.
+
+Workers host *heterogeneous* executor mixes (one may run a heavy windowed
+bolt plus a spout, another two cheap parse bolts), so raw cross-worker
+latency comparison would flag healthy-but-heavy workers forever.  The
+detector therefore self-normalises: each worker's predicted processing
+time is divided by its own *healthy baseline* — a slow EWMA of observed
+latency that freezes while the worker is flagged (so a long fault cannot
+poison its own reference).
+
+A worker is *suspect* in an interval when
+
+* its normalised ratio exceeds ``threshold_factor`` × max(1, peer median
+  ratio) — robust to both heterogeneity (self-normalised) and global load
+  shifts (everyone's ratio rises together, the median rises with it), or
+* its queue backlog exceeds ``backlog_factor`` × the median backlog —
+  the guard that catches paused workers, which stop producing latency
+  samples entirely.
+
+Hysteresis turns suspicion into a stable flag: ``hysteresis_up``
+consecutive suspect intervals to flag, ``hysteresis_down`` consecutive
+clean intervals to unflag — this keeps the planner from flapping ratios
+on noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+
+#: EWMA weight for the healthy baseline (slow on purpose: the baseline is
+#: "what this worker normally looks like", not "what it looked like just
+#: now").
+_BASELINE_ALPHA = 0.1
+
+
+class MisbehaviorDetector:
+    """Stateful detector with per-worker baselines and hysteresis."""
+
+    def __init__(self, config: ControllerConfig) -> None:
+        config.validate()
+        self.config = config
+        self._baseline: Dict[int, float] = {}
+        self._suspect_streak: Dict[int, int] = {}
+        self._clean_streak: Dict[int, int] = {}
+        self.flagged: Set[int] = set()
+        #: latest normalised health ratios (1.0 = nominal), for the planner.
+        self.ratios: Dict[int, float] = {}
+        #: (time, worker_id, "flag"|"clear") decisions, for experiments.
+        self.log: list = []
+
+    def update(
+        self,
+        predicted_latency: Dict[int, float],
+        observed_latency: Dict[int, float],
+        backlogs: Dict[int, float],
+        now: float = 0.0,
+    ) -> Set[int]:
+        """Ingest one interval of predictions; return the flagged set."""
+        cfg = self.config
+        # 1. Normalised health ratios from *predicted* latency.
+        self.ratios = {}
+        for wid, pred in predicted_latency.items():
+            base = self._baseline.get(wid, 0.0)
+            if base <= cfg.latency_floor:
+                self.ratios[wid] = 1.0  # no meaningful baseline yet
+            else:
+                self.ratios[wid] = max(pred, 0.0) / base
+
+        suspects: Set[int] = set()
+        if self.ratios:
+            med = float(np.median(list(self.ratios.values())))
+            threshold = cfg.threshold_factor * max(1.0, med)
+            # Schmitt trigger: once flagged, a worker stays suspect down to
+            # half the entry threshold — prevents flag/clear flapping while
+            # the fault persists but its queue (hence latency) oscillates.
+            exit_threshold = max(1.0, 0.5 * threshold)
+            for wid, r in self.ratios.items():
+                limit = exit_threshold if wid in self.flagged else threshold
+                if r > limit:
+                    suspects.add(wid)
+        if backlogs:
+            b = np.array(list(backlogs.values()))
+            med_b = float(np.median(b))
+            threshold_b = max(med_b * cfg.backlog_factor, float(cfg.backlog_floor))
+            for wid, p in backlogs.items():
+                if p > threshold_b:
+                    suspects.add(wid)
+
+        # 2. Hysteresis.
+        workers = set(predicted_latency) | set(backlogs)
+        for wid in workers:
+            if wid in suspects:
+                self._suspect_streak[wid] = self._suspect_streak.get(wid, 0) + 1
+                self._clean_streak[wid] = 0
+            else:
+                self._clean_streak[wid] = self._clean_streak.get(wid, 0) + 1
+                self._suspect_streak[wid] = 0
+            if (
+                wid not in self.flagged
+                and self._suspect_streak[wid] >= cfg.hysteresis_up
+            ):
+                self.flagged.add(wid)
+                self.log.append((now, wid, "flag"))
+            elif (
+                wid in self.flagged
+                and self._clean_streak[wid] >= cfg.hysteresis_down
+            ):
+                self.flagged.discard(wid)
+                self.log.append((now, wid, "clear"))
+
+        # 3. Refresh healthy baselines from *observed* latency — only for
+        #    workers that are neither flagged nor currently suspect, so a
+        #    fault never pollutes its own reference (not even the interval
+        #    that first trips the detector).
+        for wid, obs in observed_latency.items():
+            if obs <= 0:
+                continue
+            if wid not in self._baseline:
+                self._baseline[wid] = obs
+            elif wid not in self.flagged and wid not in suspects:
+                self._baseline[wid] += _BASELINE_ALPHA * (
+                    obs - self._baseline[wid]
+                )
+        return set(self.flagged)
+
+    def baseline_of(self, worker_id: int) -> float:
+        """The worker's current healthy-latency reference (0 if unknown)."""
+        return self._baseline.get(worker_id, 0.0)
+
+    def reset(self) -> None:
+        self._baseline.clear()
+        self._suspect_streak.clear()
+        self._clean_streak.clear()
+        self.flagged.clear()
+        self.ratios.clear()
+
+    def __repr__(self) -> str:
+        return f"<MisbehaviorDetector flagged={sorted(self.flagged)}>"

@@ -1,0 +1,210 @@
+"""Feature assembly from multilevel runtime statistics.
+
+For every worker and every metrics interval, :class:`StatsMonitor` builds a
+feature vector combining
+
+* the worker's own statistics (rate, latency, queue, CPU share),
+* its node's utilisation, and
+* aggregated statistics of the workers *co-located on the same node* —
+  the interference features the paper's DRNN is distinguished by
+  (ablated in experiment E8 via ``include_interference=False``),
+* the topology-level offered load.
+
+The prediction *target* is configurable:
+
+* ``"avg_service_time"`` (default) — the worker's mean per-tuple service
+  time.  This is the **control** signal: it reflects worker slowdowns and
+  co-location interference but not the worker's own queue wait, so the
+  control loop has no load feedback (shifting traffic away from a worker
+  does not make it look healthier than it is).
+* ``"avg_process_latency"`` — queue wait + service.  This is the richer
+  **prediction-study** target used by experiments E1–E3 ("average tuple
+  processing time" in the paper's terms), where no control acts on the
+  forecast.
+
+Intervals where a worker executed nothing (e.g. it is paused) carry the
+last value forward — a stalled worker's "infinite" latency is not
+representable, so stall detection is handled by the detector's backlog
+guard instead (see :mod:`repro.core.detector`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.storm.metrics import MultilevelSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storm.cluster import Cluster
+
+
+#: Worker-local features, in column order.
+OWN_FEATURES = (
+    "executed",
+    "emitted",
+    "avg_process_latency",
+    "avg_service_time",
+    "queue_len",
+    "backlog",
+    "cpu_share",
+)
+#: Node + co-location interference features.
+INTERFERENCE_FEATURES = (
+    "node_utilization",
+    "colocated_cpu_share",
+    "colocated_executed",
+    "colocated_backlog",
+)
+#: Topology-level features.
+TOPOLOGY_FEATURES = ("emit_rate", "in_flight")
+
+
+class StatsMonitor:
+    """Rolling per-worker feature/target history built from snapshots."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        include_interference: bool = True,
+        target_feature: str = "avg_service_time",
+    ) -> None:
+        if target_feature not in ("avg_service_time", "avg_process_latency"):
+            raise ValueError(
+                f"unsupported target_feature {target_feature!r}"
+            )
+        self.cluster = cluster
+        self.include_interference = include_interference
+        self.target_feature = target_feature
+        self.feature_names: Tuple[str, ...] = OWN_FEATURES + (
+            INTERFERENCE_FEATURES if include_interference else ()
+        ) + TOPOLOGY_FEATURES
+        self._features: Dict[int, List[np.ndarray]] = {
+            w.worker_id: [] for w in cluster.workers
+        }
+        self._targets: Dict[int, List[float]] = {
+            w.worker_id: [] for w in cluster.workers
+        }
+        self._times: List[float] = []
+        self._worker_node = {
+            w.worker_id: w.node.name for w in cluster.workers
+        }
+        self._node_workers: Dict[str, List[int]] = {}
+        for w in cluster.workers:
+            self._node_workers.setdefault(w.node.name, []).append(w.worker_id)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def observe(self, snapshot: MultilevelSnapshot) -> None:
+        """Append one metrics snapshot to every worker's history."""
+        self._times.append(snapshot.time)
+        for wid, ws in snapshot.workers.items():
+            row = [
+                float(ws.executed),
+                float(ws.emitted),
+                ws.avg_process_latency,
+                ws.avg_service_time,
+                float(ws.queue_len),
+                float(ws.backlog),
+                ws.cpu_share,
+            ]
+            if self.include_interference:
+                node = self._worker_node[wid]
+                ns = snapshot.nodes[node]
+                peers = [p for p in self._node_workers[node] if p != wid]
+                row.extend(
+                    [
+                        ns.utilization,
+                        sum(snapshot.workers[p].cpu_share for p in peers),
+                        float(sum(snapshot.workers[p].executed for p in peers)),
+                        float(sum(snapshot.workers[p].backlog for p in peers)),
+                    ]
+                )
+            row.extend(
+                [snapshot.topology.emit_rate, float(snapshot.topology.in_flight)]
+            )
+            self._features[wid].append(np.array(row))
+            prev = self._targets[wid][-1] if self._targets[wid] else 0.0
+            value = getattr(ws, self.target_feature)
+            target = value if ws.executed > 0 else prev
+            self._targets[wid].append(target)
+
+    def observe_all(self, snapshots) -> None:
+        for s in snapshots:
+            self.observe(s)
+
+    # -- extraction -------------------------------------------------------------------
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self._times)
+
+    @property
+    def worker_ids(self) -> List[int]:
+        return sorted(self._features)
+
+    def feature_matrix(self, worker_id: int) -> np.ndarray:
+        """``(T, d)`` feature history for one worker."""
+        rows = self._features[worker_id]
+        if not rows:
+            return np.zeros((0, len(self.feature_names)))
+        return np.vstack(rows)
+
+    def target_series(self, worker_id: int) -> np.ndarray:
+        return np.array(self._targets[worker_id])
+
+    def latest_window(self, worker_id: int, window: int) -> Optional[np.ndarray]:
+        """Most recent ``(window, d)`` feature block, or None if too short."""
+        rows = self._features[worker_id]
+        if len(rows) < window:
+            return None
+        return np.vstack(rows[-window:])
+
+    def latest_backlogs(self) -> Dict[int, float]:
+        """Instantaneous queue backlog per worker (for the stall guard)."""
+        out = {}
+        for wid in self.worker_ids:
+            rows = self._features[wid]
+            out[wid] = rows[-1][self.feature_names.index("backlog")] if rows else 0.0
+        return out
+
+    def latest_latencies(self) -> Dict[int, float]:
+        return {
+            wid: (self._targets[wid][-1] if self._targets[wid] else 0.0)
+            for wid in self.worker_ids
+        }
+
+    def pooled_training_data(
+        self, window: int, horizon: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack supervised windows of *all* workers into one dataset.
+
+        The paper trains one model over all workers (it must generalise
+        across placements); pooling also multiplies the training set by
+        the worker count.
+        """
+        from repro.models.preprocessing import make_supervised_windows
+
+        xs, ys = [], []
+        for wid in self.worker_ids:
+            F = self.feature_matrix(wid)
+            t = self.target_series(wid)
+            if F.shape[0] < window + horizon:
+                continue
+            X, y = make_supervised_windows(F, t, window=window, horizon=horizon)
+            xs.append(X)
+            ys.append(y)
+        if not xs:
+            raise ValueError(
+                f"not enough history ({self.n_intervals} intervals) for "
+                f"window={window}"
+            )
+        return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StatsMonitor workers={len(self._features)}"
+            f" intervals={self.n_intervals}"
+            f" features={len(self.feature_names)}>"
+        )

@@ -1,0 +1,76 @@
+"""Split-ratio planning: predicted performance → dynamic grouping ratios.
+
+For one dynamic edge, every consumer task is scored by its worker's
+predicted *health*: the inverse of the detector's normalised latency ratio
+(predicted processing time / the worker's own healthy baseline — see
+:mod:`repro.core.detector`).  Normalisation matters: workers host
+heterogeneous executor mixes, so raw predicted latencies are not
+comparable across workers, but ratios are (1.0 = nominal for everyone).
+Tasks on flagged workers additionally have their score multiplied by
+``misbehaving_penalty``.
+Target ratios are the normalised scores, floored at ``min_ratio`` (so a
+throttled worker keeps receiving a trickle of tuples — otherwise its
+statistics go silent and recovery could never be observed), then damped
+toward the previous ratios by ``smoothing`` to avoid oscillation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+
+
+class SplitRatioPlanner:
+    """Stateless ratio computation (state lives in ``prev_ratios``)."""
+
+    def __init__(self, config: ControllerConfig) -> None:
+        config.validate()
+        self.config = config
+
+    def plan(
+        self,
+        tasks: Sequence[int],
+        task_worker: Dict[int, int],
+        health_ratios: Dict[int, float],
+        flagged: Set[int],
+        prev_ratios: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Compute normalised ratios for ``tasks`` (in task order).
+
+        ``health_ratios`` maps worker id -> normalised predicted latency
+        (1.0 = nominal); workers without a ratio (not enough history yet)
+        are treated as nominal — neither favoured nor punished.
+        """
+        cfg = self.config
+        n = len(tasks)
+        if n == 0:
+            raise ValueError("no tasks to plan for")
+        eps = 1e-9
+        scores = np.empty(n)
+        for i, t in enumerate(tasks):
+            wid = task_worker[t]
+            ratio = health_ratios.get(wid, 1.0)
+            ratio = ratio if ratio > 0 else 1.0
+            score = 1.0 / max(ratio, eps)
+            if wid in flagged:
+                score *= cfg.misbehaving_penalty
+            scores[i] = score
+        target = scores / scores.sum()
+        # Floor then renormalise (keeps the floor approximately honoured;
+        # exact only when the floor mass is small, which min_ratio < 0.5/n
+        # guarantees in practice).
+        if cfg.min_ratio > 0:
+            target = np.maximum(target, cfg.min_ratio)
+            target = target / target.sum()
+        if prev_ratios is not None:
+            prev = np.asarray(prev_ratios, dtype=float)
+            if prev.shape != target.shape:
+                raise ValueError(
+                    f"prev_ratios shape {prev.shape} != {target.shape}"
+                )
+            target = (1.0 - cfg.smoothing) * prev + cfg.smoothing * target
+            target = target / target.sum()
+        return target

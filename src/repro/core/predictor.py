@@ -1,0 +1,110 @@
+"""Model-agnostic performance prediction.
+
+:class:`PerformancePredictor` hides which model family forecasts worker
+performance: the paper's DRNN, the SVR baseline (both consume statistics
+windows), or the ARIMA baseline (which only sees the target series).  The
+controller talks to this one interface; the experiment harness swaps the
+model to produce the paper's comparison tables.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.models.preprocessing import StandardScaler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.monitor import StatsMonitor
+
+
+class PerformancePredictor:
+    """Scales features/targets and forecasts per-worker performance.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``fit(X, y)`` / ``predict(X)`` over ``(n, window, d)``
+        inputs — :class:`repro.models.DRNNRegressor` or
+        :class:`repro.models.SVRegressor` (which flattens internally).
+        ``None`` selects *reactive* mode: "prediction" = last observation
+        (the ablation showing what prediction buys over pure reaction).
+    window:
+        History length per prediction.
+    """
+
+    def __init__(self, model, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.model = model
+        self.window = window
+        self.scaler_x = StandardScaler()
+        self.scaler_y = StandardScaler()
+        self.fitted = model is None  # reactive mode needs no training
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PerformancePredictor":
+        """Fit on pooled supervised windows (see
+        :meth:`StatsMonitor.pooled_training_data`)."""
+        if self.model is None:
+            return self
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        n, T, d = X.shape
+        Xs = self.scaler_x.fit_transform(X.reshape(n * T, d)).reshape(n, T, d)
+        ys = self.scaler_y.fit_transform(y)
+        self.model.fit(Xs, ys)
+        self.fitted = True
+        return self
+
+    def fit_from_monitor(self, monitor: "StatsMonitor") -> "PerformancePredictor":
+        X, y = monitor.pooled_training_data(self.window)
+        return self.fit(X, y)
+
+    # -- inference -------------------------------------------------------------------
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``(n, window, d)`` feature windows."""
+        if self.model is None:
+            raise RuntimeError(
+                "reactive mode has no batch model; use predict_workers()"
+            )
+        if not self.fitted:
+            raise RuntimeError("fit() the predictor first")
+        X = np.asarray(X, dtype=float)
+        n, T, d = X.shape
+        Xs = self.scaler_x.transform(X.reshape(n * T, d)).reshape(n, T, d)
+        pred = self.model.predict(Xs)
+        return self.scaler_y.inverse_transform(np.asarray(pred).ravel())
+
+    def predict_workers(
+        self, monitor: "StatsMonitor"
+    ) -> Dict[int, float]:
+        """Next-interval processing-time forecast for every worker with
+        enough history (others are omitted)."""
+        if self.model is None:
+            # Reactive ablation: "forecast" = the last observed target.
+            return {
+                wid: max(v, 0.0)
+                for wid, v in monitor.latest_latencies().items()
+            }
+        windows = []
+        ids = []
+        for wid in monitor.worker_ids:
+            w = monitor.latest_window(wid, self.window)
+            if w is not None:
+                windows.append(w)
+                ids.append(wid)
+        if not windows:
+            return {}
+        preds = self.predict_batch(np.stack(windows))
+        # A regression model can extrapolate below zero on unseen inputs;
+        # processing time is physically non-negative.
+        preds = np.maximum(preds, 0.0)
+        return dict(zip(ids, preds))
+
+    def __repr__(self) -> str:
+        name = type(self.model).__name__ if self.model is not None else "reactive"
+        return f"<PerformancePredictor model={name} window={self.window}>"

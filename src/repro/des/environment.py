@@ -1,0 +1,170 @@
+"""The simulation environment: virtual clock plus event queue.
+
+The environment is a deterministic single-threaded event loop.  Events are
+ordered by ``(time, priority, sequence)`` so that simultaneous events fire
+in a stable, reproducible order — a hard requirement for the experiment
+harness (every benchmark in this repository must be bit-reproducible under
+a fixed seed).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional, Union
+
+from repro.des.events import (
+    LAST,
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    StopSimulation,
+    Timeout,
+)
+from repro.des.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factory helpers --------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulation time."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Enqueue ``event`` to be processed ``delay`` from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If the queue is empty.
+        BaseException
+            If the event failed and no waiter defused the failure, the
+            exception surfaces here (crash-visible semantics).
+        """
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            assert event._exc is not None
+            raise event._exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until is None`` — run until the event queue drains.
+        * ``until`` is a number — run up to (and including events at) that
+          time; the clock is left exactly at ``until``.
+        * ``until`` is an :class:`Event` — run until that event is processed
+          and return its value.
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.processed:
+                    return stop.value
+                stop.callbacks.append(self._stop_callback)  # type: ignore[union-attr]
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} lies in the past (now={self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = StopSimulation
+                stop.callbacks.append(self._stop_callback)  # type: ignore[union-attr]
+                # LAST so events landing exactly at `until` are still
+                # processed before the clock stops.
+                self.schedule(stop, delay=at - self._now, priority=LAST)
+        try:
+            while True:
+                self.step()
+        except StopSimulation as sig:
+            return sig.value
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.processed:
+                raise RuntimeError(
+                    "run() ran out of events before `until` event fired"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            value = None if event._value is StopSimulation else event._value
+            raise StopSimulation(value)
+        event._defused = True
+        assert event._exc is not None
+        raise event._exc
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

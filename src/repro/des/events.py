@@ -1,0 +1,244 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` is a one-shot occurrence with a value (or an exception).
+Processes wait on events by ``yield``-ing them; the environment resumes the
+process when the event is *processed* (its callbacks run).
+
+Lifecycle::
+
+    pending --succeed()/fail()--> triggered --step()--> processed
+
+``triggered`` means the event sits in the environment's queue with a firing
+time; ``processed`` means its callbacks have been executed and its value is
+final.  Events may only be triggered once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.des.environment import Environment
+
+
+#: Scheduling priorities: lower values fire earlier at equal times.
+URGENT = 0
+NORMAL = 1
+#: Fires only after all same-time URGENT/NORMAL events (used by run(until=t)
+#: so that events scheduled exactly at t are included in the run).
+LAST = 2
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at ``until``."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process receives this exception at its current ``yield``
+    statement and may catch it to handle preemption (the Storm simulator
+    uses interrupts to model worker pauses and kills).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """Whatever the interrupting party passed to ``interrupt()``."""
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.  All scheduling happens through it.
+    """
+
+    __slots__ = ("env", "callbacks", "_ok", "_value", "_exc", "_defused")
+
+    #: sentinel for "no value yet"
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: list of ``fn(event)`` to invoke at processing time; ``None`` once
+        #: the event has been processed.
+        self.callbacks: Optional[list] = []
+        self._ok: bool = True
+        self._value: Any = Event._PENDING
+        self._exc: Optional[BaseException] = None
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has a value and sits in the queue."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed or is pending."""
+        if self._value is Event._PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        if not self._ok:
+            assert self._exc is not None
+            raise self._exc
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with exception ``exc``.
+
+        If no waiting process handles the failure the environment re-raises
+        ``exc`` at :meth:`Environment.step` time (crash-visible semantics).
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._ok = False
+        self._exc = exc
+        self._value = None
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another (triggered) event's outcome onto this one."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            assert event._exc is not None
+            self.fail(event._exc)
+
+    # -- composition --------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` units of sim time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf` composite events.
+
+    The condition's value is a dict mapping each *fired* constituent event
+    to its value, in firing order (insertion order of the dict).
+    """
+
+    __slots__ = ("_events", "_remaining", "_results")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events: list[Event] = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise ValueError("all events must belong to the same environment")
+        # Immediately evaluate: some constituents may already be processed.
+        results: dict[Event, Any] = {}
+        for ev in self._events:
+            if ev.processed:
+                if not ev._ok:
+                    ev._defused = True
+                    self.fail(ev._exc)  # type: ignore[arg-type]
+                    return
+                results[ev] = ev._value
+            else:
+                self._remaining += 1
+                ev.callbacks.append(self._check)  # type: ignore[union-attr]
+        self._results = results
+        if self._satisfied(len(results)):
+            self.succeed(dict(results))
+
+    # subclass hook ----------------------------------------------------------
+    def _satisfied(self, fired: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._exc)  # type: ignore[arg-type]
+            return
+        self._results[event] = event._value
+        if self._satisfied(len(self._results)):
+            self.succeed(dict(self._results))
+
+
+class AnyOf(Condition):
+    """Fires when *any one* of the given events fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self, fired: int) -> bool:
+        return fired >= 1 or not self._events
+
+
+class AllOf(Condition):
+    """Fires when *all* of the given events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self, fired: int) -> bool:
+        return fired == len(self._events)
+
+
+Callback = Callable[[Event], None]

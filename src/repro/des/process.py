@@ -1,0 +1,154 @@
+"""Process — a generator coroutine driven by the event loop.
+
+A process function is a generator that ``yield``\\ s :class:`Event` objects;
+the kernel resumes the generator with the event's value when the event is
+processed (or throws the event's exception into it).  The :class:`Process`
+itself is an event that fires when the generator terminates, so processes
+can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.des.events import URGENT, Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+
+class Process(Event):
+    """Wraps a generator into the event loop.
+
+    Create via :meth:`Environment.process`.  The process event succeeds with
+    the generator's return value, or fails with its uncaught exception.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._gen = generator
+        #: the event this process is currently waiting on (``None`` if the
+        #: process has not started or has terminated).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current simulation time via an
+        # initialisation event so that process creation order is preserved.
+        init = Event(env)
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        init.succeed(None, priority=URGENT)
+        self._target = init
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not terminated."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process currently waits on (for introspection)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a dead process is an error; interrupting a process from
+        itself is also an error (it could never be delivered).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Deliver via a failed event scheduled URGENT so that the interrupt
+        # wins over whatever the process was waiting for.
+        hit = Event(self.env)
+        hit._ok = False
+        hit._exc = Interrupt(cause)
+        hit._defused = True
+        hit._value = None
+        hit.callbacks.append(self._deliver_interrupt)  # type: ignore[union-attr]
+        self.env.schedule(hit, priority=URGENT)
+
+    # -- internals --------------------------------------------------------------
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # process ended between scheduling and delivery
+        # Detach from the current target so the original wakeup (if it still
+        # fires) does not resume us a second time.
+        target = self._target
+        if target is not None:
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            if target.triggered:
+                # The operation already committed (e.g. a Store.get that
+                # popped an item at the same instant): undo its side effect
+                # so nothing is lost in flight.
+                orphan = getattr(target, "orphan", None)
+                if orphan is not None:
+                    orphan()
+            else:
+                cancel = getattr(target, "cancel", None)
+                if cancel is not None:
+                    cancel()
+        self._resume(event)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        """Advance the generator with ``event``'s outcome.
+
+        Iterates instead of recursing so a chain of already-processed events
+        cannot blow the Python stack.
+        """
+        env = self.env
+        env._active_proc = self
+        self._target = None
+        while True:
+            try:
+                if event is None or event._ok:
+                    next_ev = self._gen.send(None if event is None else event._value)
+                else:
+                    # Propagate failure into the generator.
+                    event._defused = True
+                    assert event._exc is not None
+                    next_ev = self._gen.throw(event._exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self, priority=URGENT)
+                break
+            except BaseException as exc:  # noqa: BLE001 - process crash path
+                self._ok = False
+                self._exc = exc
+                self._value = None
+                env.schedule(self, priority=URGENT)
+                break
+            if not isinstance(next_ev, Event):
+                env._active_proc = None
+                raise RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_ev!r}"
+                )
+            if next_ev.callbacks is not None:
+                # Not yet processed: subscribe and suspend.
+                next_ev.callbacks.append(self._resume)
+                self._target = next_ev
+                break
+            # Already processed: consume immediately and keep going.
+            event = next_ev
+        env._active_proc = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state} at {id(self):#x}>"

@@ -1,0 +1,101 @@
+"""Counted resource with FIFO waiters (SimPy-style ``Resource``).
+
+Used by the Storm simulator to model shared, capacity-limited facilities
+(e.g. a node's network egress).  Request/release return events so processes
+can block on acquisition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+
+class Request(Event):
+    """Pending acquisition of one resource unit; fires once granted."""
+
+    __slots__ = ("_resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self._resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw the request (no-op if already granted)."""
+        self._resource._abort(self)
+
+    def orphan(self) -> None:
+        """Release a grant that raced with an interrupt (kernel hook)."""
+        if self.triggered and self._ok:
+            self._resource.release(self)
+
+    # Context-manager sugar so ``with res.request() as req: yield req`` works
+    # inside process generators.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._resource.release(self)
+
+
+class Resource:
+    """A resource with integer ``capacity`` units and FIFO granting."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._waiters: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Units currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Ask for one unit; returns the grant event."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(None)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit and wake the next waiter."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an ungranted/cancelled request is tolerated so that
+            # ``with`` blocks unwinding after an interrupt stay simple.
+            self._abort(request)
+            return
+        while self._waiters and len(self.users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self.users.append(nxt)
+            nxt.succeed(None)
+
+    def _abort(self, request: Request) -> None:
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource count={self.count}/{self.capacity}"
+            f" queued={len(self._waiters)}>"
+        )

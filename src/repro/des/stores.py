@@ -1,0 +1,209 @@
+"""Bounded producer/consumer stores.
+
+:class:`Store` is the workhorse queue of the Storm simulator: every executor
+has a bounded input :class:`Store`; upstream emitters block (or observe
+backpressure) when it is full.  :class:`PriorityStore` additionally orders
+items by priority (used for control messages that must overtake data tuples).
+
+Both follow SimPy semantics: ``put``/``get`` return *events* that a process
+yields on; the event fires when the operation completes.  Events support
+``cancel()`` so an interrupted waiter does not consume an item later.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+
+class StorePut(Event):
+    """Event for a pending ``put``; fires (value ``None``) once stored."""
+
+    __slots__ = ("item", "_store")
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        self._store = store
+
+    def cancel(self) -> None:
+        """Withdraw this put if it has not completed yet."""
+        if not self.triggered:
+            self._store._abort_put(self)
+
+
+class StoreGet(Event):
+    """Event for a pending ``get``; fires with the retrieved item."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        self._store = store
+
+    def cancel(self) -> None:
+        """Withdraw this get if it has not completed yet."""
+        if not self.triggered:
+            self._store._abort_get(self)
+
+    def orphan(self) -> None:
+        """Return the already-taken item to the head of the store.
+
+        Invoked by the kernel when the waiting process was interrupted at
+        the same instant the get completed; guarantees tuple conservation.
+        """
+        if self.triggered and self._ok:
+            self._store._do_unstore(self._value)
+            self._store._dispatch()
+
+
+class Store:
+    """FIFO store with optional capacity bound.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of items held; ``float('inf')`` for unbounded.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._putters: deque[StorePut] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    # -- public API --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    @property
+    def backlog(self) -> int:
+        """Stored items plus puts blocked on capacity (total queued work)."""
+        return len(self.items) + len(self._putters)
+
+    def put(self, item: Any) -> StorePut:
+        """Request insertion of ``item``; returns the completion event."""
+        ev = StorePut(self, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: store ``item`` if space allows, else drop.
+
+        Returns ``True`` on success.  Used by load-shedding emitters.
+        """
+        if self.is_full and not self._getters:
+            return False
+        self.put(item)
+        return True
+
+    def get(self) -> StoreGet:
+        """Request removal of the oldest item; returns the completion event."""
+        ev = StoreGet(self)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    # -- hooks for subclasses ------------------------------------------------------
+
+    def _do_store(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _do_take(self) -> Any:
+        return self.items.popleft()
+
+    def _do_unstore(self, item: Any) -> None:
+        """Return a taken item to the head of the queue (orphan recovery)."""
+        self.items.appendleft(item)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Complete as many pending puts/gets as the state allows."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self._do_store(put.item)
+                put.succeed(None)
+                progressed = True
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self._do_take())
+                progressed = True
+
+    def _abort_put(self, ev: StorePut) -> None:
+        try:
+            self._putters.remove(ev)
+        except ValueError:  # pragma: no cover - already completed
+            pass
+
+    def _abort_get(self, ev: StoreGet) -> None:
+        try:
+            self._getters.remove(ev)
+        except ValueError:  # pragma: no cover - already completed
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} level={len(self.items)}"
+            f" capacity={self.capacity}>"
+        )
+
+
+@dataclass(order=True)
+class PriorityItem:
+    """Wrapper giving an arbitrary payload a sort key for PriorityStore."""
+
+    priority: float
+    seq: int = field(compare=True, default=0)
+    item: Any = field(compare=False, default=None)
+
+
+class PriorityStore(Store):
+    """Store that releases the lowest-priority-value item first.
+
+    Items must be :class:`PriorityItem` (or anything mutually orderable).
+    Ties break FIFO via the sequence number stamped at put time.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self.items: list = []
+        self._counter = 0
+
+    def _do_store(self, item: Any) -> None:
+        if isinstance(item, PriorityItem) and item.seq == 0:
+            self._counter += 1
+            item.seq = self._counter
+        heapq.heappush(self.items, item)
+
+    def _do_take(self) -> Any:
+        return heapq.heappop(self.items)
+
+    def _do_unstore(self, item: Any) -> None:
+        heapq.heappush(self.items, item)

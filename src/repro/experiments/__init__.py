@@ -1,0 +1,39 @@
+"""Shared experiment harness used by ``benchmarks/``.
+
+Each module maps to a slice of the paper's evaluation (see DESIGN.md's
+experiment index):
+
+* :mod:`~repro.experiments.traces` — run an application and collect its
+  multilevel-statistics trace (the raw material of E1–E3, E8, E9).
+* :mod:`~repro.experiments.prediction` — train/evaluate DRNN vs ARIMA vs
+  SVR on collected traces (E1–E3, E8, E9).
+* :mod:`~repro.experiments.reliability` — misbehaving-worker scenarios:
+  plain-Storm baseline vs the predictive framework (E5–E7, E10).
+* :mod:`~repro.experiments.tables` — plain-text table rendering for the
+  benchmark output (the "rows the paper reports").
+"""
+
+from repro.experiments.prediction import (
+    PredictionResult,
+    evaluate_models_on_trace,
+    prediction_comparison,
+)
+from repro.experiments.reliability import (
+    ReliabilityResult,
+    degradation_sweep,
+    run_reliability_scenario,
+)
+from repro.experiments.tables import format_table
+from repro.experiments.traces import TraceBundle, collect_trace
+
+__all__ = [
+    "PredictionResult",
+    "ReliabilityResult",
+    "TraceBundle",
+    "collect_trace",
+    "degradation_sweep",
+    "evaluate_models_on_trace",
+    "format_table",
+    "prediction_comparison",
+    "run_reliability_scenario",
+]

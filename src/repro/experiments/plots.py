@@ -1,0 +1,92 @@
+"""ASCII plots: render the paper's figures as text.
+
+Benchmarks print these next to the numeric tables so a terminal run of
+``pytest benchmarks/ -s`` shows the *shape* of each figure (throughput
+collapse and recovery, forecast tracking, ...) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Glyphs for multiple series on one canvas, in draw order.
+_GLYPHS = "*o+x@#"
+
+
+def ascii_plot(
+    series: Sequence[Sequence[float]],
+    labels: Optional[Sequence[str]] = None,
+    x: Optional[Sequence[float]] = None,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series onto a character canvas.
+
+    Series are resampled to ``width`` columns (mean-pooled); the y-axis is
+    shared and annotated with min/max.  Overlapping points keep the glyph
+    of the *earlier* series (draw order = argument order).
+    """
+    if not series or any(len(s) == 0 for s in series):
+        raise ValueError("need at least one non-empty series")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    arrays = [np.asarray(s, dtype=float) for s in series]
+    finite = np.concatenate([a[np.isfinite(a)] for a in arrays])
+    if finite.size == 0:
+        raise ValueError("series contain no finite values")
+    lo = float(finite.min())
+    hi = float(finite.max())
+    if hi - lo < 1e-15:
+        hi = lo + 1.0  # flat series: draw a line mid-canvas
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def resample(a: np.ndarray) -> np.ndarray:
+        # Mean-pool into `width` buckets (stable for long series).
+        idx = np.linspace(0, len(a), width + 1).astype(int)
+        return np.array(
+            [np.nanmean(a[i:j]) if j > i else a[min(i, len(a) - 1)]
+             for i, j in zip(idx[:-1], idx[1:])]
+        )
+
+    for si, a in enumerate(arrays):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        r = resample(a)
+        for col, v in enumerate(r):
+            if not np.isfinite(v):
+                continue
+            row = int(round((hi - v) / (hi - lo) * (height - 1)))
+            row = min(height - 1, max(0, row))
+            if canvas[row][col] == " ":
+                canvas[row][col] = glyph
+
+    left = max(len(f"{hi:.4g}"), len(f"{lo:.4g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for ri, row in enumerate(canvas):
+        if ri == 0:
+            label = f"{hi:.4g}".rjust(left)
+        elif ri == height - 1:
+            label = f"{lo:.4g}".rjust(left)
+        else:
+            label = " " * left
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * left + " +" + "-" * width
+    lines.append(axis)
+    if x is not None and len(x) > 0:
+        x0, x1 = float(x[0]), float(x[-1])
+        footer = f"{x0:.4g}".ljust(width // 2) + f"{x1:.4g}".rjust(width - width // 2)
+        lines.append(" " * (left + 2) + footer)
+    if labels:
+        legend = "   ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(labels)
+        )
+        lines.append(" " * (left + 2) + legend)
+    if y_label:
+        lines.append(" " * (left + 2) + f"(y: {y_label})")
+    return "\n".join(lines)

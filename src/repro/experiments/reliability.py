@@ -1,0 +1,213 @@
+"""Reliability experiments: misbehaving workers, baseline vs framework.
+
+Arms (``control``):
+
+* ``None`` — plain Storm baseline: shuffle grouping, no controller;
+* ``"reactive"`` — dynamic grouping + controller using last-observation
+  "prediction" (ablation: what does real prediction buy?);
+* ``"drnn"`` — the full framework: a DRNN pretrained on a calibration
+  trace of the same topology (including fault episodes on *other*
+  workers, so the model has seen elevated service times without seeing
+  the evaluation scenario).
+
+The default fault scenario slows ``k`` workers hard enough that the
+baseline cannot keep up (queues grow, tuples time out and replay, the
+spout throttles) while the framework should degrade only mildly — the
+abstract's claim 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ControllerConfig, PerformancePredictor, PredictiveController
+from repro.core.monitor import StatsMonitor
+from repro.experiments.traces import build_app_topology
+from repro.apps import RateProfile
+from repro.models import DRNNRegressor
+from repro.storm import SlowdownFault, StormSimulation
+from repro.storm.faults import Fault
+from repro.storm.runner import SimulationResult
+
+
+@dataclass
+class ReliabilityResult:
+    """One arm of a reliability scenario."""
+
+    label: str
+    result: SimulationResult
+    controller: Optional[PredictiveController]
+    fault_window: Tuple[float, float]
+
+    def throughput_during_fault(self) -> float:
+        lo, hi = self.fault_window
+        return self.result.mean_throughput_between(lo + 10.0, hi)
+
+    def throughput_healthy(self) -> float:
+        lo, _ = self.fault_window
+        return self.result.mean_throughput_between(10.0, lo)
+
+    def degradation_pct(self) -> float:
+        """Throughput drop during the fault relative to the healthy phase."""
+        healthy = self.throughput_healthy()
+        if healthy <= 0:
+            return float("nan")
+        return 100.0 * (1.0 - self.throughput_during_fault() / healthy)
+
+    def latency_during_fault(self) -> float:
+        lo, hi = self.fault_window
+        lats = [
+            s.topology.avg_complete_latency
+            for s in self.result.snapshots
+            if lo + 10.0 < s.time <= hi and s.topology.acked > 0
+        ]
+        return float(np.mean(lats)) if lats else float("nan")
+
+
+def default_faults(
+    k: int, start: float, duration: float, factor: float = 25.0,
+    worker_ids: Sequence[int] = (2, 4, 1),
+) -> List[Fault]:
+    """Slow ``k`` workers by ``factor`` for the window (staggered 10 s)."""
+    if k > len(worker_ids):
+        raise ValueError(f"at most {len(worker_ids)} misbehaving workers")
+    return [
+        SlowdownFault(
+            start=start + 10.0 * i,
+            duration=duration - 10.0 * i,
+            worker_id=worker_ids[i],
+            factor=factor,
+        )
+        for i in range(k)
+    ]
+
+
+def train_calibration_predictor(
+    app: str,
+    base_rate: float,
+    seed: int,
+    window: int = 6,
+    calibration_duration: float = 240.0,
+    hidden: Tuple[int, ...] = (24,),
+    epochs: int = 25,
+) -> PerformancePredictor:
+    """Pretrain a DRNN predictor on a calibration run of the same app.
+
+    The calibration run includes slowdown episodes on workers *not used*
+    by the evaluation scenario (worker 3) so the model sees the elevated
+    service-time regime without memorising the test faults.
+    """
+    topology = build_app_topology(
+        app, RateProfile(base=base_rate), grouping="dynamic"
+    )
+    faults = [
+        SlowdownFault(
+            start=calibration_duration * 0.3,
+            duration=calibration_duration * 0.25,
+            worker_id=3,
+            factor=15.0,
+        )
+    ]
+    sim = StormSimulation(topology, seed=seed + 1000, faults=faults)
+    result = sim.run(duration=calibration_duration)
+    monitor = StatsMonitor(
+        sim.cluster, include_interference=True, target_feature="avg_service_time"
+    )
+    monitor.observe_all(result.snapshots)
+    model = DRNNRegressor(
+        input_dim=len(monitor.feature_names),
+        hidden_sizes=hidden,
+        epochs=epochs,
+        seed=seed,
+        patience=6,
+    )
+    predictor = PerformancePredictor(model, window=window)
+    predictor.fit_from_monitor(monitor)
+    return predictor
+
+
+def run_reliability_scenario(
+    app: str = "url_count",
+    control: Optional[str] = "drnn",
+    k_misbehaving: int = 1,
+    base_rate: float = 250.0,
+    duration: float = 300.0,
+    fault_start: float = 100.0,
+    fault_duration: float = 150.0,
+    slowdown_factor: float = 25.0,
+    seed: int = 0,
+    predictor: Optional[PerformancePredictor] = None,
+    control_interval: float = 5.0,
+    window: int = 6,
+) -> ReliabilityResult:
+    """Run one arm of the misbehaving-worker experiment."""
+    if control not in (None, "reactive", "drnn"):
+        raise ValueError(f"unknown control arm {control!r}")
+    grouping = "shuffle" if control is None else "dynamic"
+    topology = build_app_topology(
+        app, RateProfile(base=base_rate), grouping=grouping
+    )
+    faults = default_faults(
+        k_misbehaving, fault_start, fault_duration, factor=slowdown_factor
+    )
+    sim = StormSimulation(topology, seed=seed, faults=faults)
+    controller = None
+    if control is not None:
+        if control == "drnn" and predictor is None:
+            predictor = train_calibration_predictor(
+                app, base_rate, seed, window=window
+            )
+        elif control == "reactive":
+            predictor = PerformancePredictor(None, window=window)
+        assert predictor is not None
+        controller = PredictiveController(
+            sim,
+            predictor,
+            ControllerConfig(control_interval=control_interval, window=window),
+        )
+    result = sim.run(duration=duration)
+    label = control or "baseline"
+    return ReliabilityResult(
+        label=label,
+        result=result,
+        controller=controller,
+        fault_window=(fault_start, fault_start + fault_duration),
+    )
+
+
+def degradation_sweep(
+    app: str = "url_count",
+    ks: Sequence[int] = (0, 1, 2),
+    arms: Sequence[Optional[str]] = (None, "drnn"),
+    seed: int = 0,
+    **scenario_kw,
+) -> Dict[Tuple[str, int], ReliabilityResult]:
+    """E7: sweep the number of misbehaving workers across arms.
+
+    The DRNN predictor is trained once per app and shared across the
+    sweep (as the paper's deployment would).
+    """
+    out: Dict[Tuple[str, int], ReliabilityResult] = {}
+    shared_predictor: Optional[PerformancePredictor] = None
+    for arm in arms:
+        for k in ks:
+            if arm == "drnn" and shared_predictor is None:
+                shared_predictor = train_calibration_predictor(
+                    app,
+                    scenario_kw.get("base_rate", 250.0),
+                    seed,
+                    window=scenario_kw.get("window", 6),
+                )
+            res = run_reliability_scenario(
+                app=app,
+                control=arm,
+                k_misbehaving=k,
+                seed=seed,
+                predictor=shared_predictor if arm == "drnn" else None,
+                **scenario_kw,
+            )
+            out[(res.label, k)] = res
+    return out

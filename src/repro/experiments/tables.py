@@ -1,0 +1,39 @@
+"""Plain-text tables for benchmark output (the rows the paper reports)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table; raises on ragged rows."""
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row {r!r} has {len(r)} cells, expected {len(headers)}"
+            )
+    cells: List[List[str]] = [[_fmt(h) for h in headers]] + [
+        [_fmt(c) for c in r] for r in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

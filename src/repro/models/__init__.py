@@ -1,0 +1,50 @@
+"""Performance-prediction models: the paper's DRNN and its two baselines.
+
+* :mod:`~repro.models.drnn` — the paper's contribution: a Deep Recurrent
+  Neural Network (stacked LSTM + dense regression head) implemented from
+  scratch in NumPy with full backpropagation-through-time and Adam.
+* :mod:`~repro.models.arima` — ARIMA(p, d, q) baseline fitted by
+  conditional sum of squares, with AIC-driven order selection.
+* :mod:`~repro.models.svr` — epsilon-SVR baseline with RBF/linear kernels.
+* :mod:`~repro.models.preprocessing` — scaling and sliding-window dataset
+  construction from multilevel-statistics time series.
+* :mod:`~repro.models.metrics` — forecast accuracy metrics (MAPE, sMAPE,
+  RMSE, MAE, R²) used by the paper's comparison tables.
+"""
+
+from repro.models.arima import Arima, auto_arima
+from repro.models.drnn import (
+    Adam,
+    Dense,
+    DRNNRegressor,
+    GRULayer,
+    LSTMLayer,
+    gradient_check,
+)
+from repro.models.metrics import mae, mape, r2_score, rmse, smape
+from repro.models.preprocessing import (
+    StandardScaler,
+    make_supervised_windows,
+    train_test_split_series,
+)
+from repro.models.svr import SVRegressor
+
+__all__ = [
+    "Adam",
+    "Arima",
+    "DRNNRegressor",
+    "Dense",
+    "GRULayer",
+    "LSTMLayer",
+    "SVRegressor",
+    "StandardScaler",
+    "auto_arima",
+    "gradient_check",
+    "mae",
+    "make_supervised_windows",
+    "mape",
+    "r2_score",
+    "rmse",
+    "smape",
+    "train_test_split_series",
+]

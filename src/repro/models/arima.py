@@ -1,0 +1,233 @@
+"""ARIMA(p, d, q) baseline, fitted by conditional sum of squares.
+
+The paper compares its DRNN against ARIMA on one-step-ahead prediction of
+worker performance.  This is a from-scratch implementation (no statsmodels
+offline) of the classical Box–Jenkins model:
+
+* the series is differenced ``d`` times;
+* AR/MA coefficients and the constant are estimated by minimising the
+  conditional sum of squared innovations (CSS) with ``scipy.optimize``;
+* forecasting rolls the innovation recursion forward (future innovations
+  zero), then integrates the differences back;
+* :func:`auto_arima` grid-searches (p, d, q) by AIC, which is how the
+  baseline order is chosen in the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+
+def difference(series: np.ndarray, d: int) -> np.ndarray:
+    """Apply ``d`` rounds of first differencing."""
+    out = np.asarray(series, dtype=float).ravel()
+    for _ in range(d):
+        out = np.diff(out)
+    return out
+
+
+def undifference_one(
+    history: np.ndarray, d: int, forecast_diff: float
+) -> float:
+    """Invert ``d`` differences for a one-step forecast given the original
+    (undifferenced) history."""
+    history = np.asarray(history, dtype=float).ravel()
+    # The k-th level's forecast adds the last value of the (k-1)-differenced
+    # history, from the deepest level back out.
+    value = forecast_diff
+    for k in range(d - 1, -1, -1):
+        level = difference(history, k)
+        value = value + level[-1]
+    return float(value)
+
+
+def _css_residuals(
+    w: np.ndarray, c: float, phi: np.ndarray, theta: np.ndarray
+) -> np.ndarray:
+    """Innovations of the ARMA recursion on the differenced series ``w``."""
+    p, q = len(phi), len(theta)
+    n = len(w)
+    e = np.zeros(n)
+    start = p  # conditional: first p observations seed the AR part
+    for t in range(start, n):
+        ar = float(phi @ w[t - p : t][::-1]) if p else 0.0
+        ma = 0.0
+        for j in range(1, q + 1):
+            if t - j >= start:
+                ma += theta[j - 1] * e[t - j]
+        e[t] = w[t] - c - ar - ma
+    return e[start:]
+
+
+@dataclass
+class ArimaFit:
+    """Fitted parameters and quality-of-fit summary."""
+
+    c: float
+    phi: np.ndarray
+    theta: np.ndarray
+    sigma2: float
+    aic: float
+    n_obs: int
+
+
+class Arima:
+    """ARIMA(p, d, q) with constant, CSS-fitted.
+
+    Typical use in the experiments: fit on the training series, then
+    :meth:`rolling_one_step` over the test series with frozen parameters
+    (matching how the paper's baselines predict the next interval).
+    """
+
+    def __init__(self, p: int = 1, d: int = 0, q: int = 0) -> None:
+        if p < 0 or d < 0 or q < 0:
+            raise ValueError("orders must be non-negative")
+        if p == 0 and q == 0 and d == 0:
+            raise ValueError("ARIMA(0,0,0) is not a model")
+        self.p, self.d, self.q = p, d, q
+        self.fit_result: Optional[ArimaFit] = None
+        self._train: Optional[np.ndarray] = None
+
+    # -- estimation ---------------------------------------------------------------
+
+    def fit(self, series: Sequence[float]) -> "Arima":
+        y = np.asarray(series, dtype=float).ravel()
+        if not np.all(np.isfinite(y)):
+            raise ValueError("series contains NaN/inf")
+        w = difference(y, self.d)
+        min_len = max(self.p, self.q) + self.p + 5
+        if len(w) < min_len:
+            raise ValueError(
+                f"series too short ({len(y)}) for ARIMA({self.p},{self.d},{self.q})"
+            )
+        p, q = self.p, self.q
+
+        def unpack(x: np.ndarray) -> Tuple[float, np.ndarray, np.ndarray]:
+            return float(x[0]), x[1 : 1 + p], x[1 + p : 1 + p + q]
+
+        def objective(x: np.ndarray) -> float:
+            c, phi, theta = unpack(x)
+            e = _css_residuals(w, c, phi, theta)
+            return float(e @ e)
+
+        x0 = np.zeros(1 + p + q)
+        x0[0] = float(np.mean(w))
+        if p:
+            # Seed AR coefficients with the lag-1 autocorrelation.
+            w0 = w - w.mean()
+            denom = float(w0 @ w0)
+            if denom > 0:
+                x0[1] = float(w0[1:] @ w0[:-1]) / denom
+        bounds = [(None, None)] + [(-0.98, 0.98)] * (p + q)
+        res = minimize(objective, x0, method="L-BFGS-B", bounds=bounds)
+        c, phi, theta = unpack(res.x)
+        e = _css_residuals(w, c, phi, theta)
+        n = len(e)
+        sigma2 = float(e @ e) / n
+        k = 1 + p + q
+        aic = n * np.log(max(sigma2, 1e-300)) + 2 * k
+        self.fit_result = ArimaFit(
+            c=c, phi=phi.copy(), theta=theta.copy(), sigma2=sigma2,
+            aic=float(aic), n_obs=n,
+        )
+        self._train = y.copy()
+        return self
+
+    # -- forecasting ---------------------------------------------------------------
+
+    def forecast(self, steps: int = 1) -> np.ndarray:
+        """Forecast ``steps`` values past the end of the training series."""
+        if self.fit_result is None or self._train is None:
+            raise RuntimeError("fit() first")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        out = []
+        history = self._train.copy()
+        for _ in range(steps):
+            nxt = self._one_step(history)
+            out.append(nxt)
+            history = np.append(history, nxt)
+        return np.array(out)
+
+    def _one_step(self, history: np.ndarray) -> float:
+        fr = self.fit_result
+        assert fr is not None
+        w = difference(history, self.d)
+        p, q = self.p, self.q
+        ar = float(fr.phi @ w[-p:][::-1]) if p else 0.0
+        if q:
+            # MA terms need the innovation recursion over the history.
+            e = _css_residuals(w, fr.c, fr.phi, fr.theta)
+            ma = float(fr.theta @ e[-q:][::-1]) if len(e) >= q else 0.0
+        else:
+            ma = 0.0  # AR-only fast path: no residual recursion needed
+        w_next = fr.c + ar + ma
+        return undifference_one(history, self.d, w_next)
+
+    def forecast_from(self, history: Sequence[float], steps: int = 1) -> np.ndarray:
+        """Multi-step forecast continuing an arbitrary ``history`` with the
+        frozen fitted parameters (used by h-step walk-forward protocols)."""
+        if self.fit_result is None:
+            raise RuntimeError("fit() first")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        hist = np.asarray(history, dtype=float).ravel().copy()
+        min_len = self.d + self.p + 1
+        if len(hist) < min_len:
+            raise ValueError(f"history too short ({len(hist)} < {min_len})")
+        out = np.empty(steps)
+        for i in range(steps):
+            nxt = self._one_step(hist)
+            out[i] = nxt
+            hist = np.append(hist, nxt)
+        return out
+
+    def rolling_one_step(self, test: Sequence[float]) -> np.ndarray:
+        """One-step-ahead predictions over ``test`` with frozen parameters.
+
+        After predicting test[i], the true value is appended to the history
+        (the standard walk-forward protocol for baseline comparisons).
+        """
+        if self.fit_result is None or self._train is None:
+            raise RuntimeError("fit() first")
+        test = np.asarray(test, dtype=float).ravel()
+        history = self._train.copy()
+        preds = np.empty(len(test))
+        for i, actual in enumerate(test):
+            preds[i] = self._one_step(history)
+            history = np.append(history, actual)
+        return preds
+
+    def __repr__(self) -> str:
+        return f"Arima(p={self.p}, d={self.d}, q={self.q})"
+
+
+def auto_arima(
+    series: Sequence[float],
+    max_p: int = 3,
+    max_d: int = 1,
+    max_q: int = 2,
+) -> Arima:
+    """Grid-search (p, d, q) by AIC; returns the best fitted model."""
+    best: Optional[Arima] = None
+    best_aic = np.inf
+    for d in range(max_d + 1):
+        for p in range(max_p + 1):
+            for q in range(max_q + 1):
+                if p == 0 and q == 0 and d == 0:
+                    continue
+                try:
+                    model = Arima(p, d, q).fit(series)
+                except (ValueError, FloatingPointError):
+                    continue
+                assert model.fit_result is not None
+                if model.fit_result.aic < best_aic:
+                    best_aic = model.fit_result.aic
+                    best = model
+    if best is None:
+        raise ValueError("no ARIMA order could be fitted to this series")
+    return best

@@ -1,0 +1,63 @@
+"""Forecast accuracy metrics.
+
+The paper compares models by prediction accuracy; MAPE is the headline
+metric for "average tuple processing time" forecasts, with RMSE/MAE as
+secondary.  All functions accept array-likes and broadcast-compatible
+shapes, validate lengths, and are NaN-strict (garbage in, ValueError out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true, y_pred) -> tuple:
+    t = np.asarray(y_true, dtype=float).ravel()
+    p = np.asarray(y_pred, dtype=float).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty inputs")
+    if not (np.all(np.isfinite(t)) and np.all(np.isfinite(p))):
+        raise ValueError("inputs contain NaN or inf")
+    return t, p
+
+
+def mape(y_true, y_pred, eps: float = 1e-12) -> float:
+    """Mean absolute percentage error, in percent.
+
+    Zero targets are guarded by ``eps``; callers forecasting quantities
+    that can legitimately be zero should prefer :func:`smape`.
+    """
+    t, p = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(t - p) / np.maximum(np.abs(t), eps)) * 100.0)
+
+
+def smape(y_true, y_pred) -> float:
+    """Symmetric MAPE in percent (bounded at 200, zero-safe)."""
+    t, p = _validate(y_true, y_pred)
+    denom = (np.abs(t) + np.abs(p)) / 2.0
+    ratio = np.where(denom > 0, np.abs(t - p) / np.where(denom > 0, denom, 1.0), 0.0)
+    return float(np.mean(ratio) * 100.0)
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    t, p = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((t - p) ** 2)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    t, p = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(t - p)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 = perfect, 0 = mean predictor)."""
+    t, p = _validate(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - np.mean(t)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

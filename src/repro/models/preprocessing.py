@@ -1,0 +1,124 @@
+"""Dataset construction from multilevel-statistics time series.
+
+The paper's DRNN consumes windows of multilevel runtime statistics and
+predicts the next interval's performance.  This module provides:
+
+* :class:`StandardScaler` — per-feature z-scoring (fit on train only);
+* :func:`make_supervised_windows` — slide a ``(T_history, d)`` window over
+  a feature matrix to produce ``(n, window, d)`` inputs aligned with
+  ``horizon``-step-ahead targets;
+* :func:`train_test_split_series` — chronological split (never shuffle a
+  time series before splitting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature standardisation with degenerate-feature protection."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant features scale to exactly zero after centring; a unit
+        # std keeps them harmless instead of dividing by ~0.
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        squeeze = X.ndim == 1
+        if squeeze:
+            X = X[:, None]
+        out = (X - self.mean_) / self.std_
+        return out.ravel() if squeeze else out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        squeeze = X.ndim == 1
+        if squeeze:
+            X = X[:, None]
+        out = X * self.std_ + self.mean_
+        return out.ravel() if squeeze else out
+
+
+def make_supervised_windows(
+    features: np.ndarray,
+    target: np.ndarray,
+    window: int,
+    horizon: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build ``(X, y)`` where ``X[i] = features[i : i+window]`` and
+    ``y[i] = target[i + window + horizon - 1]``.
+
+    Parameters
+    ----------
+    features:
+        ``(T, d)`` (or ``(T,)``) matrix of per-interval statistics.
+    target:
+        ``(T,)`` series to predict; usually one of the feature columns.
+    window:
+        History length fed to the model.
+    horizon:
+        Steps ahead to predict (1 = next interval, as in the paper).
+
+    The construction uses stride tricks (views, no copies) per the
+    repository's vectorisation guidelines, then materialises once.
+    """
+    features = np.asarray(features, dtype=float)
+    target = np.asarray(target, dtype=float).ravel()
+    if features.ndim == 1:
+        features = features[:, None]
+    if features.shape[0] != target.shape[0]:
+        raise ValueError(
+            f"features ({features.shape[0]}) and target ({target.shape[0]}) "
+            "must have equal length"
+        )
+    if window < 1 or horizon < 1:
+        raise ValueError("window and horizon must be >= 1")
+    n = features.shape[0] - window - horizon + 1
+    if n < 1:
+        raise ValueError(
+            f"series of length {features.shape[0]} too short for "
+            f"window={window}, horizon={horizon}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        features, window_shape=window, axis=0
+    )  # (T - window + 1, d, window)
+    X = np.ascontiguousarray(windows[:n].transpose(0, 2, 1))  # (n, window, d)
+    y = target[window + horizon - 1 :][:n].copy()
+    return X, y
+
+
+def train_test_split_series(
+    X: np.ndarray, y: np.ndarray, train_fraction: float = 0.7
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chronological split: the first fraction trains, the rest tests."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y length mismatch")
+    cut = int(X.shape[0] * train_fraction)
+    if cut == 0 or cut == X.shape[0]:
+        raise ValueError("split produces an empty side; adjust train_fraction")
+    return X[:cut], X[cut:], y[:cut], y[cut:]

@@ -1,0 +1,162 @@
+"""Epsilon-SVR baseline with RBF/linear kernels.
+
+The paper's second baseline is support vector regression.  This
+implementation optimises the *kernelised primal* via the representer
+theorem — ``f(x) = sum_i beta_i K(x_i, x) + b`` with squared
+epsilon-insensitive loss (L2-SVR):
+
+    min_beta,b  0.5 * beta^T K beta
+                + C * sum_i max(0, |y_i - f(x_i)| - eps)^2
+
+solved with L-BFGS and an analytic gradient.  libsvm solves the equivalent
+dual with SMO; for forecasting-accuracy comparisons the two produce the
+same regressor family (documented substitution — see DESIGN.md).  Inputs
+are flattened statistic windows, matching how SVR baselines are fed in the
+paper's family of systems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize
+from scipy.spatial.distance import cdist
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
+    """``K[i, j] = exp(-gamma * ||A_i - B_j||^2)``."""
+    return np.exp(-gamma * cdist(A, B, metric="sqeuclidean"))
+
+
+def linear_kernel(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    return A @ B.T
+
+
+class SVRegressor:
+    """Kernel epsilon-SVR (squared epsilon-insensitive loss).
+
+    Parameters
+    ----------
+    kernel:
+        ``"rbf"`` or ``"linear"``.
+    C:
+        Loss weight (larger = fit data harder).
+    epsilon:
+        Half-width of the insensitive tube.
+    gamma:
+        RBF width; ``None`` uses the median heuristic
+        (1 / (d * var(X)), scikit-learn's "scale").
+    """
+
+    def __init__(
+        self,
+        kernel: str = "rbf",
+        C: float = 10.0,
+        epsilon: float = 0.01,
+        gamma: Optional[float] = None,
+        max_iter: int = 500,
+    ) -> None:
+        if kernel not in ("rbf", "linear"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        if C <= 0 or epsilon < 0:
+            raise ValueError("C must be > 0 and epsilon >= 0")
+        self.kernel = kernel
+        self.C = C
+        self.epsilon = epsilon
+        self.gamma = gamma
+        self.max_iter = max_iter
+        self.X_: Optional[np.ndarray] = None
+        self.beta_: Optional[np.ndarray] = None
+        self.b_: float = 0.0
+        self.gamma_: Optional[float] = None
+
+    # -- internals --------------------------------------------------------------
+
+    def _kernel_matrix(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return linear_kernel(A, B)
+        assert self.gamma_ is not None
+        return rbf_kernel(A, B, self.gamma_)
+
+    @staticmethod
+    def _flatten(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 3:  # (n, window, d) stats windows -> flat vectors
+            return X.reshape(X.shape[0], -1)
+        if X.ndim == 1:
+            return X[:, None]
+        return X
+
+    # -- API -----------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVRegressor":
+        X = self._flatten(X)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X/y length mismatch")
+        if X.shape[0] < 2:
+            raise ValueError("need at least 2 samples")
+        if self.kernel == "rbf":
+            if self.gamma is not None:
+                self.gamma_ = self.gamma
+            else:
+                var = float(X.var())
+                self.gamma_ = 1.0 / (X.shape[1] * var) if var > 0 else 1.0
+        self.X_ = X
+        K = self._kernel_matrix(X, X)
+        n = X.shape[0]
+        C, eps = self.C, self.epsilon
+
+        def objective(params: np.ndarray):
+            beta, b = params[:n], params[n]
+            f = K @ beta + b
+            r = y - f
+            s = np.abs(r) - eps
+            active = s > 0
+            loss_data = float(np.sum(s[active] ** 2))
+            reg = 0.5 * float(beta @ (K @ beta))
+            # d/d f of the loss: -2 s sign(r) on active points
+            v = np.zeros(n)
+            v[active] = -2.0 * s[active] * np.sign(r[active])
+            g_beta = K @ beta + C * (K @ v)
+            g_b = C * float(np.sum(v))
+            grad = np.concatenate([g_beta, [g_b]])
+            return reg + C * loss_data, grad
+
+        x0 = np.zeros(n + 1)
+        x0[n] = float(np.mean(y))
+        res = minimize(
+            objective,
+            x0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        self.beta_ = res.x[:n]
+        self.b_ = float(res.x[n])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.beta_ is None or self.X_ is None:
+            raise RuntimeError("fit() first")
+        X = self._flatten(X)
+        if X.shape[1] != self.X_.shape[1]:
+            raise ValueError(
+                f"feature mismatch: trained on {self.X_.shape[1]}, got {X.shape[1]}"
+            )
+        K = self._kernel_matrix(X, self.X_)
+        return K @ self.beta_ + self.b_
+
+    @property
+    def n_support(self) -> int:
+        """Training points with non-negligible dual weight."""
+        if self.beta_ is None:
+            return 0
+        return int(np.sum(np.abs(self.beta_) > 1e-8))
+
+    def __repr__(self) -> str:
+        return (
+            f"SVRegressor(kernel={self.kernel!r}, C={self.C},"
+            f" epsilon={self.epsilon})"
+        )

@@ -1,0 +1,90 @@
+"""A Storm-like Distributed Stream Data Processing System (DSDPS) simulator.
+
+This package reproduces, on top of the :mod:`repro.des` kernel, the exact
+surfaces of Apache Storm that the paper's predictive control framework
+observes and manipulates:
+
+* **Topology API** (:mod:`~repro.storm.topology`, :mod:`~repro.storm.api`) —
+  spouts, bolts, streams, parallelism hints, declared groupings; mirrors
+  Storm's ``TopologyBuilder``.
+* **Stream groupings** (:mod:`~repro.storm.grouping`) — shuffle, fields,
+  global, all, direct, local-or-shuffle, partial-key, and the paper's
+  **dynamic grouping** (arbitrary split ratios, changeable on the fly).
+* **Reliability machinery** (:mod:`~repro.storm.acker`) — XOR tuple-tree
+  ledger, message timeouts, replay; gives at-least-once semantics.
+* **Execution model** (:mod:`~repro.storm.executor`,
+  :mod:`~repro.storm.worker`, :mod:`~repro.storm.node`) — executors with
+  bounded input queues, worker processes that co-locate executors, and
+  nodes whose CPUs are *shared* between co-located workers (the
+  interference the paper's DRNN must learn).
+* **Cluster & scheduling** (:mod:`~repro.storm.cluster`) — supervisors/slots
+  and a Storm-style even scheduler.
+* **Multilevel runtime statistics** (:mod:`~repro.storm.metrics`) — the
+  node/worker/executor/topology-level counters the controller samples.
+* **Fault injection** (:mod:`~repro.storm.faults`) — misbehaving workers
+  (slowdowns, CPU-hog neighbours, pauses) on a schedule.
+* **Runner** (:mod:`~repro.storm.runner`) — one-call simulation harness.
+"""
+
+from repro.storm.acker import AckLedger
+from repro.storm.api import Bolt, Emission, OutputCollector, Spout, TopologyContext
+from repro.storm.cluster import Cluster, EvenScheduler, NodeSpec
+from repro.storm.faults import (
+    CpuHogFault,
+    FaultInjector,
+    PauseFault,
+    RampingHogFault,
+    SlowdownFault,
+)
+from repro.storm.grouping import (
+    AllGrouping,
+    DirectGrouping,
+    DynamicGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    LocalOrShuffleGrouping,
+    PartialKeyGrouping,
+    ShuffleGrouping,
+)
+from repro.storm.metrics import MetricsCollector, MultilevelSnapshot
+from repro.storm.node import Node
+from repro.storm.schedulers import PackingScheduler, ResourceAwareScheduler
+from repro.storm.runner import SimulationResult, StormSimulation
+from repro.storm.topology import Topology, TopologyBuilder, TopologyConfig
+from repro.storm.tuples import Tuple
+
+__all__ = [
+    "AckLedger",
+    "AllGrouping",
+    "Bolt",
+    "Cluster",
+    "CpuHogFault",
+    "DirectGrouping",
+    "DynamicGrouping",
+    "Emission",
+    "EvenScheduler",
+    "FaultInjector",
+    "FieldsGrouping",
+    "GlobalGrouping",
+    "LocalOrShuffleGrouping",
+    "MetricsCollector",
+    "MultilevelSnapshot",
+    "Node",
+    "NodeSpec",
+    "OutputCollector",
+    "PackingScheduler",
+    "PartialKeyGrouping",
+    "PauseFault",
+    "RampingHogFault",
+    "ResourceAwareScheduler",
+    "ShuffleGrouping",
+    "SimulationResult",
+    "SlowdownFault",
+    "Spout",
+    "StormSimulation",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyConfig",
+    "TopologyContext",
+    "Tuple",
+]

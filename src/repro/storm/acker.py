@@ -1,0 +1,182 @@
+"""At-least-once reliability: the XOR tuple-tree ledger.
+
+Storm tracks each spout tuple's processing tree with a single 64-bit value
+per root: every emitted edge id is XOR-ed in, every acked edge id is XOR-ed
+out; the value returns to zero exactly when every tuple in the tree has been
+both emitted and acked.  This module reproduces that ledger plus the
+timeout sweep that fails stuck trees.
+
+Real Storm distributes the ledger across acker bolt executors; here it is a
+single synchronous object.  That substitution is behaviour-preserving for
+this paper's experiments: the framework never observes acker placement, only
+(a) complete latencies and (b) replay behaviour, both of which the ledger
+reproduces exactly.  (Acker CPU cost is negligible next to app bolts.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+
+@dataclass
+class _TreeState:
+    """Per-root ledger entry."""
+
+    spout_task: int
+    msg_id: Any
+    ledger: int  # XOR of outstanding edge ids
+    start_time: float
+
+
+@dataclass
+class CompletionRecord:
+    """One finished (acked or failed) spout tuple, for the metrics layer."""
+
+    msg_id: Any
+    spout_task: int
+    latency: float
+    acked: bool
+    finish_time: float
+
+
+class AckLedger:
+    """XOR tuple-tree tracker with timeout sweeping.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (for timestamps and the sweep process).
+    message_timeout:
+        Seconds before an incomplete tree is failed.
+    on_ack / on_fail:
+        Callbacks ``(spout_task, msg_id, latency_or_None)`` delivered to the
+        owning spout executor.
+    sweep_interval:
+        Period of the timeout sweep process.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        message_timeout: float,
+        sweep_interval: float = 1.0,
+    ) -> None:
+        self.env = env
+        self.message_timeout = message_timeout
+        self.sweep_interval = sweep_interval
+        self._trees: Dict[int, _TreeState] = {}
+        self._on_ack: Dict[int, Callable] = {}  # spout_task -> callback
+        self._on_fail: Dict[int, Callable] = {}
+        self.completions: List[CompletionRecord] = []
+        # counters for metrics
+        self.acked_count = 0
+        self.failed_count = 0
+        self.latency_sum = 0.0
+        self._proc = env.process(self._sweeper(), name="ack-sweeper")
+
+    # -- registration -------------------------------------------------------------
+
+    def register_spout(
+        self, spout_task: int, on_ack: Callable, on_fail: Callable
+    ) -> None:
+        """Attach ack/fail delivery callbacks for one spout task."""
+        self._on_ack[spout_task] = on_ack
+        self._on_fail[spout_task] = on_fail
+
+    # -- ledger operations ------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Number of incomplete tuple trees."""
+        return len(self._trees)
+
+    def init_tree(
+        self, root_id: int, spout_task: int, msg_id: Any, edge_id: int
+    ) -> None:
+        """Start tracking a new spout tuple (ledger := its first edge id)."""
+        if root_id in self._trees:
+            raise ValueError(f"duplicate root id {root_id}")
+        self._trees[root_id] = _TreeState(
+            spout_task=spout_task,
+            msg_id=msg_id,
+            ledger=edge_id,
+            start_time=self.env.now,
+        )
+
+    def emit(self, root_id: int, new_edge_id: int) -> None:
+        """A bolt emitted a tuple anchored to ``root_id``."""
+        tree = self._trees.get(root_id)
+        if tree is None:
+            return  # tree already completed/failed; late emit is a no-op
+        tree.ledger ^= new_edge_id
+
+    def ack(self, root_id: int, edge_id: int) -> None:
+        """A bolt acked the tuple with ``edge_id`` in tree ``root_id``."""
+        tree = self._trees.get(root_id)
+        if tree is None:
+            return  # late ack after timeout: ignore, replay already queued
+        tree.ledger ^= edge_id
+        if tree.ledger == 0:
+            del self._trees[root_id]
+            latency = self.env.now - tree.start_time
+            self.acked_count += 1
+            self.latency_sum += latency
+            self.completions.append(
+                CompletionRecord(
+                    msg_id=tree.msg_id,
+                    spout_task=tree.spout_task,
+                    latency=latency,
+                    acked=True,
+                    finish_time=self.env.now,
+                )
+            )
+            cb = self._on_ack.get(tree.spout_task)
+            if cb is not None:
+                cb(tree.msg_id, latency)
+
+    def fail(self, root_id: int) -> None:
+        """Explicitly fail a tree (bolt called ``collector.fail``)."""
+        tree = self._trees.pop(root_id, None)
+        if tree is None:
+            return
+        self._record_failure(tree)
+
+    def _record_failure(self, tree: _TreeState) -> None:
+        self.failed_count += 1
+        self.completions.append(
+            CompletionRecord(
+                msg_id=tree.msg_id,
+                spout_task=tree.spout_task,
+                latency=self.env.now - tree.start_time,
+                acked=False,
+                finish_time=self.env.now,
+            )
+        )
+        cb = self._on_fail.get(tree.spout_task)
+        if cb is not None:
+            cb(tree.msg_id)
+
+    # -- timeout sweep ---------------------------------------------------------------
+
+    def _sweeper(self):
+        while True:
+            yield self.env.timeout(self.sweep_interval)
+            deadline = self.env.now - self.message_timeout
+            expired = [
+                root
+                for root, tree in self._trees.items()
+                if tree.start_time <= deadline
+            ]
+            for root in expired:
+                tree = self._trees.pop(root)
+                self._record_failure(tree)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AckLedger in_flight={len(self._trees)} acked={self.acked_count}"
+            f" failed={self.failed_count}>"
+        )

@@ -1,0 +1,451 @@
+"""Executors: the processes that actually move and process tuples.
+
+One executor runs one task (Storm's default of one task per executor).
+Bolt executors loop ``dequeue -> service -> execute -> route``, where the
+*service* step occupies the node's CPU and is dilated by co-location
+interference (:mod:`repro.storm.node`), worker misbehaviour
+(:mod:`repro.storm.worker`), and multiplicative noise.  Spout executors
+pace emissions by the spout's arrival process, enforce
+``max_spout_pending`` flow control, and replay failed messages.
+
+All cross-task delivery goes through :class:`Transport`, which applies
+placement-dependent latency (same worker < same node < cross node) and
+preserves per-link FIFO order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple as Tup
+
+import numpy as np
+
+from repro.des.events import Event
+from repro.des.stores import Store
+from repro.storm.api import Bolt, Emission, OutputCollector, Spout, TopologyContext
+from repro.storm.grouping import DirectGrouping, Grouping
+from repro.storm.tuples import DEFAULT_STREAM, SpoutRecord, Tuple, next_edge_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+    from repro.storm.acker import AckLedger
+    from repro.storm.topology import TopologyConfig
+    from repro.storm.worker import Worker
+
+#: Stream name used for tick envelopes (never routed downstream).
+TICK_STREAM = "__tick"
+
+
+def call_later(env: "Environment", delay: float, fn: Callable[[], None]) -> None:
+    """Run ``fn`` after ``delay`` sim-seconds without spawning a process."""
+    ev = Event(env)
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(lambda _e: fn())  # type: ignore[union-attr]
+    env.schedule(ev, delay=delay)
+
+
+@dataclass
+class Envelope:
+    """A tuple in transit/queued, stamped with its enqueue time."""
+
+    tup: Tuple
+    enqueue_time: float
+
+
+class Transport:
+    """Latency-aware point-to-point delivery between tasks."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: "TopologyConfig",
+        ledger: Optional["AckLedger"] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.ledger = ledger
+        self.queues: Dict[int, Store] = {}
+        self.placement: Dict[int, "Worker"] = {}
+        self.sent_count = 0
+        self.dropped_count = 0
+
+    def register(self, task_id: int, queue: Store, worker: "Worker") -> None:
+        self.queues[task_id] = queue
+        self.placement[task_id] = worker
+
+    def latency(self, src_worker: "Worker", dst_task: int) -> float:
+        dst_worker = self.placement[dst_task]
+        if dst_worker is src_worker:
+            return self.config.intra_worker_latency
+        if dst_worker.node is src_worker.node:
+            return self.config.intra_node_latency
+        return self.config.inter_node_latency
+
+    def send(self, src_worker: "Worker", dst_task: int, tup: Tuple) -> None:
+        """Deliver ``tup`` to ``dst_task`` after placement latency.
+
+        Delivery uses a fire-and-forget put: if the destination queue is
+        full, the put waits in the store's putter list, which models the
+        receiver-side transfer buffer growing (visible to the metrics layer
+        as ``backlog``).
+        """
+        queue = self.queues[dst_task]
+        env = self.env
+        delay = self.latency(src_worker, dst_task)
+        self.sent_count += 1
+        shed = self.config.overflow_policy == "shed"
+
+        def deliver() -> None:
+            if shed and queue.is_full:
+                # Load shedding: drop at the receiver and fail the tree
+                # right away so the spout replays without waiting for the
+                # message timeout.
+                self.dropped_count += 1
+                if self.ledger is not None:
+                    for root in tup.roots:
+                        self.ledger.fail(root)
+                return
+            queue.put(Envelope(tup, env.now))
+
+        call_later(env, delay, deliver)
+
+
+class BaseExecutor:
+    """State and counters shared by spout and bolt executors."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        task_id: int,
+        task_index: int,
+        component_id: str,
+        worker: "Worker",
+        config: "TopologyConfig",
+        transport: Transport,
+        ledger: "AckLedger",
+        rng: np.random.Generator,
+    ) -> None:
+        self.env = env
+        self.task_id = task_id
+        self.task_index = task_index
+        self.component_id = component_id
+        self.worker = worker
+        self.config = config
+        self.transport = transport
+        self.ledger = ledger
+        self.rng = rng
+        self.queue = Store(env, capacity=config.executor_queue_capacity)
+        #: stream -> [(consumer_id, Grouping)]
+        self.outbound: Dict[str, List[Tup[str, Grouping]]] = {}
+        self.declared_outputs: Dict[str, Tup[str, ...]] = {}
+        # cumulative counters (metrics layer diffs these per interval)
+        self.executed_count = 0
+        self.emitted_count = 0
+        self.acked_count = 0
+        self.failed_count = 0
+        self.busy_time = 0.0
+        self.wait_time_sum = 0.0
+        self.service_time_sum = 0.0
+        self.running = True
+        worker.executors.append(self)
+        transport.register(task_id, self.queue, worker)
+
+    # -- emission routing (shared by spout and bolt paths) ---------------------------
+
+    def _service_noise(self) -> float:
+        sigma = self.config.service_noise_sigma
+        if sigma <= 0:
+            return 1.0
+        # lognormal with unit median: median-preserving multiplicative noise
+        return float(math.exp(self.rng.normal(0.0, sigma)))
+
+    def route_emission(
+        self,
+        values: Tup[Any, ...],
+        stream: str,
+        roots: Tup[int, ...],
+        direct_task: Optional[int] = None,
+    ) -> List[int]:
+        """Create per-target tuples, update the ack ledger, and send.
+
+        Returns the edge ids created (the spout path XORs them into the
+        fresh tree; the bolt path has already registered them per root).
+        """
+        consumers = self.outbound.get(stream)
+        if consumers is None:
+            if stream not in self.declared_outputs:
+                raise ValueError(
+                    f"{self.component_id!r} emitted on undeclared stream "
+                    f"{stream!r} (declared: {sorted(self.declared_outputs)})"
+                )
+            return []  # declared but nobody subscribed: tuple evaporates
+        fields = self.declared_outputs.get(stream, ())
+        edges: List[int] = []
+        for _consumer_id, grouping in consumers:
+            if isinstance(grouping, DirectGrouping):
+                if direct_task is None:
+                    raise ValueError(
+                        f"{self.component_id!r}: direct grouping on stream "
+                        f"{stream!r} requires emit(..., direct_task=)"
+                    )
+                targets = grouping.choose_direct(direct_task)
+            elif grouping.content_free:
+                targets = grouping.choose(None)  # hot path: no probe tuple
+            else:
+                probe = Tuple(
+                    values=values,
+                    stream=stream,
+                    source_component=self.component_id,
+                    source_task=self.task_id,
+                    fields=fields,
+                )
+                targets = grouping.choose(probe)
+            for dst in targets:
+                edge = next_edge_id()
+                edges.append(edge)
+                out = Tuple(
+                    values=values,
+                    stream=stream,
+                    source_component=self.component_id,
+                    source_task=self.task_id,
+                    edge_id=edge,
+                    roots=roots,
+                    emit_time=self.env.now,
+                    fields=fields,
+                )
+                for root in roots:
+                    self.ledger.emit(root, edge)
+                self.transport.send(self.worker, dst, out)
+                self.emitted_count += 1
+        return edges
+
+    def stop(self) -> None:
+        self.running = False
+
+
+class SpoutExecutor(BaseExecutor):
+    """Drives one spout task: pacing, flow control, replay."""
+
+    def __init__(self, spout: Spout, context: TopologyContext, **kw: Any) -> None:
+        super().__init__(**kw)
+        self.spout = spout
+        self.context = context
+        self.pending: Dict[Any, SpoutRecord] = {}
+        self.replay_queue: deque[SpoutRecord] = deque()
+        self.dropped_count = 0  # messages beyond max_replays
+        self.replayed_count = 0
+        self._wake: Optional[Event] = None
+        self.ledger.register_spout(self.task_id, self._on_ack, self._on_fail)
+        self.process = self.env.process(
+            self.run(), name=f"spout-{self.component_id}-{self.task_id}"
+        )
+
+    # -- reliability callbacks (invoked synchronously by the ledger) ----------------
+
+    def _on_ack(self, msg_id: Any, latency: float) -> None:
+        rec = self.pending.pop(msg_id, None)
+        if rec is None:
+            return
+        self.acked_count += 1
+        self.spout.ack(msg_id, latency)
+        self._signal()
+
+    def _on_fail(self, msg_id: Any) -> None:
+        rec = self.pending.pop(msg_id, None)
+        if rec is None:
+            return
+        self.failed_count += 1
+        self.spout.fail(msg_id)
+        if rec.retries < self.config.max_replays:
+            rec.retries += 1
+            self.replay_queue.append(rec)
+            self.replayed_count += 1
+        else:
+            self.dropped_count += 1
+        self._signal()
+
+    def _signal(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self):
+        self.spout.open(self.context)
+        try:
+            while self.running:
+                # Flow control: block while the pending window is full.
+                while (
+                    len(self.pending) >= self.config.max_spout_pending
+                    and self.running
+                ):
+                    self._wake = Event(self.env)
+                    yield self._wake
+                    self._wake = None
+                if not self.running:
+                    break
+                gate = self.worker.pause_gate()
+                if gate is not None:
+                    yield gate
+                if self.replay_queue:
+                    rec = self.replay_queue.popleft()
+                    self._emit_record(rec)
+                    continue
+                delay = self.spout.inter_arrival()
+                if delay is None or not math.isfinite(delay):
+                    # Stream exhausted — but reliability work may remain:
+                    # in-flight messages can still fail and need replaying,
+                    # so only terminate once everything is resolved.
+                    if not self.pending and not self.replay_queue:
+                        break
+                    self._wake = Event(self.env)
+                    yield self._wake
+                    self._wake = None
+                    continue
+                yield self.env.timeout(max(0.0, delay))
+                emission = self.spout.next_tuple()
+                if emission is None:
+                    continue
+                rec = SpoutRecord(
+                    msg_id=emission.msg_id,
+                    values=tuple(emission.values),
+                    stream=emission.stream,
+                    root_id=0,
+                    emit_time=self.env.now,
+                )
+                self._emit_record(rec)
+        finally:
+            self.spout.close()
+
+    def _emit_record(self, rec: SpoutRecord) -> None:
+        """Emit (or re-emit) one spout message and open its ack tree."""
+        reliable = rec.msg_id is not None
+        if reliable:
+            root = next_edge_id()
+            rec.root_id = root
+            rec.emit_time = self.env.now
+            # Open the tree *before* routing so no ack can race ahead,
+            # then fold the edges in exactly as Storm's acker-init does.
+            self.ledger.init_tree(root, self.task_id, rec.msg_id, edge_id=0)
+            self.pending[rec.msg_id] = rec
+            edges = self.route_emission(rec.values, rec.stream, roots=(root,))
+            if not edges:
+                # No consumers: the tree is trivially complete.
+                self.ledger.ack(root, 0)
+        else:
+            self.route_emission(rec.values, rec.stream, roots=())
+        self.executed_count += 1
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.pending)
+
+
+class BoltExecutor(BaseExecutor):
+    """Drives one bolt task: dequeue, service, execute, route, ack."""
+
+    def __init__(self, bolt: Bolt, context: TopologyContext, **kw: Any) -> None:
+        super().__init__(**kw)
+        self.bolt = bolt
+        self.context = context
+        self.collector = OutputCollector()
+        self.tick_dropped = 0
+        self.process = self.env.process(
+            self.run(), name=f"bolt-{self.component_id}-{self.task_id}"
+        )
+        if self.config.tick_interval > 0:
+            self.env.process(
+                self._ticker(), name=f"tick-{self.component_id}-{self.task_id}"
+            )
+
+    def _ticker(self):
+        interval = self.config.tick_interval
+        while self.running:
+            yield self.env.timeout(interval)
+            tick = Tuple(values=(), stream=TICK_STREAM)
+            if not self.queue.try_put(Envelope(tick, self.env.now)):
+                self.tick_dropped += 1  # overloaded: ticks are best-effort
+
+    def run(self):
+        self.bolt.prepare(self.context)
+        try:
+            while self.running:
+                gate = self.worker.pause_gate()
+                if gate is not None:
+                    yield gate
+                envelope = yield self.queue.get()
+                gate = self.worker.pause_gate()
+                if gate is not None:
+                    yield gate
+                yield from self._process(envelope)
+        finally:
+            self.bolt.cleanup()
+
+    def _process(self, envelope: Envelope):
+        tup = envelope.tup
+        wait = self.env.now - envelope.enqueue_time
+        is_tick = tup.stream == TICK_STREAM
+        nominal = 0.2e-3 if is_tick else self.bolt.cpu_cost(tup)
+        dilation = self.worker.node.service_started()
+        service = (
+            max(0.0, nominal)
+            * self._service_noise()
+            * dilation
+            * self.worker.slow_factor
+        )
+        yield self.env.timeout(service)
+        self.worker.node.service_finished()
+        if is_tick:
+            self.bolt.tick(self.env.now, self.collector)
+        else:
+            self.bolt.execute(tup, self.collector)
+        emissions, acked, failed = self.collector.drain()
+        roots = tup.roots
+        for values, stream, anchors, direct_task in emissions:
+            anchor_roots: Tup[int, ...]
+            if anchors:
+                seen: List[int] = []
+                for a in anchors:
+                    for r in a.roots:
+                        if r not in seen:
+                            seen.append(r)
+                anchor_roots = tuple(seen)
+            else:
+                anchor_roots = ()
+            self.route_emission(values, stream, anchor_roots, direct_task)
+        for t in acked:
+            self._ack_tuple(t)
+        for t in failed:
+            self._fail_tuple(t)
+        if (
+            self.bolt.auto_ack
+            and not is_tick
+            and tup not in acked
+            and tup not in failed
+        ):
+            self._ack_tuple(tup)
+        if not is_tick:
+            self.executed_count += 1
+            self.busy_time += service
+            self.wait_time_sum += wait
+            self.service_time_sum += service
+
+    def _ack_tuple(self, tup: Tuple) -> None:
+        for root in tup.roots:
+            self.ledger.ack(root, tup.edge_id)
+        self.acked_count += 1
+
+    def _fail_tuple(self, tup: Tuple) -> None:
+        for root in tup.roots:
+            self.ledger.fail(root)
+        self.failed_count += 1
+
+    # -- metrics convenience -----------------------------------------------------------
+
+    @property
+    def avg_execute_latency(self) -> float:
+        """Mean service time per executed tuple over the whole run."""
+        return self.service_time_sum / self.executed_count if self.executed_count else 0.0

@@ -1,0 +1,228 @@
+"""Fault injection: scheduled worker misbehaviour.
+
+The paper's reliability experiments degrade specific workers and measure
+how much the topology suffers.  Three fault archetypes cover the causes the
+paper attributes to "misbehaving workers":
+
+* :class:`SlowdownFault` — the worker's own service times dilate (JVM GC
+  thrash, failing disk, contended lock inside the process);
+* :class:`CpuHogFault` — an *external* process on the worker's node burns
+  CPU, so every worker on that node slows via interference (this is the
+  co-location effect the DRNN is built to predict);
+* :class:`PauseFault` — the worker freezes outright for a while
+  (stop-the-world pause, livelock).
+
+Faults carry a start time and duration; the :class:`FaultInjector` process
+applies and reverts them on schedule and records ground truth for the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+    from repro.storm.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: when it starts and how long it lasts."""
+
+    start: float
+    duration: float
+
+    def apply(self, cluster: "Cluster") -> None:
+        raise NotImplementedError
+
+    def revert(self, cluster: "Cluster") -> None:
+        raise NotImplementedError
+
+    def validate(self, cluster: "Cluster") -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(f"bad fault window start={self.start} dur={self.duration}")
+
+
+@dataclass(frozen=True)
+class SlowdownFault(Fault):
+    """Dilate one worker's service times by ``factor``."""
+
+    worker_id: int = 0
+    factor: float = 4.0
+
+    def validate(self, cluster: "Cluster") -> None:
+        super().validate(cluster)
+        if not 0 <= self.worker_id < len(cluster.workers):
+            raise ValueError(f"no worker {self.worker_id}")
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.workers[self.worker_id].set_slow_factor(self.factor)
+
+    def revert(self, cluster: "Cluster") -> None:
+        cluster.workers[self.worker_id].set_slow_factor(1.0)
+
+
+@dataclass(frozen=True)
+class CpuHogFault(Fault):
+    """Burn ``demand`` cores of external CPU on one node."""
+
+    node_name: str = ""
+    demand: float = 2.0
+
+    def validate(self, cluster: "Cluster") -> None:
+        super().validate(cluster)
+        if self.node_name not in {n.name for n in cluster.nodes}:
+            raise ValueError(f"no node {self.node_name!r}")
+        if self.demand <= 0:
+            raise ValueError("hog demand must be positive")
+
+    def _node(self, cluster: "Cluster"):
+        return next(n for n in cluster.nodes if n.name == self.node_name)
+
+    def apply(self, cluster: "Cluster") -> None:
+        node = self._node(cluster)
+        node.set_external_load(node.external_load + self.demand)
+
+    def revert(self, cluster: "Cluster") -> None:
+        node = self._node(cluster)
+        node.set_external_load(max(0.0, node.external_load - self.demand))
+
+
+@dataclass(frozen=True)
+class RampingHogFault(Fault):
+    """External CPU load that ramps up, holds, and ramps down on one node.
+
+    Models a co-located batch job spinning up: node utilisation rises
+    *before* stream latency peaks (queues take time to build), giving
+    feature-based predictors genuine lead over univariate history — the
+    interference-anticipation effect the paper's DRNN targets.
+    """
+
+    node_name: str = ""
+    peak_demand: float = 3.0
+    ramp: float = 30.0  # seconds of linear ramp at each end
+    #: update granularity of the staircase approximating the ramp
+    step_interval: float = 2.0
+
+    def validate(self, cluster: "Cluster") -> None:
+        super().validate(cluster)
+        if self.node_name not in {n.name for n in cluster.nodes}:
+            raise ValueError(f"no node {self.node_name!r}")
+        if self.peak_demand <= 0 or self.ramp < 0 or self.step_interval <= 0:
+            raise ValueError("bad ramp parameters")
+        if 2 * self.ramp > self.duration:
+            raise ValueError("ramps longer than the fault itself")
+
+    def _node(self, cluster: "Cluster"):
+        return next(n for n in cluster.nodes if n.name == self.node_name)
+
+    def demand_at(self, elapsed: float) -> float:
+        """Instantaneous demand ``elapsed`` seconds after the fault start."""
+        if elapsed < 0 or elapsed >= self.duration:
+            return 0.0
+        if self.ramp > 0 and elapsed < self.ramp:
+            return self.peak_demand * elapsed / self.ramp
+        if self.ramp > 0 and elapsed > self.duration - self.ramp:
+            return self.peak_demand * (self.duration - elapsed) / self.ramp
+        return self.peak_demand
+
+    # apply/revert are no-ops: the FaultInjector drives the staircase via
+    # demand_at() with its own local contribution state, so the window
+    # edges need no separate action.
+    def apply(self, cluster: "Cluster") -> None:
+        pass
+
+    def revert(self, cluster: "Cluster") -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class PauseFault(Fault):
+    """Freeze one worker's processing entirely for the duration."""
+
+    worker_id: int = 0
+
+    def validate(self, cluster: "Cluster") -> None:
+        super().validate(cluster)
+        if not 0 <= self.worker_id < len(cluster.workers):
+            raise ValueError(f"no worker {self.worker_id}")
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.workers[self.worker_id].pause()
+
+    def revert(self, cluster: "Cluster") -> None:
+        cluster.workers[self.worker_id].resume()
+
+
+@dataclass
+class FaultEvent:
+    """Ground-truth record of an applied/reverted fault."""
+
+    fault: Fault
+    applied_at: float
+    reverted_at: float = float("nan")
+
+
+class FaultInjector:
+    """Applies a fault schedule to a running cluster."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        cluster: "Cluster",
+        faults: Sequence[Fault] = (),
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.log: List[FaultEvent] = []
+        for f in faults:
+            f.validate(cluster)
+            env.process(self._driver(f), name=f"fault-{type(f).__name__}")
+
+    def _driver(self, fault: Fault):
+        if fault.start > self.env.now:
+            yield self.env.timeout(fault.start - self.env.now)
+        fault.apply(self.cluster)
+        record = FaultEvent(fault=fault, applied_at=self.env.now)
+        self.log.append(record)
+        if isinstance(fault, RampingHogFault):
+            yield from self._ramp_driver(fault)
+        else:
+            yield self.env.timeout(fault.duration)
+        fault.revert(self.cluster)
+        record.reverted_at = self.env.now
+
+    def _ramp_driver(self, fault: RampingHogFault):
+        """Staircase the node's external load along the ramp profile.
+
+        The loop cuts off once the residual window falls below an epsilon:
+        a ``timeout(remaining)`` smaller than the clock's current ULP would
+        never advance simulation time (float addition is absorbing), so a
+        naive ``while elapsed < duration`` spins forever.
+        """
+        node = next(n for n in self.cluster.nodes if n.name == fault.node_name)
+        start = self.env.now
+        contributed = 0.0
+        eps = 1e-9
+        while True:
+            elapsed = self.env.now - start
+            remaining = fault.duration - elapsed
+            if remaining <= eps:
+                break
+            want = fault.demand_at(elapsed)
+            node.set_external_load(
+                max(0.0, node.external_load - contributed + want)
+            )
+            contributed = want
+            yield self.env.timeout(min(fault.step_interval, remaining))
+        node.set_external_load(max(0.0, node.external_load - contributed))
+
+    def active_faults(self) -> List[Fault]:
+        """Faults applied and not yet reverted (ground truth for eval)."""
+        import math
+
+        return [e.fault for e in self.log if math.isnan(e.reverted_at)]

@@ -1,0 +1,285 @@
+"""Multilevel runtime statistics — the observation surface of the framework.
+
+The paper's DRNN consumes "multilevel runtime statistics"; this module
+samples them on a fixed interval at four levels:
+
+* **topology** — throughput (acks/s), mean complete latency, failures,
+  in-flight count;
+* **node** — CPU utilisation (capped demand integral over the interval);
+* **worker** — executed-tuple rate, mean per-tuple processing latency
+  (queue wait + service), mean service time, instantaneous queue length
+  and backlog, CPU share;
+* **executor** — the same, per task.
+
+The collector is *the only* view of the system the predictive controller
+gets: ground-truth misbehaviour flags live on :class:`~repro.storm.worker.
+Worker` and are deliberately not included in snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+    from repro.storm.cluster import Cluster
+
+
+@dataclass
+class ExecutorStats:
+    """Per-executor interval statistics."""
+
+    task_id: int
+    component_id: str
+    worker_id: int
+    executed: int = 0
+    emitted: int = 0
+    avg_process_latency: float = 0.0  # wait + service per tuple (s)
+    avg_service_time: float = 0.0
+    queue_len: int = 0
+    backlog: int = 0
+    cpu_share: float = 0.0  # busy seconds / interval
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker interval statistics (aggregated over its executors)."""
+
+    worker_id: int
+    node_name: str
+    executed: int = 0
+    emitted: int = 0
+    avg_process_latency: float = 0.0
+    avg_service_time: float = 0.0
+    queue_len: int = 0
+    backlog: int = 0
+    cpu_share: float = 0.0
+    n_executors: int = 0
+
+
+@dataclass
+class NodeStats:
+    """Per-node interval statistics."""
+
+    name: str
+    cores: int
+    utilization: float = 0.0  # capped demand / capacity over the interval
+    n_workers: int = 0
+    busy_executors: int = 0  # instantaneous
+
+
+@dataclass
+class TopologyStats:
+    """Whole-topology interval statistics."""
+
+    throughput: float = 0.0  # acked tuples / second
+    emit_rate: float = 0.0  # spout emissions / second
+    avg_complete_latency: float = 0.0
+    acked: int = 0
+    failed: int = 0
+    in_flight: int = 0
+    dropped: int = 0
+
+
+@dataclass
+class MultilevelSnapshot:
+    """One sampling instant across all four levels."""
+
+    time: float
+    topology: TopologyStats
+    nodes: Dict[str, NodeStats] = field(default_factory=dict)
+    workers: Dict[int, WorkerStats] = field(default_factory=dict)
+    executors: Dict[int, ExecutorStats] = field(default_factory=dict)
+
+
+@dataclass
+class _Counters:
+    executed: int = 0
+    emitted: int = 0
+    busy: float = 0.0
+    wait: float = 0.0
+    service: float = 0.0
+
+
+class MetricsCollector:
+    """Samples multilevel statistics every ``interval`` sim-seconds.
+
+    Usage: construct after :meth:`Cluster.submit`; snapshots accumulate in
+    :attr:`snapshots`.  :meth:`worker_series` / :meth:`topology_series`
+    convert them to NumPy arrays for the modelling layer.
+    """
+
+    def __init__(
+        self, env: "Environment", cluster: "Cluster", interval: float = 1.0
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if cluster.topology is None:
+            raise RuntimeError("submit a topology before attaching metrics")
+        self.env = env
+        self.cluster = cluster
+        self.interval = interval
+        self.snapshots: List[MultilevelSnapshot] = []
+        self._prev_exec: Dict[int, _Counters] = {}
+        self._prev_acked = 0
+        self._prev_failed = 0
+        self._prev_latency_sum = 0.0
+        self._prev_dropped = 0
+        self._prev_spout_emitted = 0
+        self._prev_node_integral: Dict[str, float] = {
+            n.name: n.demand_integral for n in cluster.nodes
+        }
+        for task_id, ex in cluster.executors.items():
+            self._prev_exec[task_id] = _Counters()
+        self._proc = env.process(self._sampler(), name="metrics-collector")
+
+    # -- sampling --------------------------------------------------------------------
+
+    def _sampler(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            self.snapshots.append(self._sample())
+
+    def _sample(self) -> MultilevelSnapshot:
+        cluster = self.cluster
+        ledger = cluster.ledger
+        assert ledger is not None
+        dt = self.interval
+
+        # topology level -----------------------------------------------------------
+        acked = ledger.acked_count - self._prev_acked
+        failed = ledger.failed_count - self._prev_failed
+        lat_sum = ledger.latency_sum - self._prev_latency_sum
+        from repro.storm.executor import SpoutExecutor  # local import: cycle
+
+        spout_emitted = sum(
+            ex.executed_count
+            for ex in cluster.executors.values()
+            if isinstance(ex, SpoutExecutor)
+        )
+        dropped = sum(
+            ex.dropped_count
+            for ex in cluster.executors.values()
+            if isinstance(ex, SpoutExecutor)
+        )
+        topo = TopologyStats(
+            throughput=acked / dt,
+            emit_rate=(spout_emitted - self._prev_spout_emitted) / dt,
+            avg_complete_latency=(lat_sum / acked) if acked else 0.0,
+            acked=acked,
+            failed=failed,
+            in_flight=ledger.in_flight,
+            dropped=dropped - self._prev_dropped,
+        )
+        self._prev_acked = ledger.acked_count
+        self._prev_failed = ledger.failed_count
+        self._prev_latency_sum = ledger.latency_sum
+        self._prev_dropped = dropped
+        self._prev_spout_emitted = spout_emitted
+
+        # executor level ----------------------------------------------------------
+        executors: Dict[int, ExecutorStats] = {}
+        for task_id, ex in cluster.executors.items():
+            prev = self._prev_exec[task_id]
+            d_exec = ex.executed_count - prev.executed
+            d_emit = ex.emitted_count - prev.emitted
+            d_busy = ex.busy_time - prev.busy
+            d_wait = ex.wait_time_sum - prev.wait
+            d_service = ex.service_time_sum - prev.service
+            executors[task_id] = ExecutorStats(
+                task_id=task_id,
+                component_id=ex.component_id,
+                worker_id=ex.worker.worker_id,
+                executed=d_exec,
+                emitted=d_emit,
+                avg_process_latency=((d_wait + d_service) / d_exec) if d_exec else 0.0,
+                avg_service_time=(d_service / d_exec) if d_exec else 0.0,
+                queue_len=ex.queue.level,
+                backlog=ex.queue.backlog,
+                cpu_share=d_busy / dt,
+            )
+            self._prev_exec[task_id] = _Counters(
+                executed=ex.executed_count,
+                emitted=ex.emitted_count,
+                busy=ex.busy_time,
+                wait=ex.wait_time_sum,
+                service=ex.service_time_sum,
+            )
+
+        # worker level ----------------------------------------------------------------
+        workers: Dict[int, WorkerStats] = {}
+        for w in cluster.workers:
+            stats = WorkerStats(
+                worker_id=w.worker_id,
+                node_name=w.node.name,
+                n_executors=len(w.executors),
+            )
+            lat_weighted = 0.0
+            svc_weighted = 0.0
+            for ex in w.executors:
+                es = executors[ex.task_id]
+                stats.executed += es.executed
+                stats.emitted += es.emitted
+                stats.queue_len += es.queue_len
+                stats.backlog += es.backlog
+                stats.cpu_share += es.cpu_share
+                lat_weighted += es.avg_process_latency * es.executed
+                svc_weighted += es.avg_service_time * es.executed
+            if stats.executed:
+                stats.avg_process_latency = lat_weighted / stats.executed
+                stats.avg_service_time = svc_weighted / stats.executed
+            workers[w.worker_id] = stats
+
+        # node level --------------------------------------------------------------------
+        nodes: Dict[str, NodeStats] = {}
+        for n in cluster.nodes:
+            integral = n.demand_integral
+            used = integral - self._prev_node_integral[n.name]
+            self._prev_node_integral[n.name] = integral
+            nodes[n.name] = NodeStats(
+                name=n.name,
+                cores=n.cores,
+                utilization=min(1.0, used / (n.cores * dt)),
+                n_workers=len(n.workers),
+                busy_executors=n.busy_executors,
+            )
+
+        return MultilevelSnapshot(
+            time=self.env.now,
+            topology=topo,
+            nodes=nodes,
+            workers=workers,
+            executors=executors,
+        )
+
+    # -- series extraction (for the modelling layer) ------------------------------------
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.snapshots])
+
+    def topology_series(self, attr: str) -> np.ndarray:
+        """Time series of one :class:`TopologyStats` attribute."""
+        return np.array([getattr(s.topology, attr) for s in self.snapshots])
+
+    def worker_series(self, worker_id: int, attr: str) -> np.ndarray:
+        """Time series of one :class:`WorkerStats` attribute for a worker."""
+        return np.array(
+            [getattr(s.workers[worker_id], attr) for s in self.snapshots]
+        )
+
+    def node_series(self, name: str, attr: str) -> np.ndarray:
+        return np.array([getattr(s.nodes[name], attr) for s in self.snapshots])
+
+    def executor_series(self, task_id: int, attr: str) -> np.ndarray:
+        return np.array(
+            [getattr(s.executors[task_id], attr) for s in self.snapshots]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsCollector interval={self.interval}"
+            f" snapshots={len(self.snapshots)}>"
+        )

@@ -1,0 +1,110 @@
+"""Physical node model: shared CPU and the co-location interference signal.
+
+The paper's DRNN is distinguished by "careful consideration for interference
+of co-located worker processes": the performance of a worker depends not
+only on its own load but on everything else running on the same machine.
+This module makes that interference real.
+
+Model: a node has ``cores`` CPU cores.  Every executor busy in service
+demands one core; external load (e.g. a CPU-hog fault) demands
+``external_load`` cores.  When total demand ``d`` exceeds ``cores``, the
+processor is shared and every running computation dilates by ``d / cores``.
+The dilation factor is sampled when a tuple's service starts (a documented
+simplification of true processor sharing that keeps the event count linear
+in tuples; the error is second-order for service times far below the
+metrics interval, which holds for every workload in this repository).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+    from repro.storm.worker import Worker
+
+
+class Node:
+    """One simulated machine (Storm supervisor host)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        cores: int = 4,
+        slots: int = 4,
+    ) -> None:
+        if cores < 1 or slots < 1:
+            raise ValueError("cores and slots must be >= 1")
+        self.env = env
+        self.name = name
+        self.cores = cores
+        self.slots = slots
+        self.workers: List["Worker"] = []
+        #: cores currently consumed by in-service executors
+        self.busy_executors = 0
+        #: extra demand injected by faults (CPU-hog neighbours)
+        self.external_load = 0.0
+        # cumulative core-seconds of demand, for utilisation metrics
+        self._demand_integral = 0.0
+        self._last_change = 0.0
+
+    # -- demand accounting (called by executors around each service) --------------
+
+    def _advance_integral(self) -> None:
+        now = self.env.now
+        demand = self.busy_executors + self.external_load
+        self._demand_integral += min(demand, self.cores) * (now - self._last_change)
+        self._last_change = now
+
+    def service_started(self) -> float:
+        """Register one executor entering service; return its dilation.
+
+        Dilation ``max(1, demand/cores)`` is computed *including* the new
+        arrival, so even the first tuple on a saturated node runs slow.
+        """
+        self._advance_integral()
+        self.busy_executors += 1
+        return self.dilation()
+
+    def service_finished(self) -> None:
+        self._advance_integral()
+        self.busy_executors -= 1
+        assert self.busy_executors >= 0, "service_finished without start"
+
+    def set_external_load(self, load: float) -> None:
+        """Set fault-injected CPU demand (cores) on this node."""
+        if load < 0:
+            raise ValueError("external load cannot be negative")
+        self._advance_integral()
+        self.external_load = load
+
+    def dilation(self) -> float:
+        """Current service-time dilation from CPU contention."""
+        demand = self.busy_executors + self.external_load
+        return max(1.0, demand / self.cores)
+
+    def utilization_since(self, t0: float) -> float:
+        """Mean CPU utilisation (0..1) over [t0, now]; resets nothing."""
+        self._advance_integral()
+        span = self.env.now - t0
+        if span <= 0:
+            return 0.0
+        # caller is expected to difference integrals; convenience method
+        return min(1.0, (self.busy_executors + self.external_load) / self.cores)
+
+    @property
+    def demand_integral(self) -> float:
+        """Cumulative capped core-seconds of demand (for interval diffs)."""
+        self._advance_integral()
+        return self._demand_integral
+
+    def co_located_workers(self, worker: "Worker") -> List["Worker"]:
+        """The other workers sharing this node (interference sources)."""
+        return [w for w in self.workers if w is not worker]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.name!r} cores={self.cores} workers={len(self.workers)}"
+            f" busy={self.busy_executors} ext={self.external_load}>"
+        )

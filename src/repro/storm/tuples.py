@@ -1,0 +1,119 @@
+"""Tuple representation and id generation.
+
+Mirrors Storm's data model: a tuple is a named sequence of values emitted on
+a stream by a source task; reliable tuples additionally carry the set of
+*root ids* (spout-tuple identities they descend from) and their own *edge id*
+used by the XOR ack ledger.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple as Tup
+
+#: Default stream name, as in Storm.
+DEFAULT_STREAM = "default"
+
+_edge_counter = itertools.count(1)
+
+
+def next_edge_id() -> int:
+    """Globally unique, deterministic edge id for the ack ledger.
+
+    Storm draws 64-bit random ids; a counter is collision-free and keeps
+    runs bit-reproducible, while preserving the XOR-ledger algebra (the
+    ledger only needs ids to be unique, not random).
+    """
+    return next(_edge_counter)
+
+
+def reset_edge_ids() -> None:
+    """Restart the edge-id counter (test isolation helper)."""
+    global _edge_counter
+    _edge_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Tuple:
+    """An immutable data tuple flowing through a topology.
+
+    Attributes
+    ----------
+    values:
+        The payload, positionally matching the source component's declared
+        output fields.
+    stream:
+        Stream name the tuple was emitted on.
+    source_component / source_task:
+        Where the tuple came from.
+    edge_id:
+        This tuple's id in the ack ledger (0 for unanchored tuples).
+    roots:
+        Root spout-tuple ids this tuple descends from (empty if unanchored).
+    emit_time:
+        Simulation time of emission (set by the emitting executor).
+    msg_id:
+        Spout message id (spout tuples only; used for ack/fail callbacks).
+    """
+
+    values: Tup[Any, ...]
+    stream: str = DEFAULT_STREAM
+    source_component: str = ""
+    source_task: int = -1
+    edge_id: int = 0
+    roots: Tup[int, ...] = ()
+    emit_time: float = 0.0
+    msg_id: Any = None
+    fields: Tup[str, ...] = field(default=(), repr=False)
+
+    @property
+    def anchored(self) -> bool:
+        """Whether this tuple participates in the ack ledger."""
+        return bool(self.roots)
+
+    def value(self, name: str) -> Any:
+        """Look a value up by its declared field name."""
+        try:
+            return self.values[self.fields.index(name)]
+        except ValueError:
+            raise KeyError(
+                f"field {name!r} not in {self.fields!r} "
+                f"(emitted by {self.source_component!r})"
+            ) from None
+
+    def select(self, names: Sequence[str]) -> Tup[Any, ...]:
+        """Project the tuple onto the given field names (for FieldsGrouping)."""
+        return tuple(self.value(n) for n in names)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, idx: int) -> Any:
+        return self.values[idx]
+
+
+@dataclass
+class SpoutRecord:
+    """Bookkeeping the spout executor keeps per in-flight message."""
+
+    msg_id: Any
+    values: Tup[Any, ...]
+    stream: str
+    root_id: int
+    emit_time: float
+    retries: int = 0
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic 64-bit hash for grouping decisions.
+
+    Python's built-in ``hash`` is randomized per process for strings, which
+    would make fields grouping non-reproducible across runs; FNV-1a over the
+    ``repr`` is stable and fast enough for simulation purposes.
+    """
+    data = repr(value).encode("utf-8")
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h

@@ -1,0 +1,91 @@
+"""Worker process model: a container of executors on one node slot.
+
+A worker corresponds to one Storm worker JVM.  It carries the *misbehaviour*
+state that the paper's framework must detect and route around:
+
+* ``slow_factor`` — multiplicative service-time dilation (degraded JVM:
+  GC thrashing, noisy neighbour inside the process, failing disk, ...);
+* ``paused`` — the worker stops draining its executors' queues entirely
+  (stop-the-world pause / livelock).
+
+Both are actuated by :mod:`repro.storm.faults` on a schedule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+    from repro.des.events import Event
+    from repro.storm.executor import BaseExecutor
+    from repro.storm.node import Node
+
+
+class Worker:
+    """One worker process hosting a set of executors."""
+
+    def __init__(self, env: "Environment", worker_id: int, node: "Node") -> None:
+        self.env = env
+        self.worker_id = worker_id
+        self.node = node
+        self.executors: List["BaseExecutor"] = []
+        self.slow_factor = 1.0
+        self.paused = False
+        self._resume_event: Optional["Event"] = None
+        node.workers.append(self)
+
+    # -- misbehaviour actuation ----------------------------------------------------
+
+    def set_slow_factor(self, factor: float) -> None:
+        """Dilate all service times in this worker by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {factor}")
+        self.slow_factor = factor
+
+    def pause(self) -> None:
+        """Freeze tuple processing (executors block before next service)."""
+        if not self.paused:
+            self.paused = True
+            self._resume_event = self.env.event()
+
+    def resume(self) -> None:
+        """Unfreeze; blocked executors continue with their queued tuples."""
+        if self.paused:
+            self.paused = False
+            ev, self._resume_event = self._resume_event, None
+            if ev is not None:
+                ev.succeed(None)
+
+    def pause_gate(self) -> Optional["Event"]:
+        """Event executors must wait on while the worker is paused."""
+        return self._resume_event if self.paused else None
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def task_ids(self) -> List[int]:
+        return [ex.task_id for ex in self.executors]
+
+    @property
+    def is_misbehaving(self) -> bool:
+        """Ground-truth flag (used only by experiments, never by the
+        controller — the controller must *infer* misbehaviour from stats)."""
+        return self.paused or self.slow_factor > 1.0
+
+    def queue_backlog(self) -> int:
+        """Total tuples waiting across this worker's executor queues."""
+        return sum(ex.queue.level for ex in self.executors)
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.slow_factor > 1.0:
+            flags.append(f"slow×{self.slow_factor:g}")
+        if self.paused:
+            flags.append("paused")
+        return (
+            f"<Worker {self.worker_id} node={self.node.name!r}"
+            f" executors={len(self.executors)}"
+            + (" " + ",".join(flags) if flags else "")
+            + ">"
+        )

@@ -1,0 +1,221 @@
+"""Tests for the Continuous Queries application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ContinuousQuery,
+    RateProfile,
+    build_continuous_query_topology,
+)
+from repro.apps.continuous_query import (
+    FilterBolt,
+    QueryBolt,
+    ResultBolt,
+    SensorSpout,
+    default_queries,
+)
+from repro.storm import StormSimulation
+from repro.storm.api import OutputCollector, TopologyContext
+from repro.storm.topology import TopologyConfig
+from repro.storm.tuples import Tuple as StormTuple
+
+
+def ctx(now=0.0):
+    t = {"now": now}
+    return TopologyContext(
+        topology_name="t",
+        component_id="c",
+        task_id=0,
+        task_index=0,
+        parallelism=1,
+        worker_id=0,
+        node_name="n",
+        now=lambda: t["now"],
+        rng=np.random.default_rng(0),
+    ), t
+
+
+def reading(sensor, value, task=0):
+    return StormTuple(
+        values=(sensor, value), fields=("sensor_id", "value"), source_task=task
+    )
+
+
+# --- query dataclass --------------------------------------------------------------
+
+
+def test_query_validation():
+    with pytest.raises(ValueError):
+        ContinuousQuery("q", agg="sum")
+    with pytest.raises(ValueError):
+        ContinuousQuery("q", op="!=")
+    with pytest.raises(ValueError):
+        ContinuousQuery("q", window_seconds=0)
+
+
+def test_query_compare_ops():
+    assert ContinuousQuery("q", op=">", threshold=5).compare(6)
+    assert ContinuousQuery("q", op="<", threshold=5).compare(4)
+    assert ContinuousQuery("q", op=">=", threshold=5).compare(5)
+    assert ContinuousQuery("q", op="<=", threshold=5).compare(5)
+    assert not ContinuousQuery("q", op=">", threshold=5).compare(5)
+
+
+def test_query_prefix_matching():
+    q = ContinuousQuery("q", sensor_prefix="sensor-1")
+    assert q.matches("sensor-1")
+    assert q.matches("sensor-12")
+    assert not q.matches("sensor-2")
+    assert ContinuousQuery("q2").matches("anything")
+
+
+def test_default_queries_unique_ids():
+    qs = default_queries()
+    assert len({q.query_id for q in qs}) == len(qs)
+
+
+# --- bolts ------------------------------------------------------------------------------
+
+
+def test_filter_bolt_drops_out_of_range():
+    bolt = FilterBolt(lo=0.0, hi=100.0)
+    col = OutputCollector()
+    bolt.execute(reading("s", 50.0), col)
+    bolt.execute(reading("s", 5000.0), col)
+    emissions, _, _ = col.drain()
+    assert len(emissions) == 1
+    assert bolt.dropped == 1
+
+
+def test_query_bolt_window_aggregates():
+    context, clock = ctx()
+    q = ContinuousQuery("avg", agg="avg", window_seconds=10.0)
+    bolt = QueryBolt([q])
+    bolt.prepare(context)
+    col = OutputCollector()
+    for t, v in [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]:
+        clock["now"] = t
+        bolt.execute(reading("s", v), col)
+    col.drain()
+    bolt.tick(5.0, col)
+    emissions, _, _ = col.drain()
+    qid, cnt, total, mn, mx = emissions[0][0]
+    assert (qid, cnt, total, mn, mx) == ("avg", 3, 60.0, 10.0, 30.0)
+    # After expiry only the last reading remains.
+    bolt.tick(12.5, col)
+    emissions, _, _ = col.drain()
+    _, cnt, total, _, _ = emissions[0][0]
+    assert (cnt, total) == (1, 30.0)
+
+
+def test_query_bolt_prefix_scoping():
+    context, clock = ctx()
+    q = ContinuousQuery("s1", agg="count", sensor_prefix="sensor-1",
+                        window_seconds=100.0)
+    bolt = QueryBolt([q])
+    bolt.prepare(context)
+    col = OutputCollector()
+    for sensor in ("sensor-1", "sensor-2", "sensor-10"):
+        bolt.execute(reading(sensor, 1.0), col)
+    col.drain()
+    bolt.tick(1.0, col)
+    emissions, _, _ = col.drain()
+    assert emissions[0][0][1] == 2  # sensor-1 and sensor-10
+
+
+def test_query_bolt_validation():
+    with pytest.raises(ValueError):
+        QueryBolt([])
+    q = ContinuousQuery("dup")
+    with pytest.raises(ValueError):
+        QueryBolt([q, q])
+
+
+def test_query_cost_grows_with_queries():
+    few = QueryBolt(default_queries(2))
+    many = QueryBolt(default_queries(6))
+    t = reading("s", 1.0)
+    assert many.cpu_cost(t) > few.cpu_cost(t)
+
+
+def test_result_bolt_composes_partials():
+    qs = [
+        ContinuousQuery("avg", agg="avg", op=">", threshold=15.0),
+        ContinuousQuery("mx", agg="max", op=">", threshold=100.0),
+    ]
+    bolt = ResultBolt(qs)
+    col = OutputCollector()
+
+    def partial(task, qid, cnt, total, mn, mx):
+        bolt.execute(
+            StormTuple(
+                values=(qid, cnt, total, mn, mx),
+                fields=("query_id", "count", "total", "minimum", "maximum"),
+                source_task=task,
+            ),
+            col,
+        )
+
+    partial(1, "avg", 2, 20.0, 5.0, 15.0)
+    partial(2, "avg", 2, 40.0, 18.0, 22.0)
+    assert bolt.current["avg"] == pytest.approx(15.0)  # (20+40)/4
+    assert bolt.matched["avg"] is False
+    partial(2, "avg", 2, 80.0, 30.0, 50.0)  # replaces task 2's partial
+    assert bolt.current["avg"] == pytest.approx(25.0)
+    assert bolt.matched["avg"] is True
+    assert bolt.transitions[-1][0] == "avg"
+    partial(1, "mx", 3, 0.0, -5.0, 120.0)
+    assert bolt.current["mx"] == 120.0
+
+
+def test_result_bolt_ignores_empty_partials():
+    bolt = ResultBolt([ContinuousQuery("q", agg="min")])
+    col = OutputCollector()
+    bolt.execute(
+        StormTuple(
+            values=("q", 0, 0.0, float("inf"), float("-inf")),
+            fields=("query_id", "count", "total", "minimum", "maximum"),
+            source_task=1,
+        ),
+        col,
+    )
+    assert "q" not in bolt.current
+
+
+# --- topology / end to end ---------------------------------------------------------------
+
+
+def test_build_validates():
+    with pytest.raises(ValueError):
+        build_continuous_query_topology(grouping="bogus")
+    with pytest.raises(ValueError, match="tick"):
+        build_continuous_query_topology(config=TopologyConfig(tick_interval=0))
+
+
+def test_end_to_end_query_answers_track_sensor_mean():
+    topo = build_continuous_query_topology(
+        profile=RateProfile(base=200), n_sensors=30
+    )
+    sim = StormSimulation(topo, seed=21)
+    res = sim.run(duration=40)
+    assert res.failed == 0
+    results = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "results"
+    ).bolt
+    # Sensor values mean-revert to 50: the global average query must sit
+    # near 50, min below it, max above it.
+    assert results.current["q-avg-all"] == pytest.approx(50.0, abs=5.0)
+    assert results.current["q-min-all"] < results.current["q-avg-all"]
+    assert results.current["q-max-all"] > results.current["q-avg-all"]
+    # count query: ~200/s over a 20s window.
+    assert results.current["q-count-all"] == pytest.approx(4000, rel=0.3)
+
+
+def test_end_to_end_shuffle_variant_runs():
+    topo = build_continuous_query_topology(
+        profile=RateProfile(base=100), grouping="shuffle"
+    )
+    sim = StormSimulation(topo, seed=22)
+    res = sim.run(duration=20)
+    assert res.acked > 1000

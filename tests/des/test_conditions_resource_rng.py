@@ -1,0 +1,233 @@
+"""Tests for AnyOf/AllOf conditions, Resource, and RNG registry."""
+
+import numpy as np
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment, Resource, RngRegistry, spawn_rngs
+
+
+# --- conditions ---------------------------------------------------------------
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    winner = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="slow")
+        t2 = env.timeout(2, value="fast")
+        result = yield AnyOf(env, [t1, t2])
+        winner.append((env.now, list(result.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert winner == [(2.0, ["fast"])]
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="a")
+        t2 = env.timeout(2, value="b")
+        result = yield AllOf(env, [t1, t2])
+        done.append((env.now, sorted(result.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert done == [(5.0, ["a", "b"])]
+
+
+def test_condition_operators():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        r = yield env.timeout(1, "x") | env.timeout(9, "y")
+        log.append(("or", env.now, sorted(r.values())))
+        r = yield env.timeout(1, "p") & env.timeout(2, "q")
+        log.append(("and", env.now, sorted(r.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert log[0] == ("or", 1.0, ["x"])
+    assert log[1] == ("and", 3.0, ["p", "q"])
+
+
+def test_allof_with_already_processed_events():
+    env = Environment()
+    results = []
+
+    def proc(env, pre):
+        yield env.timeout(3)
+        r = yield AllOf(env, [pre, env.timeout(1, "late")])
+        results.append((env.now, sorted(r.values())))
+
+    pre = env.event()
+    pre.succeed("early")
+    env.process(proc(env, pre))
+    env.run()
+    assert results == [(4.0, ["early", "late"])]
+
+
+def test_anyof_empty_fires_immediately():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        r = yield AnyOf(env, [])
+        fired.append((env.now, r))
+
+    env.process(proc(env))
+    env.run()
+    assert fired == [(0.0, {})]
+
+
+def test_condition_propagates_failure():
+    env = Environment()
+    caught = []
+
+    def proc(env, bad):
+        try:
+            yield AnyOf(env, [bad, env.timeout(10)])
+        except ValueError as e:
+            caught.append(str(e))
+
+    bad = env.event()
+    env.process(proc(env, bad))
+    bad.fail(ValueError("inner"))
+    env.run()
+    assert caught == ["inner"]
+
+
+def test_condition_rejects_foreign_events():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.event(), env2.event()])
+
+
+# --- resource -------------------------------------------------------------------
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+    peak = []
+
+    def user(env, hold):
+        req = res.request()
+        yield req
+        active.append(1)
+        peak.append(len(active))
+        yield env.timeout(hold)
+        active.pop()
+        res.release(req)
+
+    for _ in range(5):
+        env.process(user(env, 3))
+    env.run()
+    assert max(peak) == 2
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    for tag in ("a", "b", "c"):
+        env.process(user(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+
+    env.process(user(env))
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_queue_len():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    observed = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def waiter(env):
+        with res.request() as req:
+            yield req
+
+    def observer(env):
+        yield env.timeout(1)
+        observed.append(res.queue_len)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.process(observer(env))
+    env.run()
+    assert observed == [1]
+
+
+# --- rng ---------------------------------------------------------------------------
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    a1, b1 = spawn_rngs(7, 2)
+    a2, b2 = spawn_rngs(7, 2)
+    assert np.allclose(a1.random(10), a2.random(10))
+    assert np.allclose(b1.random(10), b2.random(10))
+    assert not np.allclose(a1.random(10), b1.random(10))
+
+
+def test_rng_registry_stable_by_name():
+    r1 = RngRegistry(seed=13)
+    r2 = RngRegistry(seed=13)
+    # Request streams in different orders: same-name streams must agree.
+    x1 = r1.get("spout").random(5)
+    _ = r2.get("bolt").random(5)
+    x2 = r2.get("spout").random(5)
+    assert np.allclose(x1, x2)
+
+
+def test_rng_registry_distinct_names_distinct_streams():
+    reg = RngRegistry(seed=13)
+    a = reg.get("alpha").random(100)
+    b = reg.get("beta").random(100)
+    assert not np.allclose(a, b)
+
+
+def test_rng_registry_same_name_same_object():
+    reg = RngRegistry(seed=1)
+    assert reg.get("x") is reg.get("x")
+    assert "x" in reg
+
+
+def test_rng_registry_seed_changes_streams():
+    a = RngRegistry(seed=1).get("s").random(20)
+    b = RngRegistry(seed=2).get("s").random(20)
+    assert not np.allclose(a, b)

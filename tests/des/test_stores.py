@@ -1,0 +1,254 @@
+"""Tests for Store / PriorityStore: FIFO, capacity, blocking, cancel."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, PriorityItem, PriorityStore, Store
+
+
+def test_put_then_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(5)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [(5.0, "x")]
+
+
+def test_put_blocks_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("a-in", env.now))
+        yield store.put("b")
+        log.append(("b-in", env.now))
+
+    def consumer(env):
+        yield env.timeout(10)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("a-in", 0.0), ("got", "a", 10.0), ("b-in", 10.0)]
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_level_and_is_full():
+    env = Environment()
+    store = Store(env, capacity=2)
+
+    def proc(env):
+        assert store.level == 0
+        yield store.put(1)
+        assert store.level == 1
+        assert not store.is_full
+        yield store.put(2)
+        assert store.is_full
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_try_put_drops_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+
+    def proc(env):
+        assert store.try_put("a") is True
+        yield env.timeout(0)
+        assert store.try_put("b") is False
+        assert store.level == 1
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_try_put_succeeds_with_waiting_getter():
+    # Even when "full by capacity", a waiting getter means the item has a
+    # home — try_put must hand it over rather than drop it.
+    env = Environment()
+    store = Store(env, capacity=1)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append(item)
+        item = yield store.get()
+        got.append(item)
+
+    def producer(env):
+        yield env.timeout(1)
+        assert store.try_put("a")
+        assert store.try_put("b")  # "a" was immediately consumed
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == ["a", "b"]
+
+
+def test_cancelled_get_does_not_steal_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def impatient(env):
+        try:
+            yield store.get()
+        except Interrupt:
+            pass
+        yield env.timeout(100)
+
+    def patient(env):
+        item = yield store.get()
+        got.append(item)
+
+    def driver(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+        yield store.put("only")
+
+    victim = env.process(impatient(env))
+    env.process(patient(env))
+    env.process(driver(env, victim))
+    env.run()
+    assert got == ["only"]
+
+
+def test_cancelled_put_frees_slot():
+    env = Environment()
+    store = Store(env, capacity=1)
+    stored = []
+
+    def blocked_putter(env):
+        yield store.put("first")
+        try:
+            yield store.put("second")  # blocks: capacity 1
+        except Interrupt:
+            pass
+
+    def other_putter(env):
+        yield env.timeout(2)
+        yield store.get()  # frees the slot
+        yield store.put("third")
+        stored.append(list(store.items))
+
+    def driver(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(blocked_putter(env))
+    env.process(other_putter(env))
+    env.process(driver(env, victim))
+    env.run()
+    # "second" was cancelled, so after get+put the store holds only "third".
+    assert stored == [["third"]]
+
+
+def test_priority_store_orders_by_priority():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def producer(env):
+        yield store.put(PriorityItem(priority=5, item="low"))
+        yield store.put(PriorityItem(priority=1, item="high"))
+        yield store.put(PriorityItem(priority=3, item="mid"))
+
+    def consumer(env):
+        yield env.timeout(1)
+        for _ in range(3):
+            it = yield store.get()
+            got.append(it.item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_priority_store_fifo_within_priority():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def producer(env):
+        for tag in ("a", "b", "c"):
+            yield store.put(PriorityItem(priority=1, item=tag))
+
+    def consumer(env):
+        yield env.timeout(1)
+        for _ in range(3):
+            it = yield store.get()
+            got.append(it.item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_many_producers_consumers_conservation():
+    # No item is lost or duplicated under heavy interleaving.
+    env = Environment()
+    store = Store(env, capacity=4)
+    produced, consumed = [], []
+
+    def producer(env, base):
+        for i in range(50):
+            item = base + i
+            produced.append(item)
+            yield store.put(item)
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        while len(consumed) < 150:
+            item = yield store.get()
+            consumed.append(item)
+            yield env.timeout(0.13)
+
+    for k in range(3):
+        env.process(producer(env, 1000 * k))
+    env.process(consumer(env))
+    env.run()
+    assert sorted(consumed) == sorted(produced)
+    assert len(consumed) == 150

@@ -1,0 +1,166 @@
+"""Tests for the experiment harness (small scales; the full-scale runs
+live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    collect_trace,
+    evaluate_models_on_trace,
+    format_table,
+    run_reliability_scenario,
+)
+from repro.experiments.prediction import _split_index, _windowed_split
+from repro.experiments.reliability import default_faults
+from repro.experiments.traces import build_app_topology, default_profile
+from repro.apps import RateProfile
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return collect_trace(app="url_count", duration=120, base_rate=150, seed=1)
+
+
+# --- tables -------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bbb"], [[1, 2.5], ["xx", 0.001234]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bbb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_ragged_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+# --- traces ---------------------------------------------------------------------
+
+
+def test_collect_trace_bundles_both_monitors(small_trace):
+    b = small_trace
+    assert b.monitor.include_interference
+    assert not b.monitor_no_interference.include_interference
+    assert b.monitor.n_intervals == b.monitor_no_interference.n_intervals
+    assert b.monitor.n_intervals == len(b.result.snapshots)
+    assert b.result.acked > 1000
+
+
+def test_default_profile_has_dynamics():
+    p = default_profile(base=100, horizon=600)
+    rates = [p.rate(t) for t in np.linspace(0, 600, 200)]
+    assert max(rates) > 150  # step/burst visible
+    assert min(rates) < 90  # diurnal trough visible
+
+
+def test_build_app_topology_validates():
+    with pytest.raises(ValueError, match="unknown app"):
+        build_app_topology("bogus", RateProfile(base=10))
+
+
+def test_trace_target_has_variance(small_trace):
+    # The trace recipe must produce a non-degenerate prediction target.
+    for wid in small_trace.monitor.worker_ids:
+        t = small_trace.monitor.target_series(wid)
+        assert t.std() > 0
+
+
+# --- prediction protocol ---------------------------------------------------------
+
+
+def test_split_index_validation():
+    with pytest.raises(ValueError):
+        _split_index(4, 0.1)
+
+
+def test_windowed_split_alignment(small_trace):
+    X_tr, y_tr, X_te, y_te = _windowed_split(
+        small_trace.monitor, window=4, train_fraction=0.7, horizon=3
+    )
+    n_workers = len(small_trace.monitor.worker_ids)
+    T = small_trace.monitor.n_intervals
+    cut = int(T * 0.7)
+    assert y_te.shape[0] == n_workers * (T - cut)
+    assert X_tr.shape[1:] == (4, len(small_trace.monitor.feature_names))
+    # Train targets never reach into the test region.
+    assert X_tr.shape[0] == n_workers * (cut - 4 - 3 + 1)
+
+
+def test_evaluate_models_small(small_trace):
+    res = evaluate_models_on_trace(
+        small_trace.monitor,
+        app="url_count",
+        window=4,
+        horizon=2,
+        drnn_hidden=(8,),
+        drnn_epochs=5,
+        seed=0,
+    )
+    assert set(res.scores) == {"drnn", "arima", "svr"}
+    for s in res.scores.values():
+        assert np.isfinite(s["mape"]) and s["mape"] >= 0
+        assert s["rmse"] >= 0 and s["mae"] >= 0
+    # Traces align: every model predicted the same pooled test vector.
+    lengths = {len(t[1]) for t in res.traces.values()}
+    assert len(lengths) == 1
+    rows = res.table_rows()
+    assert len(rows) == 3
+
+
+def test_evaluate_unknown_model_rejected(small_trace):
+    with pytest.raises(ValueError, match="unknown model"):
+        evaluate_models_on_trace(
+            small_trace.monitor, models=["bogus"], window=4, horizon=2
+        )
+
+
+# --- reliability harness -----------------------------------------------------------
+
+
+def test_default_faults_staggered():
+    faults = default_faults(2, start=100, duration=100)
+    assert faults[0].start == 100 and faults[1].start == 110
+    assert faults[0].worker_id != faults[1].worker_id
+    with pytest.raises(ValueError):
+        default_faults(5, 0, 10)
+
+
+def test_reliability_arm_validation():
+    with pytest.raises(ValueError, match="unknown control"):
+        run_reliability_scenario(control="bogus", duration=10)
+
+
+def test_reliability_scenario_smoke_reactive():
+    res = run_reliability_scenario(
+        app="url_count",
+        control="reactive",
+        k_misbehaving=1,
+        base_rate=150.0,
+        duration=90.0,
+        fault_start=30.0,
+        fault_duration=50.0,
+        seed=2,
+    )
+    assert res.label == "reactive"
+    assert res.controller is not None
+    assert res.result.acked > 1000
+    assert np.isfinite(res.degradation_pct())
+
+
+def test_reliability_scenario_smoke_baseline():
+    res = run_reliability_scenario(
+        app="url_count",
+        control=None,
+        k_misbehaving=1,
+        base_rate=150.0,
+        duration=90.0,
+        fault_start=30.0,
+        fault_duration=50.0,
+        seed=2,
+    )
+    assert res.label == "baseline"
+    assert res.controller is None
+    assert res.throughput_healthy() > 0

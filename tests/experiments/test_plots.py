@@ -1,0 +1,60 @@
+"""Tests for the ASCII plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import ascii_plot
+
+
+def test_basic_render_contains_glyphs_and_axis():
+    out = ascii_plot([[0, 1, 2, 3, 2, 1, 0]], width=20, height=6, title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "*" in out
+    assert any(line.strip().startswith("+--") or "+---" in line for line in lines)
+
+
+def test_two_series_distinct_glyphs():
+    out = ascii_plot(
+        [[1, 1, 1, 1], [0, 2, 0, 2]],
+        labels=["flat", "zigzag"],
+        width=16,
+        height=5,
+    )
+    assert "*" in out and "o" in out
+    assert "flat" in out and "zigzag" in out
+
+
+def test_min_max_labels():
+    out = ascii_plot([[5.0, 10.0]], width=10, height=4)
+    assert "10" in out
+    assert "5" in out
+
+
+def test_flat_series_renders():
+    out = ascii_plot([[3.0, 3.0, 3.0]], width=10, height=4)
+    assert "*" in out
+
+
+def test_long_series_resampled():
+    y = np.sin(np.linspace(0, 10, 5000))
+    out = ascii_plot([y], width=40, height=8)
+    # Canvas width respected.
+    for line in out.splitlines():
+        assert len(line) <= 40 + 12
+
+
+def test_x_axis_footer():
+    out = ascii_plot([[1, 2]], x=[0.0, 99.0], width=20, height=4)
+    assert "99" in out
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_plot([])
+    with pytest.raises(ValueError):
+        ascii_plot([[]])
+    with pytest.raises(ValueError):
+        ascii_plot([[1.0]], width=2, height=2)
+    with pytest.raises(ValueError):
+        ascii_plot([[np.nan, np.nan]])

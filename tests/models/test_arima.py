@@ -1,0 +1,133 @@
+"""Tests for the CSS-fitted ARIMA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models import Arima, auto_arima
+from repro.models.arima import difference, undifference_one
+
+
+def ar1_series(phi=0.7, c=1.0, n=400, sigma=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.zeros(n)
+    for t in range(1, n):
+        y[t] = c + phi * y[t - 1] + rng.normal(0, sigma)
+    return y
+
+
+# --- differencing helpers -----------------------------------------------------
+
+
+def test_difference_orders():
+    x = np.array([1.0, 4.0, 9.0, 16.0])
+    assert np.allclose(difference(x, 0), x)
+    assert np.allclose(difference(x, 1), [3, 5, 7])
+    assert np.allclose(difference(x, 2), [2, 2])
+
+
+def test_undifference_one_inverts():
+    x = np.array([1.0, 4.0, 9.0, 16.0, 25.0])
+    for d in (1, 2):
+        w = difference(x, d)
+        # forecasting the *actual* next difference must reproduce x-like growth
+        w_next_actual = difference(np.append(x, 36.0), d)[-1]
+        assert undifference_one(x, d, w_next_actual) == pytest.approx(36.0)
+
+
+# --- estimation -----------------------------------------------------------------
+
+
+def test_ar1_coefficient_recovered():
+    y = ar1_series(phi=0.7, c=1.0, n=600)
+    model = Arima(p=1, d=0, q=0).fit(y)
+    fr = model.fit_result
+    assert fr.phi[0] == pytest.approx(0.7, abs=0.08)
+    # implied mean: c / (1 - phi)
+    implied_mean = fr.c / (1 - fr.phi[0])
+    assert implied_mean == pytest.approx(np.mean(y), rel=0.1)
+
+
+def test_random_walk_needs_differencing():
+    rng = np.random.default_rng(1)
+    y = np.cumsum(rng.normal(0.5, 1.0, size=500))
+    model = Arima(p=0, d=1, q=0).fit(y)
+    # After differencing, the constant should approximate the drift.
+    assert model.fit_result.c == pytest.approx(0.5, abs=0.2)
+
+
+def test_forecast_ar1_mean_reversion():
+    y = ar1_series(phi=0.8, c=0.2, n=500, sigma=0.05)
+    model = Arima(p=1, d=0, q=0).fit(y)
+    f = model.forecast(steps=50)
+    long_run = model.fit_result.c / (1 - model.fit_result.phi[0])
+    assert f[-1] == pytest.approx(long_run, rel=0.05)
+
+
+def test_rolling_one_step_beats_naive_on_ar_series():
+    y = ar1_series(phi=0.9, c=0.0, n=500, sigma=0.2, seed=3)
+    train, test = y[:400], y[400:]
+    model = Arima(p=1, d=0, q=0).fit(train)
+    preds = model.rolling_one_step(test)
+    arima_mse = np.mean((preds - test) ** 2)
+    naive_mse = np.mean((test[1:] - test[:-1]) ** 2)
+    assert arima_mse < naive_mse
+
+
+def test_rolling_predictions_length_matches():
+    y = ar1_series(n=200)
+    model = Arima(1, 0, 0).fit(y[:150])
+    preds = model.rolling_one_step(y[150:])
+    assert preds.shape == (50,)
+    assert np.all(np.isfinite(preds))
+
+
+# --- validation -------------------------------------------------------------------
+
+
+def test_invalid_orders_rejected():
+    with pytest.raises(ValueError):
+        Arima(p=-1)
+    with pytest.raises(ValueError):
+        Arima(p=0, d=0, q=0)
+
+
+def test_too_short_series_rejected():
+    with pytest.raises(ValueError, match="too short"):
+        Arima(p=3, d=1, q=2).fit(np.arange(8.0))
+
+
+def test_nan_series_rejected():
+    y = np.ones(100)
+    y[5] = np.nan
+    with pytest.raises(ValueError):
+        Arima(1, 0, 0).fit(y)
+
+
+def test_forecast_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        Arima(1, 0, 0).forecast()
+    with pytest.raises(RuntimeError):
+        Arima(1, 0, 0).rolling_one_step([1.0])
+
+
+def test_forecast_steps_validated():
+    model = Arima(1, 0, 0).fit(ar1_series(n=100))
+    with pytest.raises(ValueError):
+        model.forecast(steps=0)
+
+
+# --- auto order selection -------------------------------------------------------------
+
+
+def test_auto_arima_prefers_ar_on_ar_series():
+    y = ar1_series(phi=0.8, n=300, seed=5)
+    best = auto_arima(y, max_p=2, max_d=1, max_q=1)
+    assert best.p >= 1  # pure MA/no-AR orders lose on an AR(1) series
+    assert best.fit_result is not None
+
+
+def test_auto_arima_returns_fitted_model():
+    y = ar1_series(n=200, seed=6)
+    best = auto_arima(y)
+    preds = best.rolling_one_step(y[-20:])
+    assert np.all(np.isfinite(preds))

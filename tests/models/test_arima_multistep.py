@@ -1,0 +1,65 @@
+"""Tests for ARIMA multi-step walk-forward forecasting (forecast_from)."""
+
+import numpy as np
+import pytest
+
+from repro.models import Arima
+
+
+def ar1(phi=0.8, c=0.0, n=400, sigma=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.zeros(n)
+    for t in range(1, n):
+        y[t] = c + phi * y[t - 1] + rng.normal(0, sigma)
+    return y
+
+
+def test_forecast_from_matches_forecast_on_train_tail():
+    y = ar1(n=300)
+    model = Arima(1, 0, 0).fit(y)
+    # Continuing from the full training history must equal forecast().
+    assert np.allclose(model.forecast_from(y, steps=5), model.forecast(steps=5))
+
+
+def test_forecast_from_decays_towards_mean():
+    y = ar1(phi=0.7, c=0.3, n=500, sigma=0.05)
+    model = Arima(1, 0, 0).fit(y)
+    history = y[:250]
+    f = model.forecast_from(history, steps=40)
+    long_run = model.fit_result.c / (1 - model.fit_result.phi[0])
+    # Multi-step AR(1) converges geometrically to the long-run mean.
+    assert abs(f[-1] - long_run) < abs(f[0] - long_run) + 1e-9
+    assert f[-1] == pytest.approx(long_run, rel=0.1)
+
+
+def test_forecast_from_requires_fit_and_valid_args():
+    model = Arima(1, 0, 0)
+    with pytest.raises(RuntimeError):
+        model.forecast_from([1.0, 2.0], steps=2)
+    model.fit(ar1(n=100))
+    with pytest.raises(ValueError):
+        model.forecast_from([1.0] * 10, steps=0)
+    with pytest.raises(ValueError):
+        model.forecast_from([1.0], steps=1)  # history too short
+
+
+def test_forecast_from_with_differencing():
+    rng = np.random.default_rng(3)
+    y = np.cumsum(rng.normal(1.0, 0.1, size=300))  # drifting random walk
+    model = Arima(0, 1, 0).fit(y)
+    f = model.forecast_from(y[:200], steps=10)
+    # Drift continues: forecast increments approximate the drift rate.
+    increments = np.diff(np.concatenate([[y[199]], f]))
+    assert np.allclose(increments, 1.0, atol=0.2)
+
+
+def test_h_step_error_grows_with_horizon():
+    y = ar1(phi=0.9, n=600, sigma=0.2, seed=5)
+    model = Arima(1, 0, 0).fit(y[:400])
+    errs = {}
+    for h in (1, 5):
+        preds = []
+        for j in range(400, 580):
+            preds.append(model.forecast_from(y[: j - h + 1], steps=h)[-1])
+        errs[h] = float(np.mean((np.array(preds) - y[400:580]) ** 2))
+    assert errs[5] > errs[1]  # longer lead = harder problem

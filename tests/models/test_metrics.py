@@ -1,0 +1,82 @@
+"""Tests for forecast accuracy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models import mae, mape, r2_score, rmse, smape
+
+
+def test_perfect_prediction_zero_error():
+    y = [1.0, 2.0, 3.0]
+    assert mape(y, y) == 0.0
+    assert smape(y, y) == 0.0
+    assert rmse(y, y) == 0.0
+    assert mae(y, y) == 0.0
+    assert r2_score(y, y) == 1.0
+
+
+def test_mape_known_value():
+    assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+
+def test_rmse_known_value():
+    assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+
+def test_mae_known_value():
+    assert mae([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+
+def test_r2_of_mean_predictor_is_zero():
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    pred = np.full(4, y.mean())
+    assert r2_score(y, pred) == pytest.approx(0.0)
+
+
+def test_r2_constant_target():
+    assert r2_score([5.0, 5.0], [5.0, 5.0]) == 1.0
+    assert r2_score([5.0, 5.0], [4.0, 6.0]) == 0.0
+
+
+def test_smape_bounded_and_zero_safe():
+    assert smape([0.0, 0.0], [0.0, 1.0]) <= 200.0
+    assert smape([0.0], [0.0]) == 0.0
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        mape([1.0, 2.0], [1.0])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        rmse([], [])
+
+
+def test_nan_rejected():
+    with pytest.raises(ValueError):
+        mae([np.nan], [1.0])
+    with pytest.raises(ValueError):
+        mae([1.0], [np.inf])
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+)
+def test_metrics_nonnegative_property(a, b):
+    n = min(len(a), len(b))
+    t, p = a[:n], b[:n]
+    assert rmse(t, p) >= 0
+    assert mae(t, p) >= 0
+    assert mape(t, p) >= 0
+    assert 0 <= smape(t, p) <= 200 + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=30))
+def test_rmse_dominates_mae_property(vals):
+    # RMSE >= MAE always (Jensen).
+    t = np.zeros(len(vals))
+    assert rmse(t, vals) >= mae(t, vals) - 1e-12

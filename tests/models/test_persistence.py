@@ -1,0 +1,40 @@
+"""Tests for DRNN checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.models import DRNNRegressor
+
+
+def test_save_load_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(32, 5, 3))
+    y = X[:, -1, 0]
+    model = DRNNRegressor(input_dim=3, hidden_sizes=(6, 4), epochs=3, seed=1)
+    model.fit(X, y)
+    path = tmp_path / "model.npz"
+    model.save(path)
+    restored = DRNNRegressor.load(path)
+    assert restored.hidden_sizes == (6, 4)
+    assert restored.input_dim == 3
+    assert np.allclose(restored.predict(X), model.predict(X))
+
+
+def test_load_missing_param_rejected(tmp_path):
+    model = DRNNRegressor(input_dim=2, hidden_sizes=(4,))
+    path = tmp_path / "model.npz"
+    meta = np.array([2, 1, 4], dtype=np.int64)
+    params = {k: v for k, v in model.params.items() if not k.startswith("head")}
+    np.savez(path, __meta__=meta, **params)
+    with pytest.raises(ValueError, match="missing"):
+        DRNNRegressor.load(path)
+
+
+def test_load_shape_mismatch_rejected(tmp_path):
+    model = DRNNRegressor(input_dim=2, hidden_sizes=(4,))
+    path = tmp_path / "model.npz"
+    bad = {k: np.zeros((1, 1)) for k in model.params}
+    meta = np.array([2, 1, 4], dtype=np.int64)
+    np.savez(path, __meta__=meta, **bad)
+    with pytest.raises(ValueError, match="shape mismatch"):
+        DRNNRegressor.load(path)

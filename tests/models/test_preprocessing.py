@@ -1,0 +1,139 @@
+"""Tests for scaling and supervised-window construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import StandardScaler, make_supervised_windows, train_test_split_series
+
+
+# --- scaler ---------------------------------------------------------------------
+
+
+def test_scaler_zero_mean_unit_std():
+    rng = np.random.default_rng(0)
+    X = rng.normal(5.0, 3.0, size=(200, 4))
+    Z = StandardScaler().fit_transform(X)
+    assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_scaler_roundtrip():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(50, 3)) * [1, 10, 100] + [0, -5, 7]
+    sc = StandardScaler().fit(X)
+    assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+
+def test_scaler_constant_feature_safe():
+    X = np.column_stack([np.ones(10), np.arange(10.0)])
+    Z = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(Z))
+    assert np.allclose(Z[:, 0], 0.0)
+
+
+def test_scaler_1d_input():
+    x = np.array([1.0, 2.0, 3.0])
+    sc = StandardScaler().fit(x)
+    z = sc.transform(x)
+    assert z.shape == (3,)
+    assert np.allclose(sc.inverse_transform(z), x)
+
+
+def test_scaler_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform(np.zeros((2, 2)))
+    with pytest.raises(RuntimeError):
+        StandardScaler().inverse_transform(np.zeros((2, 2)))
+
+
+# --- windows ------------------------------------------------------------------------
+
+
+def test_windows_shapes_and_alignment():
+    T, d, w = 20, 3, 5
+    feats = np.arange(T * d, dtype=float).reshape(T, d)
+    target = np.arange(T, dtype=float) * 10
+    X, y = make_supervised_windows(feats, target, window=w, horizon=1)
+    assert X.shape == (T - w, w, d)
+    assert y.shape == (T - w,)
+    # X[0] covers rows 0..4; y[0] is target at row 5.
+    assert np.allclose(X[0], feats[0:5])
+    assert y[0] == target[5]
+    assert np.allclose(X[-1], feats[T - 1 - w : T - 1])
+    assert y[-1] == target[T - 1]
+
+
+def test_windows_horizon():
+    T = 15
+    feats = np.arange(T, dtype=float)
+    X, y = make_supervised_windows(feats, feats, window=4, horizon=3)
+    # y[i] = target[i + 4 + 3 - 1]
+    assert y[0] == 6.0
+    assert X.shape[0] == T - 4 - 3 + 1
+
+
+def test_windows_1d_features_promoted():
+    x = np.arange(10.0)
+    X, y = make_supervised_windows(x, x, window=3)
+    assert X.shape == (7, 3, 1)
+
+
+def test_windows_validation():
+    x = np.arange(10.0)
+    with pytest.raises(ValueError):
+        make_supervised_windows(x, x[:5], window=3)
+    with pytest.raises(ValueError):
+        make_supervised_windows(x, x, window=0)
+    with pytest.raises(ValueError):
+        make_supervised_windows(x, x, window=3, horizon=0)
+    with pytest.raises(ValueError):
+        make_supervised_windows(x[:3], x[:3], window=5)
+
+
+def test_windows_are_writable_copies():
+    x = np.arange(10.0)
+    X, _ = make_supervised_windows(x, x, window=3)
+    X[0, 0, 0] = 999.0  # must not raise (no read-only views leak out)
+    assert x[0] == 0.0  # and must not alias the source
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    T=st.integers(min_value=6, max_value=60),
+    w=st.integers(min_value=1, max_value=5),
+    h=st.integers(min_value=1, max_value=3),
+)
+def test_windows_count_property(T, w, h):
+    if T - w - h + 1 < 1:
+        return
+    x = np.arange(float(T))
+    X, y = make_supervised_windows(x, x, window=w, horizon=h)
+    assert X.shape[0] == y.shape[0] == T - w - h + 1
+    # Every window is a contiguous slice and every target is h past it.
+    for i in range(0, X.shape[0], max(1, X.shape[0] // 5)):
+        assert np.allclose(X[i, :, 0], x[i : i + w])
+        assert y[i] == x[i + w + h - 1]
+
+
+# --- split ------------------------------------------------------------------------------
+
+
+def test_split_chronological():
+    X = np.arange(10)[:, None]
+    y = np.arange(10)
+    X_tr, X_te, y_tr, y_te = train_test_split_series(X, y, train_fraction=0.7)
+    assert list(y_tr) == list(range(7))
+    assert list(y_te) == [7, 8, 9]
+
+
+def test_split_validation():
+    X = np.arange(4)[:, None]
+    y = np.arange(4)
+    with pytest.raises(ValueError):
+        train_test_split_series(X, y, train_fraction=0.0)
+    with pytest.raises(ValueError):
+        train_test_split_series(X, y[:2])
+    with pytest.raises(ValueError):
+        train_test_split_series(X[:1], y[:1], train_fraction=0.5)

@@ -1,0 +1,114 @@
+"""Tests for the epsilon-SVR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models import SVRegressor
+from repro.models.svr import linear_kernel, rbf_kernel
+
+
+def test_rbf_kernel_properties():
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(10, 3))
+    K = rbf_kernel(A, A, gamma=0.5)
+    assert np.allclose(np.diag(K), 1.0)
+    assert np.allclose(K, K.T)
+    assert np.all((K > 0) & (K <= 1))
+
+
+def test_linear_kernel_is_gram():
+    A = np.array([[1.0, 0.0], [0.0, 2.0]])
+    assert np.allclose(linear_kernel(A, A), [[1, 0], [0, 4]])
+
+
+def test_fits_linear_function_with_linear_kernel():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(80, 2))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 0.5
+    model = SVRegressor(kernel="linear", C=100.0, epsilon=0.01).fit(X, y)
+    pred = model.predict(X)
+    assert np.mean((pred - y) ** 2) < 0.01
+
+
+def test_fits_nonlinear_function_with_rbf():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(-2, 2, size=(150, 1))
+    y = np.sin(2 * X[:, 0])
+    model = SVRegressor(kernel="rbf", C=50.0, epsilon=0.01).fit(X, y)
+    X_test = np.linspace(-1.8, 1.8, 50)[:, None]
+    pred = model.predict(X_test)
+    assert np.mean((pred - np.sin(2 * X_test[:, 0])) ** 2) < 0.02
+
+
+def test_epsilon_tube_tolerates_small_errors():
+    # With a huge epsilon, the flat mean predictor inside the tube is optimal.
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(50, 1))
+    y = 0.01 * X[:, 0] + 5.0
+    model = SVRegressor(kernel="linear", C=1.0, epsilon=10.0).fit(X, y)
+    pred = model.predict(X)
+    assert np.allclose(pred, pred[0], atol=0.2)  # nearly constant
+    assert pred[0] == pytest.approx(5.0, abs=0.5)
+
+
+def test_window_input_flattened():
+    rng = np.random.default_rng(4)
+    X3 = rng.normal(size=(60, 4, 3))  # (n, window, d) stats windows
+    y = X3[:, -1, 0]
+    model = SVRegressor(kernel="rbf", C=20.0).fit(X3, y)
+    pred = model.predict(X3)
+    assert pred.shape == (60,)
+    assert np.corrcoef(pred, y)[0, 1] > 0.8
+
+
+def test_1d_input_promoted():
+    x = np.linspace(0, 1, 30)
+    y = 2 * x
+    model = SVRegressor(kernel="linear", C=100.0, epsilon=0.001).fit(x, y)
+    assert model.predict(x).shape == (30,)
+
+
+def test_gamma_explicit_vs_heuristic():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(40, 2))
+    y = X[:, 0]
+    m_auto = SVRegressor(kernel="rbf").fit(X, y)
+    m_exp = SVRegressor(kernel="rbf", gamma=0.1).fit(X, y)
+    assert m_auto.gamma_ is not None and m_auto.gamma_ > 0
+    assert m_exp.gamma_ == 0.1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SVRegressor(kernel="poly")
+    with pytest.raises(ValueError):
+        SVRegressor(C=0)
+    with pytest.raises(ValueError):
+        SVRegressor(epsilon=-1)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        SVRegressor().predict(np.zeros((2, 2)))
+
+
+def test_feature_dim_mismatch_rejected():
+    X = np.zeros((10, 3))
+    model = SVRegressor(kernel="linear").fit(X, np.zeros(10))
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((2, 4)))
+
+
+def test_fit_validates_lengths():
+    with pytest.raises(ValueError):
+        SVRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        SVRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+
+def test_n_support_counts_active_points():
+    rng = np.random.default_rng(6)
+    X = rng.normal(size=(40, 1))
+    y = X[:, 0]
+    model = SVRegressor(kernel="rbf", C=10.0, epsilon=0.01).fit(X, y)
+    assert 0 < model.n_support <= 40

@@ -1,0 +1,77 @@
+"""Shared minimal components for Storm-simulator tests."""
+
+from typing import Optional
+
+from repro.storm import Bolt, Emission, Spout
+
+
+class CounterSpout(Spout):
+    """Emits consecutive integers at a fixed rate with unique msg ids."""
+
+    outputs = {"default": ("n",)}
+
+    def __init__(self, rate: float = 100.0, limit: Optional[int] = None,
+                 reliable: bool = True):
+        self.rate = rate
+        self.limit = limit
+        self.reliable = reliable
+        self.emitted = 0
+        self.acks = []
+        self.fails = []
+
+    def open(self, ctx):
+        self.ctx = ctx
+
+    def inter_arrival(self):
+        if self.limit is not None and self.emitted >= self.limit:
+            return None  # exhausted: stop the executor loop
+        return 1.0 / self.rate
+
+    def next_tuple(self):
+        self.emitted += 1
+        msg_id = (self.ctx.task_id, self.emitted) if self.reliable else None
+        return Emission(values=(self.emitted,), msg_id=msg_id)
+
+    def ack(self, msg_id, latency):
+        self.acks.append((msg_id, latency))
+
+    def fail(self, msg_id):
+        self.fails.append(msg_id)
+
+
+class PassBolt(Bolt):
+    """Re-emits its input value, anchored (keeps the tuple tree alive)."""
+
+    outputs = {"default": ("n",)}
+    default_cpu_cost = 0.5e-3
+
+    def execute(self, tup, collector):
+        collector.emit((tup[0],), anchors=[tup])
+
+
+class SinkBolt(Bolt):
+    """Counts what it sees; the end of the line."""
+
+    outputs = {}
+    default_cpu_cost = 0.2e-3
+
+    def __init__(self):
+        self.seen = []
+
+    def execute(self, tup, collector):
+        self.seen.append(tup.values)
+
+
+class SlowBolt(Bolt):
+    """Configurable constant service cost."""
+
+    outputs = {}
+
+    def __init__(self, cost: float):
+        self.cost = cost
+
+    def cpu_cost(self, tup):
+        return self.cost
+
+    def execute(self, tup, collector):
+        pass

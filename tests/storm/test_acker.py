@@ -1,0 +1,141 @@
+"""Tests for the XOR ack ledger: completion, timeout, failure paths."""
+
+import pytest
+
+from repro.des import Environment
+from repro.storm.acker import AckLedger
+
+
+def make(env=None, timeout=10.0, sweep=1.0):
+    env = env or Environment()
+    return env, AckLedger(env, message_timeout=timeout, sweep_interval=sweep)
+
+
+def test_single_edge_tree_completes():
+    env, ledger = make()
+    acks = []
+    ledger.register_spout(0, lambda m, lat: acks.append((m, lat)), lambda m: None)
+    ledger.init_tree(root_id=1, spout_task=0, msg_id="m1", edge_id=0)
+    ledger.emit(1, 100)
+    env.run(until=3.0)
+    ledger.ack(1, 100)
+    assert acks == [("m1", 3.0)]
+    assert ledger.in_flight == 0
+    assert ledger.acked_count == 1
+
+
+def test_multi_edge_tree_requires_all_acks():
+    env, ledger = make()
+    acks = []
+    ledger.register_spout(0, lambda m, lat: acks.append(m), lambda m: None)
+    ledger.init_tree(1, 0, "m1", edge_id=0)
+    ledger.emit(1, 100)
+    ledger.emit(1, 101)
+    ledger.ack(1, 100)
+    assert acks == []  # edge 101 still outstanding
+    ledger.ack(1, 101)
+    assert acks == ["m1"]
+
+
+def test_bolt_chain_emit_then_ack():
+    # Mirrors a spout -> boltA -> boltB chain: A acks its input while
+    # emitting a child edge; the tree completes only after B acks.
+    env, ledger = make()
+    acks = []
+    ledger.register_spout(0, lambda m, lat: acks.append(m), lambda m: None)
+    ledger.init_tree(1, 0, "m", edge_id=0)
+    ledger.emit(1, 10)  # spout tuple -> boltA
+    ledger.emit(1, 20)  # boltA emits child -> boltB
+    ledger.ack(1, 10)  # boltA acks its input
+    assert acks == []
+    ledger.ack(1, 20)  # boltB acks
+    assert acks == ["m"]
+
+
+def test_duplicate_root_rejected():
+    env, ledger = make()
+    ledger.init_tree(1, 0, "m", edge_id=5)
+    with pytest.raises(ValueError):
+        ledger.init_tree(1, 0, "m2", edge_id=6)
+
+
+def test_timeout_fails_stuck_tree():
+    env, ledger = make(timeout=5.0, sweep=1.0)
+    fails = []
+    ledger.register_spout(0, lambda m, lat: None, lambda m: fails.append((m, env.now)))
+    ledger.init_tree(1, 0, "stuck", edge_id=7)
+    env.run(until=20.0)
+    assert len(fails) == 1
+    msg, when = fails[0]
+    assert msg == "stuck"
+    assert 5.0 <= when <= 6.5  # failed by the first sweep past the deadline
+    assert ledger.failed_count == 1
+    assert ledger.in_flight == 0
+
+
+def test_ack_after_timeout_is_ignored():
+    env, ledger = make(timeout=2.0)
+    fails, acks = [], []
+    ledger.register_spout(0, lambda m, lat: acks.append(m), lambda m: fails.append(m))
+    ledger.init_tree(1, 0, "late", edge_id=9)
+    env.run(until=5.0)
+    assert fails == ["late"]
+    ledger.ack(1, 9)  # straggler ack
+    assert acks == []
+    assert ledger.acked_count == 0
+
+
+def test_explicit_fail():
+    env, ledger = make()
+    fails = []
+    ledger.register_spout(0, lambda m, lat: None, lambda m: fails.append(m))
+    ledger.init_tree(1, 0, "bad", edge_id=3)
+    ledger.fail(1)
+    assert fails == ["bad"]
+    ledger.fail(1)  # idempotent
+    assert fails == ["bad"]
+
+
+def test_emit_on_completed_tree_is_noop():
+    env, ledger = make()
+    ledger.register_spout(0, lambda m, lat: None, lambda m: None)
+    ledger.init_tree(1, 0, "m", edge_id=0)
+    ledger.emit(1, 4)
+    ledger.ack(1, 4)
+    ledger.emit(1, 5)  # late anchor: tree is gone
+    assert ledger.in_flight == 0
+
+
+def test_completions_recorded_for_metrics():
+    env, ledger = make(timeout=2.0)
+    ledger.register_spout(0, lambda m, lat: None, lambda m: None)
+    ledger.init_tree(1, 0, "good", edge_id=0)
+    ledger.emit(1, 11)
+    ledger.ack(1, 11)
+    ledger.init_tree(2, 0, "bad", edge_id=12)
+    env.run(until=5.0)
+    kinds = [(c.msg_id, c.acked) for c in ledger.completions]
+    assert ("good", True) in kinds
+    assert ("bad", False) in kinds
+
+
+def test_latency_sum_accumulates():
+    env, ledger = make()
+    ledger.register_spout(0, lambda m, lat: None, lambda m: None)
+    ledger.init_tree(1, 0, "a", edge_id=0)
+    ledger.emit(1, 50)
+    env.run(until=2.0)
+    ledger.ack(1, 50)
+    assert ledger.latency_sum == pytest.approx(2.0)
+
+
+def test_interleaved_trees_independent():
+    env, ledger = make()
+    acks = []
+    ledger.register_spout(0, lambda m, lat: acks.append(m), lambda m: None)
+    for root in (1, 2, 3):
+        ledger.init_tree(root, 0, f"m{root}", edge_id=0)
+        ledger.emit(root, root * 100)
+    ledger.ack(2, 200)
+    assert acks == ["m2"]
+    assert ledger.in_flight == 2

@@ -1,0 +1,128 @@
+"""Tests for cluster assembly, scheduling, and the ratio control surface."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.storm import (
+    Cluster,
+    EvenScheduler,
+    NodeSpec,
+    StormSimulation,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from repro.storm.node import Node
+from tests.storm.helpers import CounterSpout, PassBolt, SinkBolt
+
+
+def build_topology(workers=4, dynamic=True):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100), parallelism=2)
+    spec = b.set_bolt("sink", SinkBolt(), parallelism=4)
+    if dynamic:
+        spec.dynamic_grouping("src")
+    else:
+        spec.shuffle_grouping("src")
+    return b.build("t", TopologyConfig(num_workers=workers))
+
+
+def test_even_scheduler_spreads_workers_across_nodes():
+    env = Environment()
+    nodes = [Node(env, f"n{i}", cores=4, slots=2) for i in range(3)]
+    placed = EvenScheduler().place_workers(5, nodes)
+    names = [n.name for n in placed]
+    # Round 0 uses one slot per node before round 1 starts.
+    assert names[:3] == ["n0", "n1", "n2"]
+    assert len(names) == 5
+
+
+def test_scheduler_rejects_overcommit():
+    env = Environment()
+    nodes = [Node(env, "only", cores=4, slots=1)]
+    with pytest.raises(ValueError, match="slots"):
+        EvenScheduler().place_workers(2, nodes)
+
+
+def test_executors_dealt_round_robin():
+    sim = StormSimulation(
+        build_topology(workers=3),
+        nodes=[NodeSpec("n0", slots=2), NodeSpec("n1", slots=2)],
+        seed=0,
+    )
+    per_worker = [len(w.executors) for w in sim.cluster.workers]
+    # 6 tasks over 3 workers -> 2 each.
+    assert per_worker == [2, 2, 2]
+
+
+def test_cluster_requires_nodes_and_unique_names():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Cluster(env, [])
+    with pytest.raises(ValueError, match="duplicate"):
+        Cluster(env, [NodeSpec("x"), NodeSpec("x")])
+
+
+def test_single_topology_per_cluster():
+    env = Environment()
+    cluster = Cluster(env, [NodeSpec("n0", slots=8)])
+    cluster.submit(build_topology(workers=2))
+    with pytest.raises(RuntimeError):
+        cluster.submit(build_topology(workers=2))
+
+
+def test_set_split_ratios_routes_accordingly():
+    sim = StormSimulation(build_topology(workers=2), seed=1)
+    sim.cluster.set_split_ratios("src", "sink", [1.0, 0.0, 0.0, 0.0])
+    sim.run(duration=10)
+    sink_execs = sorted(
+        (
+            ex
+            for ex in sim.cluster.executors.values()
+            if ex.component_id == "sink"
+        ),
+        key=lambda e: e.task_id,
+    )
+    counts = [ex.executed_count for ex in sink_execs]
+    assert counts[0] > 0
+    assert counts[1] == counts[2] == counts[3] == 0
+
+
+def test_set_split_ratios_unknown_edge_raises():
+    sim = StormSimulation(build_topology(dynamic=False), seed=1)
+    with pytest.raises(KeyError, match="dynamic"):
+        sim.cluster.set_split_ratios("src", "sink", [1, 0, 0, 0])
+
+
+def test_get_split_ratios_reflects_set():
+    sim = StormSimulation(build_topology(), seed=1)
+    sim.cluster.set_split_ratios("src", "sink", [2.0, 1.0, 1.0, 0.0])
+    assert np.allclose(
+        sim.cluster.get_split_ratios("src", "sink"), [0.5, 0.25, 0.25, 0.0]
+    )
+
+
+def test_worker_and_task_lookup():
+    sim = StormSimulation(build_topology(workers=2), seed=1)
+    for task_id, ex in sim.cluster.executors.items():
+        assert sim.cluster.worker_of_task(task_id) is ex.worker
+        assert task_id in sim.cluster.tasks_of_worker(ex.worker.worker_id)
+
+
+def test_initial_ratios_applied_from_topology():
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100))
+    b.set_bolt("sink", SinkBolt(), parallelism=2).dynamic_grouping(
+        "src", initial_ratios=[3.0, 1.0]
+    )
+    sim = StormSimulation(b.build("t", TopologyConfig(num_workers=2)), seed=2)
+    assert np.allclose(sim.cluster.get_split_ratios("src", "sink"), [0.75, 0.25])
+    sim.run(duration=10)
+    sinks = sorted(
+        (e for e in sim.cluster.executors.values() if e.component_id == "sink"),
+        key=lambda e: e.task_id,
+    )
+    ratio = sinks[0].executed_count / (
+        sinks[0].executed_count + sinks[1].executed_count
+    )
+    assert ratio == pytest.approx(0.75, abs=0.01)

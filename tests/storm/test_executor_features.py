@@ -1,0 +1,210 @@
+"""Executor feature tests: ticks, streams, direct emit, error paths."""
+
+import pytest
+
+from repro.storm import (
+    Bolt,
+    Emission,
+    NodeSpec,
+    Spout,
+    StormSimulation,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from repro.storm.tuples import Tuple
+from tests.storm.helpers import CounterSpout, SinkBolt
+
+NODES = [NodeSpec("n0", cores=4, slots=2)]
+
+
+def test_tick_drives_windowed_bolt():
+    class TickCounter(Bolt):
+        outputs = {}
+
+        def __init__(self):
+            self.ticks = []
+
+        def execute(self, tup, collector):
+            pass
+
+        def tick(self, now, collector):
+            self.ticks.append(now)
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=10))
+    b.set_bolt("w", TickCounter()).shuffle_grouping("src")
+    topo = b.build("t", TopologyConfig(num_workers=1, tick_interval=2.0))
+    sim = StormSimulation(topo, nodes=NODES, seed=0)
+    sim.run(duration=11)
+    bolt = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "w"
+    ).bolt
+    assert 4 <= len(bolt.ticks) <= 6  # every ~2 s, modulo queue delay
+    assert all(t >= 2.0 for t in bolt.ticks)
+
+
+def test_no_ticks_when_interval_zero():
+    class TickCounter(Bolt):
+        outputs = {}
+
+        def __init__(self):
+            self.ticks = 0
+
+        def execute(self, tup, collector):
+            pass
+
+        def tick(self, now, collector):
+            self.ticks += 1
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=10))
+    b.set_bolt("w", TickCounter()).shuffle_grouping("src")
+    topo = b.build("t", TopologyConfig(num_workers=1, tick_interval=0.0))
+    sim = StormSimulation(topo, nodes=NODES, seed=0)
+    sim.run(duration=5)
+    bolt = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "w"
+    ).bolt
+    assert bolt.ticks == 0
+
+
+def test_multi_stream_routing():
+    class SplitterBolt(Bolt):
+        outputs = {"default": ("n",), "odd": ("n",)}
+
+        def execute(self, tup, collector):
+            stream = "odd" if tup[0] % 2 else "default"
+            collector.emit((tup[0],), stream=stream, anchors=[tup])
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100, limit=40))
+    b.set_bolt("split", SplitterBolt()).shuffle_grouping("src")
+    b.set_bolt("evens", SinkBolt()).shuffle_grouping("split")  # default stream
+    b.set_bolt("odds", SinkBolt()).shuffle_grouping("split", stream="odd")
+    topo = b.build("streams", TopologyConfig(num_workers=2))
+    sim = StormSimulation(topo, nodes=NODES, seed=1)
+    res = sim.run(duration=5)
+    evens = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "evens"
+    ).bolt
+    odds = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "odds"
+    ).bolt
+    assert all(v[0] % 2 == 0 for v in evens.seen)
+    assert all(v[0] % 2 == 1 for v in odds.seen)
+    assert len(evens.seen) + len(odds.seen) == 40
+    assert res.acked == 40  # both branches ack into the same trees
+
+
+def test_undeclared_stream_emit_raises():
+    class BadBolt(Bolt):
+        outputs = {"default": ("n",)}
+
+        def execute(self, tup, collector):
+            collector.emit((1,), stream="ghost")
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=50))
+    b.set_bolt("bad", BadBolt()).shuffle_grouping("src")
+    topo = b.build("bad", TopologyConfig(num_workers=1))
+    sim = StormSimulation(topo, nodes=NODES, seed=0)
+    with pytest.raises(ValueError, match="undeclared"):
+        sim.run(duration=2)
+
+
+def test_declared_but_unsubscribed_stream_evaporates():
+    class ChattyBolt(Bolt):
+        outputs = {"default": (), "side": ("n",)}
+
+        def execute(self, tup, collector):
+            collector.emit((tup[0],), stream="side")  # nobody listens
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100, limit=20))
+    b.set_bolt("chat", ChattyBolt()).shuffle_grouping("src")
+    topo = b.build("chat", TopologyConfig(num_workers=1))
+    sim = StormSimulation(topo, nodes=NODES, seed=0)
+    res = sim.run(duration=5)
+    assert res.acked == 20  # side-stream emits don't block tree completion
+
+
+def test_direct_grouping_end_to_end():
+    class DirectorBolt(Bolt):
+        outputs = {"default": ("n",)}
+
+        def prepare(self, context):
+            self.targets = None
+
+        def execute(self, tup, collector):
+            collector.emit((tup[0],), anchors=[tup], direct_task=self.target)
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100, limit=30))
+    b.set_bolt("direct", DirectorBolt()).shuffle_grouping("src")
+    b.set_bolt("sink", SinkBolt(), parallelism=3).direct_grouping("direct")
+    topo = b.build("direct", TopologyConfig(num_workers=1))
+    sim = StormSimulation(topo, nodes=NODES, seed=0)
+    # Point every direct emit at the middle sink task.
+    sink_tasks = topo.task_ids["sink"]
+    for ex in sim.cluster.executors.values():
+        if ex.component_id == "direct":
+            ex.bolt.target = sink_tasks[1]
+    res = sim.run(duration=5)
+    per_task = {
+        ex.task_id: ex.executed_count
+        for ex in sim.cluster.executors.values()
+        if ex.component_id == "sink"
+    }
+    assert per_task[sink_tasks[1]] == 30
+    assert per_task[sink_tasks[0]] == 0 and per_task[sink_tasks[2]] == 0
+    assert res.acked == 30
+
+
+def test_spout_exhaustion_stops_cleanly():
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100, limit=10))
+    b.set_bolt("sink", SinkBolt()).shuffle_grouping("src")
+    topo = b.build("fin", TopologyConfig(num_workers=1))
+    sim = StormSimulation(topo, nodes=NODES, seed=0)
+    res = sim.run(duration=30)
+    assert res.acked == 10
+    spout = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "src"
+    )
+    assert spout.spout.emitted == 10
+
+
+def test_explicit_fail_triggers_replay():
+    class PickyBolt(Bolt):
+        outputs = {}
+        auto_ack = False
+
+        def __init__(self):
+            self.attempts = {}
+
+        def execute(self, tup, collector):
+            n = tup[0]
+            self.attempts[n] = self.attempts.get(n, 0) + 1
+            if self.attempts[n] == 1 and n % 5 == 0:
+                collector.fail(tup)  # reject first attempt of every 5th
+            else:
+                collector.ack(tup)
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100, limit=20))
+    b.set_bolt("picky", PickyBolt()).shuffle_grouping("src")
+    topo = b.build("picky", TopologyConfig(num_workers=1, max_replays=5))
+    sim = StormSimulation(topo, nodes=NODES, seed=0)
+    res = sim.run(duration=10)
+    bolt = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "picky"
+    ).bolt
+    rejected = [n for n in bolt.attempts if n % 5 == 0]
+    assert all(bolt.attempts[n] == 2 for n in rejected)  # replayed exactly once
+    assert res.failed == len(rejected)
+    spout = next(
+        ex for ex in sim.cluster.executors.values() if ex.component_id == "src"
+    )
+    assert {m for m, _ in spout.spout.acks} == {
+        (spout.task_id, i) for i in range(1, 21)
+    }

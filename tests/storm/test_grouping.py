@@ -1,0 +1,276 @@
+"""Tests for grouping strategies — incl. dynamic grouping convergence
+(property-based, since exact split fidelity is the paper's E4 claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storm.grouping import (
+    AllGrouping,
+    DirectGrouping,
+    DynamicGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    LocalOrShuffleGrouping,
+    PartialKeyGrouping,
+    ShuffleGrouping,
+    SplitRatioControl,
+    make_grouping,
+)
+from repro.storm.tuples import Tuple
+
+
+def mktuple(key="k"):
+    return Tuple(values=(key,), fields=("key",))
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+# --- shuffle -----------------------------------------------------------------
+
+
+def test_shuffle_round_robin_uniform():
+    g = ShuffleGrouping([10, 11, 12], rng())
+    picks = [g.choose(mktuple())[0] for _ in range(300)]
+    counts = {t: picks.count(t) for t in (10, 11, 12)}
+    assert counts == {10: 100, 11: 100, 12: 100}
+
+
+def test_shuffle_single_target():
+    g = ShuffleGrouping([7], rng())
+    assert g.choose(mktuple()) == [7]
+
+
+# --- fields -----------------------------------------------------------------
+
+
+def test_fields_same_key_same_task():
+    g = FieldsGrouping([1, 2, 3, 4], fields=["key"])
+    t1 = g.choose(mktuple("alpha"))
+    t2 = g.choose(mktuple("alpha"))
+    assert t1 == t2
+
+
+def test_fields_spreads_keys():
+    g = FieldsGrouping([1, 2, 3, 4], fields=["key"])
+    hit = {g.choose(mktuple(f"key-{i}"))[0] for i in range(200)}
+    assert hit == {1, 2, 3, 4}
+
+
+def test_fields_requires_fields():
+    with pytest.raises(ValueError):
+        FieldsGrouping([1], fields=[])
+
+
+# --- global / all / direct --------------------------------------------------------
+
+
+def test_global_always_lowest():
+    g = GlobalGrouping([9, 3, 7])
+    assert g.choose(mktuple()) == [3]
+
+
+def test_all_broadcasts():
+    g = AllGrouping([1, 2, 3])
+    assert g.choose(mktuple()) == [1, 2, 3]
+
+
+def test_direct_requires_explicit_target():
+    g = DirectGrouping([1, 2])
+    with pytest.raises(RuntimeError):
+        g.choose(mktuple())
+    assert g.choose_direct(2) == [2]
+    with pytest.raises(ValueError):
+        g.choose_direct(99)
+
+
+# --- local or shuffle ---------------------------------------------------------------
+
+
+def test_local_or_shuffle_prefers_local():
+    g = LocalOrShuffleGrouping([1, 2, 3, 4], rng(), local_tasks=[2, 4])
+    picks = {g.choose(mktuple())[0] for _ in range(50)}
+    assert picks <= {2, 4}
+
+
+def test_local_or_shuffle_falls_back_to_all():
+    g = LocalOrShuffleGrouping([1, 2, 3], rng(), local_tasks=[])
+    picks = {g.choose(mktuple())[0] for _ in range(50)}
+    assert picks == {1, 2, 3}
+
+
+# --- partial key -------------------------------------------------------------------
+
+
+def test_partial_key_at_most_two_tasks_per_key():
+    g = PartialKeyGrouping(list(range(8)), fields=["key"])
+    for key in ("a", "b", "hot"):
+        picks = {g.choose(mktuple(key))[0] for _ in range(100)}
+        assert len(picks) <= 2
+
+
+def test_partial_key_balances_hot_key():
+    g = PartialKeyGrouping([0, 1, 2, 3], fields=["key"])
+    picks = [g.choose(mktuple("hot"))[0] for _ in range(1000)]
+    counts = sorted(picks.count(t) for t in set(picks))
+    if len(counts) == 2:  # both choices distinct
+        assert abs(counts[0] - counts[1]) <= 1
+
+
+# --- split ratio control -----------------------------------------------------------
+
+
+def test_control_normalises():
+    c = SplitRatioControl(3, ratios=[2, 1, 1])
+    assert np.allclose(c.ratios, [0.5, 0.25, 0.25])
+
+
+def test_control_defaults_uniform():
+    c = SplitRatioControl(4)
+    assert np.allclose(c.ratios, 0.25)
+
+
+def test_control_rejects_bad_ratios():
+    c = SplitRatioControl(2)
+    with pytest.raises(ValueError):
+        c.set_ratios([1.0])  # arity
+    with pytest.raises(ValueError):
+        c.set_ratios([-1.0, 2.0])
+    with pytest.raises(ValueError):
+        c.set_ratios([0.0, 0.0])
+    with pytest.raises(ValueError):
+        c.set_ratios([np.nan, 1.0])
+
+
+def test_control_version_bumps_and_history():
+    c = SplitRatioControl(2)
+    v0 = c.version
+    c.set_ratios([1, 3], now=12.5)
+    assert c.version == v0 + 1
+    assert c.history[-1][0] == 12.5
+    assert np.allclose(c.history[-1][1], [0.25, 0.75])
+
+
+# --- dynamic grouping ----------------------------------------------------------------
+
+
+def achieved(g, n):
+    counts = {t: 0 for t in g.target_tasks}
+    for _ in range(n):
+        counts[g.choose(mktuple())[0]] += 1
+    return counts
+
+
+def test_dynamic_uniform_default():
+    c = SplitRatioControl(4)
+    g = DynamicGrouping([0, 1, 2, 3], c)
+    counts = achieved(g, 400)
+    assert all(v == 100 for v in counts.values())
+
+
+def test_dynamic_exact_ratios():
+    c = SplitRatioControl(3, ratios=[0.5, 0.3, 0.2])
+    g = DynamicGrouping([0, 1, 2], c)
+    counts = achieved(g, 1000)
+    assert counts[0] == pytest.approx(500, abs=2)
+    assert counts[1] == pytest.approx(300, abs=2)
+    assert counts[2] == pytest.approx(200, abs=2)
+
+
+def test_dynamic_zero_ratio_excludes_target():
+    c = SplitRatioControl(3, ratios=[0.5, 0.0, 0.5])
+    g = DynamicGrouping([0, 1, 2], c)
+    counts = achieved(g, 500)
+    assert counts[1] == 0
+
+
+def test_dynamic_on_the_fly_change():
+    c = SplitRatioControl(2, ratios=[0.5, 0.5])
+    g = DynamicGrouping([0, 1], c)
+    achieved(g, 100)
+    c.set_ratios([1.0, 0.0])
+    counts = achieved(g, 100)
+    assert counts == {0: 100, 1: 0}
+
+
+def test_dynamic_control_shared_across_groupers():
+    # Two upstream emitters share one control: a single set_ratios call
+    # retargets both (the paper's one-call actuation requirement).
+    c = SplitRatioControl(2)
+    g1 = DynamicGrouping([0, 1], c)
+    g2 = DynamicGrouping([0, 1], c)
+    c.set_ratios([0.0, 1.0])
+    assert achieved(g1, 50) == {0: 0, 1: 50}
+    assert achieved(g2, 50) == {0: 0, 1: 50}
+
+
+def test_dynamic_arity_mismatch_rejected():
+    c = SplitRatioControl(2)
+    with pytest.raises(ValueError):
+        DynamicGrouping([0, 1, 2], c)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=8
+    ).filter(lambda w: sum(w) > 0.1)
+)
+def test_dynamic_split_error_bounded_property(weights):
+    """Achieved counts deviate from requested by O(#targets) tuples at any
+    prefix length (deficit-WRR guarantee) — so the split error vanishes as
+    1/n, which is the paper's E4 "works as expected" claim."""
+    n_targets = len(weights)
+    c = SplitRatioControl(n_targets, ratios=weights)
+    g = DynamicGrouping(list(range(n_targets)), c)
+    counts = np.zeros(n_targets)
+    for i in range(1, 301):
+        counts[g.choose(mktuple())[0]] += 1
+        expect = c.ratios * i
+        assert np.all(np.abs(counts - expect) <= n_targets + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=2**31))
+def test_dynamic_total_conservation_property(n_targets, seed):
+    """Every tuple goes to exactly one target (no loss, no duplication)."""
+    r = np.random.default_rng(seed)
+    ratios = r.random(n_targets) + 0.01
+    c = SplitRatioControl(n_targets, ratios=ratios)
+    g = DynamicGrouping(list(range(n_targets)), c)
+    counts = achieved(g, 777)
+    assert sum(counts.values()) == 777
+
+
+# --- factory ------------------------------------------------------------------------
+
+
+def test_make_grouping_dispatch():
+    r = rng()
+    c = SplitRatioControl(2)
+    assert isinstance(make_grouping("shuffle", [0, 1], rng=r), ShuffleGrouping)
+    assert isinstance(
+        make_grouping("fields", [0, 1], fields=["key"]), FieldsGrouping
+    )
+    assert isinstance(make_grouping("global", [0, 1]), GlobalGrouping)
+    assert isinstance(make_grouping("all", [0, 1]), AllGrouping)
+    assert isinstance(make_grouping("direct", [0, 1]), DirectGrouping)
+    assert isinstance(
+        make_grouping("local_or_shuffle", [0, 1], rng=r), LocalOrShuffleGrouping
+    )
+    assert isinstance(
+        make_grouping("partial_key", [0, 1], fields=["key"]), PartialKeyGrouping
+    )
+    assert isinstance(
+        make_grouping("dynamic", [0, 1], control=c), DynamicGrouping
+    )
+    with pytest.raises(ValueError):
+        make_grouping("bogus", [0, 1])
+
+
+def test_grouping_requires_targets():
+    with pytest.raises(ValueError):
+        GlobalGrouping([])

@@ -1,0 +1,212 @@
+"""Tests for the multilevel metrics collector and fault injection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.storm import (
+    CpuHogFault,
+    NodeSpec,
+    PauseFault,
+    SlowdownFault,
+    StormSimulation,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from repro.storm.faults import FaultInjector
+from tests.storm.helpers import CounterSpout, SinkBolt, SlowBolt
+
+
+NODES = (NodeSpec("n0", cores=4, slots=2), NodeSpec("n1", cores=4, slots=2))
+
+
+def simple_sim(rate=200, cost=2e-3, seed=0, faults=(), workers=2,
+               metrics_interval=1.0, duration=None):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=rate), parallelism=1)
+    b.set_bolt("work", SlowBolt(cost=cost), parallelism=2).shuffle_grouping("src")
+    topo = b.build("m", TopologyConfig(num_workers=workers))
+    return StormSimulation(
+        topo, nodes=NODES, seed=seed, faults=faults,
+        metrics_interval=metrics_interval,
+    )
+
+
+# --- metrics -------------------------------------------------------------------
+
+
+def test_snapshot_cadence():
+    sim = simple_sim(metrics_interval=0.5)
+    res = sim.run(duration=10)
+    times = [s.time for s in res.snapshots]
+    assert len(times) == 20
+    assert times[0] == pytest.approx(0.5)
+    assert times[-1] == pytest.approx(10.0)
+
+
+def test_interval_counters_are_diffs_not_cumulative():
+    sim = simple_sim(rate=100)
+    res = sim.run(duration=10)
+    per_interval = [s.topology.acked for s in res.snapshots]
+    # Roughly 100 acks per 1s interval, NOT a growing cumulative series.
+    assert max(per_interval[2:]) < 200
+    assert sum(per_interval) == res.acked
+
+
+def test_throughput_equals_acked_over_interval():
+    sim = simple_sim(rate=100)
+    res = sim.run(duration=5)
+    for s in res.snapshots:
+        assert s.topology.throughput == pytest.approx(s.topology.acked / 1.0)
+
+
+def test_worker_stats_aggregate_executors():
+    sim = simple_sim()
+    res = sim.run(duration=5)
+    s = res.snapshots[-1]
+    for wid, ws in s.workers.items():
+        exec_sum = sum(
+            es.executed for es in s.executors.values() if es.worker_id == wid
+        )
+        assert ws.executed == exec_sum
+
+
+def test_node_utilization_in_unit_range_and_loaded():
+    sim = simple_sim(rate=400, cost=4e-3)
+    res = sim.run(duration=10)
+    for s in res.snapshots:
+        for ns in s.nodes.values():
+            assert 0.0 <= ns.utilization <= 1.0
+    # Offered load = 400 * 4e-3 = 1.6 core-s/s over 2 bolts: visible.
+    busiest = max(ns.utilization for ns in res.snapshots[-1].nodes.values())
+    assert busiest > 0.1
+
+
+def test_metrics_series_extractors():
+    sim = simple_sim()
+    res = sim.run(duration=5)
+    m = res.metrics
+    assert m.times().shape == (5,)
+    assert m.topology_series("throughput").shape == (5,)
+    wid = sim.cluster.workers[0].worker_id
+    assert m.worker_series(wid, "executed").shape == (5,)
+    assert m.node_series("n0", "utilization").shape == (5,)
+    tid = next(iter(sim.cluster.executors))
+    assert m.executor_series(tid, "queue_len").shape == (5,)
+
+
+def test_metrics_interval_validation():
+    sim = simple_sim()
+    from repro.storm.metrics import MetricsCollector
+
+    with pytest.raises(ValueError):
+        MetricsCollector(sim.env, sim.cluster, interval=0)
+
+
+def test_avg_process_latency_reflects_service_cost():
+    sim = simple_sim(rate=50, cost=10e-3)
+    res = sim.run(duration=10)
+    s = res.snapshots[-1]
+    work_stats = [
+        es for es in s.executors.values() if es.component_id == "work"
+    ]
+    busy = [es for es in work_stats if es.executed > 0]
+    assert busy
+    for es in busy:
+        assert es.avg_service_time == pytest.approx(10e-3, rel=0.35)
+
+
+# --- faults ---------------------------------------------------------------------
+
+
+def test_slowdown_fault_applies_and_reverts():
+    sim = simple_sim(
+        faults=[SlowdownFault(start=3, duration=4, worker_id=0, factor=5)]
+    )
+    res = sim.run(duration=2)
+    assert sim.cluster.workers[0].slow_factor == 1.0
+    res = sim.run(duration=3)  # now t=5, inside fault window
+    assert sim.cluster.workers[0].slow_factor == 5.0
+    res = sim.run(duration=5)  # t=10, past revert
+    assert sim.cluster.workers[0].slow_factor == 1.0
+
+
+def test_pause_fault_freezes_and_resumes():
+    sim = simple_sim(faults=[PauseFault(start=2, duration=3, worker_id=0)])
+    sim.run(duration=3)
+    assert sim.cluster.workers[0].paused
+    sim.run(duration=4)
+    assert not sim.cluster.workers[0].paused
+
+
+def test_cpu_hog_fault_raises_node_load():
+    sim = simple_sim(
+        faults=[CpuHogFault(start=1, duration=5, node_name="n0", demand=2.0)]
+    )
+    sim.run(duration=3)
+    node = next(n for n in sim.cluster.nodes if n.name == "n0")
+    assert node.external_load == 2.0
+    sim.run(duration=5)
+    assert node.external_load == 0.0
+
+
+def test_fault_validation():
+    sim = simple_sim()
+    with pytest.raises(ValueError):
+        FaultInjector(
+            sim.env, sim.cluster, [SlowdownFault(start=0, duration=1, worker_id=99)]
+        )
+    with pytest.raises(ValueError):
+        FaultInjector(
+            sim.env,
+            sim.cluster,
+            [CpuHogFault(start=0, duration=1, node_name="ghost")],
+        )
+    with pytest.raises(ValueError):
+        FaultInjector(
+            sim.env,
+            sim.cluster,
+            [SlowdownFault(start=0, duration=-1, worker_id=0)],
+        )
+    with pytest.raises(ValueError):
+        FaultInjector(
+            sim.env,
+            sim.cluster,
+            [SlowdownFault(start=0, duration=1, worker_id=0, factor=0.5)],
+        )
+
+
+def test_fault_log_records_ground_truth():
+    fault = SlowdownFault(start=1, duration=2, worker_id=0, factor=3)
+    sim = simple_sim(faults=[fault])
+    injector = sim.fault_injector
+    sim.run(duration=1.5)
+    assert injector.active_faults() == [fault]
+    sim.run(duration=3)
+    assert injector.active_faults() == []
+    assert injector.log[0].applied_at == pytest.approx(1.0)
+    assert injector.log[0].reverted_at == pytest.approx(3.0)
+
+
+def test_slowdown_fault_degrades_throughput():
+    base = simple_sim(rate=300, cost=5e-3, seed=7, workers=2).run(30)
+    faulty = simple_sim(
+        rate=300,
+        cost=5e-3,
+        seed=7,
+        workers=2,
+        faults=[SlowdownFault(start=5, duration=25, worker_id=0, factor=20)],
+    ).run(30)
+    assert faulty.mean_throughput(after=10) < base.mean_throughput(after=10) * 0.8
+
+
+def test_pause_fault_stalls_worker_queue():
+    # Pause worker 1 (bolt-only); the spout on worker 0 keeps feeding it,
+    # so its queue must grow during the pause.
+    sim = simple_sim(
+        rate=200, faults=[PauseFault(start=2, duration=6, worker_id=1)]
+    )
+    res = sim.run(duration=7)
+    s = res.snapshots[-2]  # during the pause
+    assert s.workers[1].queue_len > 0 or s.workers[1].backlog > 0

@@ -1,0 +1,100 @@
+"""Tests for RampingHogFault: profile shape and injector staircase."""
+
+import pytest
+
+from repro.storm import NodeSpec, RampingHogFault, StormSimulation, TopologyBuilder
+from repro.storm.topology import TopologyConfig
+from tests.storm.helpers import CounterSpout, SinkBolt
+
+
+def make_fault(**kw):
+    defaults = dict(
+        start=10.0, duration=30.0, node_name="n0", peak_demand=4.0, ramp=10.0,
+        step_interval=1.0,
+    )
+    defaults.update(kw)
+    return RampingHogFault(**defaults)
+
+
+def test_demand_profile_shape():
+    f = make_fault()
+    assert f.demand_at(-1) == 0.0
+    assert f.demand_at(0) == 0.0
+    assert f.demand_at(5) == pytest.approx(2.0)  # halfway up the ramp
+    assert f.demand_at(10) == pytest.approx(4.0)  # plateau start
+    assert f.demand_at(15) == pytest.approx(4.0)  # plateau
+    assert f.demand_at(25) == pytest.approx(2.0)  # halfway down
+    assert f.demand_at(30) == 0.0
+    assert f.demand_at(31) == 0.0
+
+
+def test_zero_ramp_is_square_wave():
+    f = make_fault(ramp=0.0)
+    assert f.demand_at(0.0) == 4.0
+    assert f.demand_at(29.9) == 4.0
+
+
+def sim_with(fault):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=50))
+    b.set_bolt("sink", SinkBolt()).shuffle_grouping("src")
+    topo = b.build("t", TopologyConfig(num_workers=1))
+    return StormSimulation(
+        topo, nodes=[NodeSpec("n0", cores=4, slots=2)], seed=0, faults=[fault]
+    )
+
+
+def test_injector_staircases_node_load():
+    sim = sim_with(make_fault())
+    node = sim.cluster.nodes[0]
+    sim.run(duration=14)  # 4 s into the plateau? no: t=14 -> ramp done at 20
+    # t = 14 is 4 s after fault start: still ramping, load ~1.6
+    assert 1.0 < node.external_load < 2.4
+    sim.run(duration=12)  # t=26: plateau (20..30)
+    assert node.external_load == pytest.approx(4.0, abs=0.5)
+    sim.run(duration=20)  # t=46: fully reverted
+    assert node.external_load == pytest.approx(0.0, abs=1e-9)
+
+
+def test_injector_cleans_up_exactly():
+    # Even with a step interval that does not divide the duration, the
+    # contribution is fully withdrawn at the end (no residual load).
+    sim = sim_with(make_fault(duration=17.3, ramp=5.0, step_interval=1.9))
+    node = sim.cluster.nodes[0]
+    sim.run(duration=60)
+    assert node.external_load == pytest.approx(0.0, abs=1e-9)
+
+
+def test_validation():
+    sim = sim_with(make_fault())  # builds the cluster we validate against
+    cluster = sim.cluster
+    with pytest.raises(ValueError):
+        make_fault(node_name="ghost").validate(cluster)
+    with pytest.raises(ValueError):
+        make_fault(peak_demand=0).validate(cluster)
+    with pytest.raises(ValueError):
+        make_fault(ramp=20.0).validate(cluster)  # 2*ramp > duration
+    with pytest.raises(ValueError):
+        make_fault(step_interval=0).validate(cluster)
+
+
+def test_ramping_hog_slows_colocated_service():
+    from tests.storm.helpers import SlowBolt
+    from repro.storm import TopologyBuilder
+
+    def run(with_fault):
+        b = TopologyBuilder()
+        b.set_spout("src", CounterSpout(rate=100))
+        b.set_bolt("work", SlowBolt(cost=5e-3), parallelism=2).shuffle_grouping("src")
+        topo = b.build("t", TopologyConfig(num_workers=2))
+        faults = [make_fault(start=5, duration=40, peak_demand=6.0, ramp=10.0)] if with_fault else []
+        sim = StormSimulation(
+            topo, nodes=[NodeSpec("n0", cores=2, slots=2)], seed=1, faults=faults
+        )
+        sim.run(duration=45)
+        bolts = [e for e in sim.cluster.executors.values() if e.component_id == "work"]
+        return sum(e.service_time_sum for e in bolts) / sum(
+            e.executed_count for e in bolts
+        )
+
+    assert run(True) > run(False) * 1.5

@@ -1,0 +1,81 @@
+"""Tests for the StormSimulation runner and SimulationResult helpers."""
+
+import numpy as np
+import pytest
+
+from repro.storm import NodeSpec, StormSimulation, TopologyBuilder, TopologyConfig
+from tests.storm.helpers import CounterSpout, SinkBolt
+
+
+def make_sim(rate=100, seed=0, metrics_interval=1.0):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=rate))
+    b.set_bolt("sink", SinkBolt()).shuffle_grouping("src")
+    topo = b.build("r", TopologyConfig(num_workers=1))
+    return StormSimulation(
+        topo,
+        nodes=[NodeSpec("n0", cores=2, slots=1)],
+        seed=seed,
+        metrics_interval=metrics_interval,
+    )
+
+
+def test_run_duration_validated():
+    sim = make_sim()
+    with pytest.raises(ValueError):
+        sim.run(duration=0)
+
+
+def test_run_is_resumable():
+    sim = make_sim()
+    r1 = sim.run(duration=5)
+    r2 = sim.run(duration=5)
+    assert sim.env.now == pytest.approx(10.0)
+    assert r2.acked > r1.acked  # cumulative counters across segments
+    assert len(r2.snapshots) == 10
+
+
+def test_mean_throughput_between_windows():
+    sim = make_sim(rate=100)
+    res = sim.run(duration=20)
+    full = res.mean_throughput_between(5, 20)
+    assert full == pytest.approx(100, rel=0.15)
+    assert res.mean_throughput_between(50, 60) == 0.0  # empty window
+
+
+def test_latency_percentile_bounds():
+    sim = make_sim()
+    res = sim.run(duration=10)
+    p50 = res.latency_percentile(0.5)
+    p99 = res.latency_percentile(0.99)
+    assert 0 < p50 <= p99
+
+
+def test_latency_percentile_empty_is_nan():
+    sim = make_sim()
+    res = sim.run(duration=0.001)
+    assert np.isnan(res.latency_percentile(0.5))
+
+
+def test_series_helpers_shapes():
+    sim = make_sim(metrics_interval=0.5)
+    res = sim.run(duration=4)
+    t, thr = res.throughput_series()
+    t2, lat = res.latency_series()
+    assert t.shape == thr.shape == t2.shape == lat.shape == (8,)
+    assert np.all(np.diff(t) > 0)
+
+
+def test_edge_ids_reset_between_simulations():
+    # Two sims in one process must not share the ack-ledger id space.
+    s1 = make_sim(seed=1)
+    s1.run(duration=2)
+    s2 = make_sim(seed=1)
+    r2 = s2.run(duration=2)
+    assert r2.acked > 0  # a shared/st stale counter would break trees
+
+
+def test_default_nodes_have_colocated_slots():
+    from repro.storm.runner import DEFAULT_NODES
+
+    assert all(spec.slots >= 2 for spec in DEFAULT_NODES)

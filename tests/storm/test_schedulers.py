@@ -1,0 +1,89 @@
+"""Tests for the alternative schedulers."""
+
+import pytest
+
+from repro.des import Environment
+from repro.storm import Cluster, NodeSpec, TopologyBuilder, TopologyConfig
+from repro.storm.node import Node
+from repro.storm.schedulers import PackingScheduler, ResourceAwareScheduler
+from tests.storm.helpers import CounterSpout, SinkBolt, SlowBolt
+
+
+def build_topology(workers=4):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=10), parallelism=2)
+    b.set_bolt("heavy", SlowBolt(cost=10e-3), parallelism=4).shuffle_grouping("src")
+    b.set_bolt("light", SinkBolt(), parallelism=4).shuffle_grouping("src")
+    return b.build("t", TopologyConfig(num_workers=workers))
+
+
+def test_packing_fills_first_node_first():
+    env = Environment()
+    nodes = [Node(env, f"n{i}", cores=4, slots=2) for i in range(3)]
+    placed = PackingScheduler().place_workers(4, nodes)
+    assert [n.name for n in placed] == ["n0", "n0", "n1", "n1"]
+
+
+def test_packing_rejects_overcommit():
+    env = Environment()
+    nodes = [Node(env, "n0", cores=4, slots=1)]
+    with pytest.raises(ValueError):
+        PackingScheduler().place_workers(3, nodes)
+
+
+def submit_with(scheduler):
+    env = Environment()
+    cluster = Cluster(
+        env,
+        [NodeSpec("n0", slots=2), NodeSpec("n1", slots=2)],
+        seed=0,
+        scheduler=scheduler,
+    )
+    cluster.submit(build_topology())
+    return cluster
+
+
+def test_resource_aware_balances_heavy_bolts():
+    cluster = submit_with(ResourceAwareScheduler())
+    heavy_per_worker = []
+    for w in cluster.workers:
+        n = sum(
+            1 for ex in w.executors if ex.component_id == "heavy"
+        )
+        heavy_per_worker.append(n)
+    # 4 heavy tasks over 4 workers: exactly one each (LPT spreads them).
+    assert heavy_per_worker == [1, 1, 1, 1]
+
+
+def test_resource_aware_assigns_every_task():
+    cluster = submit_with(ResourceAwareScheduler())
+    assert len(cluster.executors) == 10  # 2 + 4 + 4
+
+
+def test_resource_aware_deterministic():
+    c1 = submit_with(ResourceAwareScheduler())
+    c2 = submit_with(ResourceAwareScheduler())
+    m1 = {t: ex.worker.worker_id for t, ex in c1.executors.items()}
+    m2 = {t: ex.worker.worker_id for t, ex in c2.executors.items()}
+    assert m1 == m2
+
+
+def test_even_scheduler_can_concentrate_heavy_bolts():
+    # The contrast that motivates the resource-aware variant: round-robin
+    # ignores cost, so worker loads (sum of task costs) can be unequal.
+    cluster = submit_with(None)  # default EvenScheduler
+
+    def load(w):
+        return sum(
+            getattr(ex.bolt, "cost", 1e-4) if hasattr(ex, "bolt") else 1e-4
+            for ex in w.executors
+        )
+
+    ra = submit_with(ResourceAwareScheduler())
+    spread_even = max(load(w) for w in cluster.workers) - min(
+        load(w) for w in cluster.workers
+    )
+    spread_ra = max(load(w) for w in ra.workers) - min(
+        load(w) for w in ra.workers
+    )
+    assert spread_ra <= spread_even + 1e-12

@@ -1,0 +1,110 @@
+"""Unit tests for Transport latency selection, call_later, OutputCollector."""
+
+import pytest
+
+from repro.des import Environment, Store
+from repro.storm.api import OutputCollector
+from repro.storm.executor import Envelope, Transport, call_later
+from repro.storm.node import Node
+from repro.storm.topology import TopologyConfig
+from repro.storm.tuples import Tuple
+from repro.storm.worker import Worker
+
+
+def make_transport():
+    env = Environment()
+    config = TopologyConfig(
+        intra_worker_latency=1e-5,
+        intra_node_latency=1e-4,
+        inter_node_latency=1e-3,
+    )
+    t = Transport(env, config)
+    n0 = Node(env, "n0")
+    n1 = Node(env, "n1")
+    w0 = Worker(env, 0, n0)
+    w1 = Worker(env, 1, n0)  # same node as w0
+    w2 = Worker(env, 2, n1)  # other node
+    for task, worker in ((10, w0), (11, w1), (12, w2)):
+        t.register(task, Store(env), worker)
+    return env, t, (w0, w1, w2)
+
+
+def test_latency_tiers():
+    env, t, (w0, w1, w2) = make_transport()
+    assert t.latency(w0, 10) == 1e-5  # same worker
+    assert t.latency(w0, 11) == 1e-4  # same node, different worker
+    assert t.latency(w0, 12) == 1e-3  # cross-node
+
+
+def test_send_delivers_after_latency():
+    env, t, (w0, _w1, _w2) = make_transport()
+    tup = Tuple(values=(1,))
+    t.send(w0, 12, tup)
+    assert t.queues[12].level == 0  # not yet delivered
+    env.run(until=2e-3)
+    assert t.queues[12].level == 1
+    env2_item = t.queues[12].items[0]
+    assert isinstance(env2_item, Envelope)
+    assert env2_item.tup is tup
+    assert env2_item.enqueue_time == pytest.approx(1e-3)
+    assert t.sent_count == 1
+
+
+def test_send_preserves_per_link_order():
+    env, t, (w0, _w1, _w2) = make_transport()
+    for i in range(5):
+        t.send(w0, 11, Tuple(values=(i,)))
+    env.run(until=1.0)
+    values = [e.tup[0] for e in t.queues[11].items]
+    assert values == [0, 1, 2, 3, 4]
+
+
+def test_call_later_runs_once_at_delay():
+    env = Environment()
+    hits = []
+    call_later(env, 5.0, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [5.0]
+
+
+def test_call_later_zero_delay():
+    env = Environment()
+    hits = []
+    call_later(env, 0.0, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [0.0]
+
+
+# --- collector --------------------------------------------------------------------
+
+
+def test_collector_buffers_and_drains():
+    col = OutputCollector()
+    t1 = Tuple(values=(1,))
+    col.emit((1, 2), anchors=[t1])
+    col.emit((3,), stream="other", direct_task=7)
+    col.ack(t1)
+    emissions, acked, failed = col.drain()
+    assert emissions[0] == ((1, 2), "default", (t1,), None)
+    assert emissions[1] == ((3,), "other", (), 7)
+    assert acked == [t1]
+    assert failed == []
+    # Drain resets.
+    assert col.drain() == ([], [], [])
+
+
+def test_collector_fail_path():
+    col = OutputCollector()
+    t = Tuple(values=(9,))
+    col.fail(t)
+    _, _, failed = col.drain()
+    assert failed == [t]
+
+
+def test_collector_emit_copies_values():
+    col = OutputCollector()
+    values = [1, 2]
+    col.emit(values)
+    values.append(3)  # mutating the caller's list must not leak
+    emissions, _, _ = col.drain()
+    assert emissions[0][0] == (1, 2)

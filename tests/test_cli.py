@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "--app", "bogus"])
+
+
+def test_trace_command_prints_summary(capsys, tmp_path):
+    out = tmp_path / "trace.npz"
+    rc = main(
+        [
+            "trace",
+            "--duration", "30",
+            "--rate", "80",
+            "--seed", "5",
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "intervals : 30" in captured
+    assert "workers" in captured
+    data = np.load(out)
+    assert any(k.startswith("target_w") for k in data.files)
+    assert any(k.startswith("features_w") for k in data.files)
+
+
+def test_reliability_command_baseline(capsys):
+    rc = main(
+        [
+            "reliability",
+            "--arm", "baseline",
+            "--duration", "60",
+            "--rate", "100",
+            "--seed", "3",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "arm         : baseline" in captured
+    assert "degradation" in captured
+
+
+def test_demo_command_runs(capsys):
+    rc = main(["demo", "--duration", "60", "--rate", "100", "--seed", "2"])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "healthy throughput" in captured
