@@ -14,6 +14,7 @@ numbers.
 from __future__ import annotations
 
 import functools
+import os
 
 import pytest
 
@@ -23,6 +24,7 @@ from repro.experiments.reliability import (
     train_calibration_predictor,
 )
 from repro.experiments.traces import collect_trace
+from repro.obs import ObservabilityConfig
 
 #: Standard scales used across the suite (kept in one place on purpose).
 TRACE_DURATION = 480.0
@@ -41,10 +43,33 @@ RELIABILITY = dict(
 )
 
 
+def bench_observability() -> ObservabilityConfig | None:
+    """Observability for benchmark runs, from ``REPRO_BENCH_OBS``.
+
+    Set the env var to a comma-separated subset of ``trace,profile``
+    (e.g. ``REPRO_BENCH_OBS=trace,profile``) to run the suite's
+    simulations instrumented; unset/empty keeps the zero-cost default.
+    """
+    raw = os.environ.get("REPRO_BENCH_OBS", "").strip()
+    if not raw:
+        return None
+    parts = {p.strip() for p in raw.split(",") if p.strip()}
+    unknown = parts - {"trace", "profile"}
+    if unknown:
+        raise ValueError(
+            f"REPRO_BENCH_OBS has unknown flags {sorted(unknown)}; "
+            "use a comma-separated subset of trace,profile"
+        )
+    return ObservabilityConfig(
+        trace="trace" in parts, profile="profile" in parts
+    )
+
+
 @functools.lru_cache(maxsize=None)
 def get_trace(app: str):
     return collect_trace(
-        app=app, duration=TRACE_DURATION, base_rate=TRACE_RATE, seed=TRACE_SEED
+        app=app, duration=TRACE_DURATION, base_rate=TRACE_RATE, seed=TRACE_SEED,
+        observability=bench_observability(),
     )
 
 
@@ -79,6 +104,7 @@ def get_reliability_run(app: str, control: str | None, k: int):
         control=control,
         k_misbehaving=k,
         predictor=predictor,
+        observability=bench_observability(),
         **RELIABILITY,
     )
 

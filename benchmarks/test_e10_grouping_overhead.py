@@ -5,10 +5,10 @@ runs the URL Count topology with shuffle vs dynamic grouping (uniform
 ratios, no controller) and compares throughput and latency.
 """
 
-from benchmarks.conftest import once
+from benchmarks.conftest import bench_observability, once
 from repro.apps import RateProfile, build_url_count_topology
 from repro.experiments import format_table
-from repro.storm import StormSimulation
+from repro.storm import SimulationBuilder
 
 RATE = 250.0
 DURATION = 120.0
@@ -18,7 +18,12 @@ def run_variant(grouping: str):
     topo = build_url_count_topology(
         profile=RateProfile(base=RATE), grouping=grouping
     )
-    sim = StormSimulation(topo, seed=10)
+    sim = (
+        SimulationBuilder(topo)
+        .seed(10)
+        .observability(bench_observability())
+        .build()
+    )
     return sim.run(duration=DURATION)
 
 

@@ -13,8 +13,8 @@ from repro.experiments import format_table
 from repro.storm import (
     Bolt,
     Emission,
+    SimulationBuilder,
     Spout,
-    StormSimulation,
     TopologyBuilder,
     TopologyConfig,
 )
@@ -58,7 +58,7 @@ def run_split_experiment():
     builder.set_spout("src", _FirehoseSpout())
     builder.set_bolt("sink", _NullBolt(), parallelism=4).dynamic_grouping("src")
     topo = builder.build("e4", TopologyConfig(num_workers=4))
-    sim = StormSimulation(topo, seed=4)
+    sim = SimulationBuilder(topo).seed(4).build()
 
     def driver():
         for when, ratios in SCHEDULE:

@@ -20,8 +20,9 @@ def test_e5_throughput_under_misbehaving_worker(benchmark):
         )
 
     baseline, framework = once(benchmark, run_both)
-    t, thr_b = baseline.result.throughput_series()
-    _, thr_f = framework.result.throughput_series()
+    series_b = baseline.result.throughput_series()
+    series_f = framework.result.throughput_series()
+    t, thr_b, thr_f = series_b.t, series_b.y, series_f.y
     rows = []
     for lo in range(0, int(RELIABILITY["duration"]), 30):
         sel = (t > lo) & (t <= lo + 30)

@@ -15,8 +15,8 @@ from repro.experiments.tables import format_table
 from repro.storm import (
     Bolt,
     Emission,
+    SimulationBuilder,
     Spout,
-    StormSimulation,
     TopologyBuilder,
     TopologyConfig,
 )
@@ -53,7 +53,7 @@ def main() -> None:
     builder.set_spout("src", FirehoseSpout(rate=500.0))
     builder.set_bolt("sink", CountingBolt(), parallelism=4).dynamic_grouping("src")
     topology = builder.build("dg-demo", TopologyConfig(num_workers=4))
-    sim = StormSimulation(topology, seed=42)
+    sim = SimulationBuilder(topology).seed(42).build()
 
     schedule = [
         (0.0, [0.25, 0.25, 0.25, 0.25]),

@@ -13,14 +13,14 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import ControllerConfig, PerformancePredictor, PredictiveController
+from repro.core import ControllerConfig, PerformancePredictor
 from repro.storm import (
     Bolt,
     Emission,
     NodeSpec,
+    SimulationBuilder,
     SlowdownFault,
     Spout,
-    StormSimulation,
     TopologyBuilder,
     TopologyConfig,
 )
@@ -86,14 +86,20 @@ def main() -> None:
     # 3. Misbehaviour: worker 1 slows down 20x between t=60 and t=150.
     fault = SlowdownFault(start=60, duration=90, worker_id=1, factor=20)
 
-    sim = StormSimulation(topology, nodes=nodes, seed=7, faults=[fault])
-    controller = PredictiveController(
-        sim,
+    sim = (
+        SimulationBuilder(topology)
+        .nodes(nodes)
+        .seed(7)
+        .faults(fault)
         # Reactive predictor for the quickstart (no training run needed);
         # see examples/url_count_reliability.py for the DRNN version.
-        PerformancePredictor(None, window=4),
-        ControllerConfig(control_interval=5.0, window=4),
+        .controller(
+            PerformancePredictor(None, window=4),
+            ControllerConfig(control_interval=5.0, window=4),
+        )
+        .build()
     )
+    controller = sim.controller
 
     result = sim.run(duration=210)
 
@@ -108,8 +114,8 @@ def main() -> None:
     print()
     final = controller.actions[-1].ratios[("numbers", "square", "default")]
     print("final split ratios over the 4 square tasks:", np.round(final, 3))
-    t, thr = result.throughput_series()
-    during = thr[(t > 70) & (t <= 150)].mean()
+    thr = result.throughput_series()
+    during = thr.y[(thr.t > 70) & (thr.t <= 150)].mean()
     print(f"throughput during the fault window: {during:.1f} tuples/s "
           "(the framework keeps it near the offered 200/s)")
 

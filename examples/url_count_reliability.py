@@ -72,15 +72,17 @@ def main() -> None:
         print("framework detector decisions:")
         for t, worker, event in framework.controller.flag_intervals():
             print(f"  t={t:6.1f}s  worker {worker}  {event.upper()}")
-    t, thr_b = baseline.result.throughput_series()
-    _, thr_f = framework.result.throughput_series()
+    thr_b = baseline.result.throughput_series()
+    thr_f = framework.result.throughput_series()
+    t = thr_b.t
     print()
     print("throughput timeline (30 s buckets, tuples/s):")
     print(format_table(
         ["t (s)", "baseline", "framework"],
         [
-            [int(lo), round(float(np.mean(thr_b[(t > lo) & (t <= lo + 30)])), 1),
-             round(float(np.mean(thr_f[(t > lo) & (t <= lo + 30)])), 1)]
+            [int(lo),
+             round(float(np.mean(thr_b.y[(t > lo) & (t <= lo + 30)])), 1),
+             round(float(np.mean(thr_f.y[(t > lo) & (t <= lo + 30)])), 1)]
             for lo in range(0, 240, 30)
         ],
     ))

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""API lint: keep first-party code on the blessed run-API surface.
+
+Two rules, enforced over ``src/``, ``examples/``, and ``benchmarks/``
+(tests are exempt so the compatibility shims themselves stay covered):
+
+1. **No direct ``StormSimulation(...)`` construction** outside the
+   runner/builder modules — new code goes through ``SimulationBuilder``.
+2. **No raw tuple unpacking of the series helpers** — use the named
+   ``Series`` fields (``series.t`` / ``series.y``) instead of
+   ``t, y = result.throughput_series()``.
+
+Exit status is non-zero when any violation is found, so CI can gate on
+it.  Run from the repository root::
+
+    python scripts/check_api.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: directories scanned (tests/ intentionally absent: shims need coverage)
+SCAN_DIRS = ("src", "examples", "benchmarks", "scripts")
+
+#: the only modules allowed to construct StormSimulation directly
+#: (plus this checker, whose rule strings would otherwise match themselves)
+CONSTRUCTION_ALLOWLIST = {
+    Path("src/repro/storm/runner.py"),
+    Path("src/repro/storm/builder.py"),
+    Path("scripts/check_api.py"),
+}
+
+CONSTRUCT_RE = re.compile(r"\bStormSimulation\s*\(")
+#: ``a, b = ....throughput_series()`` / ``latency_series()`` (raw unpack)
+UNPACK_RE = re.compile(
+    r"^\s*[A-Za-z_][\w\[\]\. ]*,\s*[A-Za-z_][\w\[\]\. ]*"
+    r"(?:,\s*[A-Za-z_][\w\[\]\. ]*)*\s*=\s*.*\."
+    r"(?:throughput_series|latency_series)\s*\(\s*\)"
+)
+
+Violation = Tuple[Path, int, str, str]
+
+
+def iter_py_files() -> Iterator[Path]:
+    for d in SCAN_DIRS:
+        root = REPO_ROOT / d
+        if not root.is_dir():
+            continue
+        yield from sorted(root.rglob("*.py"))
+
+
+def check_file(path: Path) -> List[Violation]:
+    rel = path.relative_to(REPO_ROOT)
+    violations: List[Violation] = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            continue
+        if CONSTRUCT_RE.search(line) and rel not in CONSTRUCTION_ALLOWLIST:
+            violations.append((
+                rel, lineno, "direct-construction",
+                "construct simulations through SimulationBuilder, not "
+                "StormSimulation(...)",
+            ))
+        if UNPACK_RE.match(line):
+            violations.append((
+                rel, lineno, "raw-series-unpack",
+                "use the named Series fields (series.t / series.y) instead "
+                "of tuple-unpacking the series helpers",
+            ))
+    return violations
+
+
+def main() -> int:
+    violations: List[Violation] = []
+    for path in iter_py_files():
+        violations.extend(check_file(path))
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"\n{len(violations)} API violation(s) found.")
+        return 1
+    print("API check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

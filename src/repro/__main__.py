@@ -8,7 +8,9 @@ Commands
 ``trace``
     Collect a multilevel-statistics trace for one of the paper's
     applications and print summary statistics (optionally save the
-    per-worker target series to ``.npz``).
+    per-worker target series to ``.npz``).  ``--emit-events`` /
+    ``--emit-snapshots`` export the structured trace and snapshot
+    streams as JSONL; ``--profile`` prints the DES kernel profile.
 ``predict``
     Collect a trace and run the DRNN/ARIMA/SVR comparison on it.
 ``reliability``
@@ -54,11 +56,45 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_observability(args: argparse.Namespace):
+    """Build the run's ObservabilityConfig from CLI flags (or None)."""
+    from repro.obs import ObservabilityConfig
+
+    trace = bool(getattr(args, "emit_events", None))
+    profile = bool(getattr(args, "profile", False))
+    if not (trace or profile):
+        return None
+    return ObservabilityConfig(trace=trace, profile=profile)
+
+
+def _export_observability(args: argparse.Namespace, sim) -> None:
+    """Write/print whatever observability outputs the flags asked for."""
+    from repro.obs import render_live_summary, snapshots_to_jsonl, trace_to_jsonl
+
+    if getattr(args, "emit_events", None):
+        tracer = sim.obs.tracer
+        assert tracer is not None
+        n = trace_to_jsonl(tracer.events(), args.emit_events)
+        print(f"wrote {n} trace events to {args.emit_events}"
+              f" (dropped {tracer.dropped} beyond ring capacity)")
+    if getattr(args, "emit_snapshots", None):
+        n = snapshots_to_jsonl(sim.metrics.snapshots, args.emit_snapshots)
+        print(f"wrote {n} snapshots to {args.emit_snapshots}")
+    if getattr(args, "live_summary", False):
+        print()
+        print(render_live_summary(sim.metrics.snapshots))
+    if getattr(args, "profile", False):
+        assert sim.obs.profiler is not None
+        print()
+        print(sim.obs.profiler.report())
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments import collect_trace
 
     bundle = collect_trace(
-        app=args.app, duration=args.duration, base_rate=args.rate, seed=args.seed
+        app=args.app, duration=args.duration, base_rate=args.rate,
+        seed=args.seed, observability=_make_observability(args),
     )
     mon = bundle.monitor
     print(f"app       : {args.app}")
@@ -81,6 +117,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         np.savez(args.out, **data)
         print(f"saved trace arrays to {args.out}")
+    _export_observability(args, bundle.sim)
     return 0
 
 
@@ -125,6 +162,7 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         fault_start=args.duration / 3,
         fault_duration=args.duration / 2,
         seed=args.seed,
+        observability=_make_observability(args),
     )
     print(f"arm         : {res.label}")
     print(f"healthy thr : {res.throughput_healthy():.1f} t/s")
@@ -132,6 +170,7 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     print(f"degradation : {res.degradation_pct():.1f} %")
     print(f"fault lat.  : {res.latency_during_fault() * 1e3:.1f} ms")
     print(f"failed      : {res.result.failed}")
+    _export_observability(args, res.sim)
     return 0
 
 
@@ -153,9 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, 180.0)
     p.set_defaults(func=_cmd_demo)
 
+    def obs_flags(p):
+        p.add_argument("--emit-events", metavar="PATH", default=None,
+                       help="trace the run and write the events as JSONL")
+        p.add_argument("--emit-snapshots", metavar="PATH", default=None,
+                       help="write the metrics snapshot stream as JSONL")
+        p.add_argument("--live-summary", action="store_true",
+                       help="print an ASCII summary of the last snapshots")
+        p.add_argument("--profile", action="store_true",
+                       help="profile the DES kernel and print its report")
+
     p = sub.add_parser("trace", help="collect a statistics trace")
     common(p, 240.0)
     p.add_argument("--out", default=None, help="save arrays to this .npz")
+    obs_flags(p)
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("predict", help="DRNN vs ARIMA vs SVR on a trace")
@@ -170,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arm", default="reactive",
                    choices=("baseline", "reactive", "drnn"))
     p.add_argument("--k", type=int, default=1, help="misbehaving workers")
+    obs_flags(p)
     p.set_defaults(func=_cmd_reliability)
     return parser
 

@@ -1,8 +1,19 @@
 """The closed control loop: sample → predict → detect → plan → act.
 
-:class:`PredictiveController` attaches to a :class:`~repro.storm.runner.
-StormSimulation` *before* the run and then iterates every
-``control_interval`` simulation seconds:
+:class:`PredictiveController` is constructed *detached* — from a
+predictor and loop configuration — and wired to a simulation explicitly::
+
+    controller = PredictiveController(predictor, ControllerConfig(...))
+    sim.attach(controller)          # or SimulationBuilder.controller(...)
+    sim.run(duration=300)
+
+Attachment must happen before the first ``run()``; the simulation raises
+a clear error otherwise.  (The legacy implicit form
+``PredictiveController(sim, predictor, ...)`` still works as a shim: it
+constructs and immediately attaches.)
+
+Once attached, the loop iterates every ``control_interval`` simulation
+seconds:
 
 1. ingest new metrics snapshots into the :class:`~repro.core.monitor.
    StatsMonitor`;
@@ -15,7 +26,9 @@ StormSimulation` *before* the run and then iterates every
 5. apply them through :meth:`Cluster.set_split_ratios` — tuples re-route
    around misbehaving workers on the fly.
 
-Every action is logged (:class:`ControlAction`) for the experiment plots.
+Every action is logged (:class:`ControlAction`) for the experiment plots,
+and — when the simulation runs with tracing enabled — each loop stage
+emits a structured ``control.*`` event with its inputs and outputs.
 """
 
 from __future__ import annotations
@@ -30,8 +43,15 @@ from repro.core.detector import MisbehaviorDetector
 from repro.core.monitor import StatsMonitor
 from repro.core.planner import SplitRatioPlanner
 from repro.core.predictor import PerformancePredictor
+from repro.obs.tracer import (
+    CONTROL_APPLY,
+    CONTROL_DECISION,
+    CONTROL_SAMPLE,
+    CONTROL_SKIP,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
     from repro.storm.runner import StormSimulation
 
 
@@ -46,12 +66,10 @@ class ControlAction:
 
 
 class PredictiveController:
-    """The paper's framework, wired to a simulation.
+    """The paper's framework, attachable to one simulation.
 
     Parameters
     ----------
-    sim:
-        The (not yet run) simulation to control.
     predictor:
         A fitted :class:`PerformancePredictor`; pass
         ``PerformancePredictor(None)`` for the reactive ablation.
@@ -59,63 +77,138 @@ class PredictiveController:
         Loop configuration.
     edges:
         Dynamic edges ``(source, consumer, stream)`` to control; defaults
-        to every dynamic edge in the topology.
+        to every dynamic edge in the topology (resolved at attach time).
     online_fit_after:
         If set, the controller (re)fits its predictor from the monitor's
         own history once that many intervals have been observed — the
         fully-online mode (no pre-training run needed).
+
+    The legacy calling convention ``PredictiveController(sim, predictor,
+    config, ...)`` constructs the controller and attaches it to ``sim``
+    in one step (deprecated; prefer ``sim.attach(...)`` or the builder).
     """
 
-    def __init__(
-        self,
-        sim: "StormSimulation",
-        predictor: PerformancePredictor,
-        config: Optional[ControllerConfig] = None,
-        edges: Optional[Sequence[Tuple[str, str, str]]] = None,
-        online_fit_after: Optional[int] = None,
-    ) -> None:
-        self.sim = sim
+    _ARG_NAMES = ("predictor", "config", "edges", "online_fit_after")
+
+    def __init__(self, *args, **kwargs) -> None:
+        # Accept both the detached signature (predictor, config=None,
+        # edges=None, online_fit_after=None) and the legacy one with a
+        # leading simulation: strip the sim, then bind the rest by name.
+        sim: Optional["StormSimulation"] = None
+        if args:
+            from repro.storm.runner import StormSimulation
+
+            if isinstance(args[0], StormSimulation):
+                sim = args[0]
+                args = args[1:]
+        if len(args) > len(self._ARG_NAMES):
+            raise TypeError(
+                f"PredictiveController takes at most "
+                f"{len(self._ARG_NAMES)} arguments ({len(args)} given)"
+            )
+        for name, value in zip(self._ARG_NAMES, args):
+            if name in kwargs:
+                raise TypeError(f"got multiple values for argument {name!r}")
+            kwargs[name] = value
+        unknown = set(kwargs) - set(self._ARG_NAMES)
+        if unknown:
+            raise TypeError(f"unexpected arguments: {sorted(unknown)}")
+        predictor = kwargs.get("predictor")
+        config: Optional[ControllerConfig] = kwargs.get("config")
+        edges = kwargs.get("edges")
+        online_fit_after: Optional[int] = kwargs.get("online_fit_after")
+        if not isinstance(predictor, PerformancePredictor):
+            raise TypeError(
+                f"expected a PerformancePredictor, got {predictor!r}"
+            )
+        self.predictor = predictor
         self.config = config or ControllerConfig()
         self.config.validate()
-        self.predictor = predictor
-        self.monitor = StatsMonitor(sim.cluster)
         self.detector = MisbehaviorDetector(self.config)
         self.planner = SplitRatioPlanner(self.config)
         self.online_fit_after = online_fit_after
-        if edges is None:
+        self._edges_requested = list(edges) if edges is not None else None
+        self.actions: List[ControlAction] = []
+        # attach-time state
+        self.sim: Optional["StormSimulation"] = None
+        self.monitor: Optional[StatsMonitor] = None
+        self.edges: List[Tuple[str, str, str]] = []
+        self._task_worker: Dict[int, int] = {}
+        self._seen_snapshots = 0
+        self._tracer: Optional["Tracer"] = None
+        self._proc = None
+        if sim is not None:
+            sim.attach(self)
+
+    # -- attachment ---------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        return self.sim is not None
+
+    def _bind(self, sim: "StormSimulation") -> None:
+        """Wire the controller to ``sim`` (called by ``sim.attach``)."""
+        if self.sim is not None:
+            raise RuntimeError(
+                "this controller is already attached to a simulation; "
+                "construct a fresh controller per run"
+            )
+        self.monitor = StatsMonitor(sim.cluster)
+        if self._edges_requested is None:
             edges = sorted(sim.cluster.ratio_controls)
         else:
+            edges = list(self._edges_requested)
             for e in edges:
                 if e not in sim.cluster.ratio_controls:
                     raise KeyError(f"{e} is not a dynamic edge of this topology")
-        self.edges: List[Tuple[str, str, str]] = list(edges)
-        if not self.edges:
+        if not edges:
             raise ValueError(
                 "topology has no dynamic-grouping edge for the controller "
                 "to actuate"
             )
+        self.edges = edges
         self._task_worker = {
             task_id: ex.worker.worker_id
             for task_id, ex in sim.cluster.executors.items()
         }
-        self._seen_snapshots = 0
-        self.actions: List[ControlAction] = []
+        self._tracer = sim.obs.tracer
+        self.sim = sim
         self._proc = sim.env.process(self._loop(), name="predictive-controller")
+
+    def _require_attached(self) -> "StormSimulation":
+        if self.sim is None:
+            raise RuntimeError(
+                "controller is not attached; call sim.attach(controller) "
+                "before run()"
+            )
+        return self.sim
 
     # -- the loop -----------------------------------------------------------------
 
     def _loop(self):
-        env = self.sim.env
+        env = self._require_attached().env
         while True:
             yield env.timeout(self.config.control_interval)
             self._step()
 
     def _step(self) -> None:
-        snapshots = self.sim.metrics.snapshots
+        sim = self._require_attached()
+        assert self.monitor is not None
+        now = sim.env.now
+        tr = self._tracer
+        snapshots = sim.metrics.snapshots
         new = snapshots[self._seen_snapshots :]
         self._seen_snapshots = len(snapshots)
         self.monitor.observe_all(new)
+        if tr is not None:
+            tr.record(
+                now, CONTROL_SAMPLE, new_snapshots=len(new),
+                n_intervals=self.monitor.n_intervals,
+            )
         if self.monitor.n_intervals < self.config.window:
+            if tr is not None:
+                tr.record(now, CONTROL_SKIP, reason="warmup",
+                          n_intervals=self.monitor.n_intervals)
             return
         if (
             self.online_fit_after is not None
@@ -124,23 +217,37 @@ class PredictiveController:
         ):
             self.predictor.fit_from_monitor(self.monitor)
         if not self.predictor.fitted:
+            if tr is not None:
+                tr.record(now, CONTROL_SKIP, reason="predictor-not-fitted")
             return
         predictions = self.predictor.predict_workers(self.monitor)
         backlogs = self.monitor.latest_backlogs()
         observed = self.monitor.latest_latencies()
         flagged = self.detector.update(
-            predictions, observed, backlogs, now=self.sim.env.now
+            predictions, observed, backlogs, now=now
         )
         action = ControlAction(
-            time=self.sim.env.now,
+            time=now,
             predictions=dict(predictions),
             flagged=set(flagged),
         )
-        topology = self.sim.topology
+        if tr is not None:
+            tr.record(
+                now, CONTROL_DECISION,
+                predictions={int(w): float(p) for w, p in predictions.items()},
+                observed={int(w): float(v) for w, v in observed.items()},
+                backlogs={int(w): int(b) for w, b in backlogs.items()},
+                flagged=sorted(flagged),
+                health_ratios={
+                    int(w): float(r) for w, r in self.detector.ratios.items()
+                },
+            )
+        topology = sim.topology
         for edge in self.edges:
             source, consumer, stream = edge
             tasks = topology.task_ids[consumer]
-            control = self.sim.cluster.ratio_controls[edge]
+            control = sim.cluster.ratio_controls[edge]
+            prev = np.array(control.ratios, dtype=float)
             ratios = self.planner.plan(
                 tasks=tasks,
                 task_worker=self._task_worker,
@@ -148,8 +255,14 @@ class PredictiveController:
                 flagged=flagged,
                 prev_ratios=control.ratios,
             )
-            self.sim.cluster.set_split_ratios(source, consumer, ratios, stream)
+            sim.cluster.set_split_ratios(source, consumer, ratios, stream)
             action.ratios[edge] = ratios
+            if tr is not None:
+                tr.record(
+                    now, CONTROL_APPLY, edge=edge,
+                    ratios=[float(r) for r in ratios],
+                    prev_ratios=[float(r) for r in prev],
+                )
         self.actions.append(action)
 
     # -- analysis helpers ---------------------------------------------------------------
@@ -169,7 +282,8 @@ class PredictiveController:
 
     def __repr__(self) -> str:
         return (
-            f"<PredictiveController edges={len(self.edges)}"
+            f"<PredictiveController attached={self.attached}"
+            f" edges={len(self.edges)}"
             f" actions={len(self.actions)}"
             f" flagged={sorted(self.detector.flagged)}>"
         )

@@ -10,7 +10,10 @@ a fixed seed).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Optional, Union
+from typing import TYPE_CHECKING, Any, Generator, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.profiler import KernelProfiler
 
 from repro.des.events import (
     LAST,
@@ -43,6 +46,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: optional kernel profiler (see :mod:`repro.obs.profiler`); the
+        #: event loop pays one ``is not None`` check per event when unset.
+        self._profiler: Optional["KernelProfiler"] = None
 
     # -- clock ----------------------------------------------------------------
 
@@ -55,6 +61,17 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_proc
+
+    # -- profiling -----------------------------------------------------------------
+
+    @property
+    def profiler(self) -> Optional["KernelProfiler"]:
+        """The attached kernel profiler, if any."""
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional["KernelProfiler"]) -> None:
+        """Attach (or detach, with ``None``) a kernel profiler."""
+        self._profiler = profiler
 
     # -- event factory helpers --------------------------------------------------
 
@@ -107,6 +124,8 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
+        if self._profiler is not None:
+            self._profiler.note_event(len(self._queue))
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         assert callbacks is not None

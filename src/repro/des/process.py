@@ -9,6 +9,7 @@ can wait on each other.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.des.events import URGENT, Event, Interrupt
@@ -107,6 +108,18 @@ class Process(Event):
         self._resume(event)
 
     def _resume(self, event: Optional[Event]) -> None:
+        """Advance the generator, attributing wall time when profiled."""
+        profiler = self.env._profiler
+        if profiler is None:
+            self._advance(event)
+            return
+        t0 = perf_counter()
+        try:
+            self._advance(event)
+        finally:
+            profiler.note_resume(self.name, perf_counter() - t0)
+
+    def _advance(self, event: Optional[Event]) -> None:
         """Advance the generator with ``event``'s outcome.
 
         Iterates instead of recursing so a chain of already-processed events

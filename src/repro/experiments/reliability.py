@@ -19,18 +19,21 @@ abstract's claim 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import ControllerConfig, PerformancePredictor, PredictiveController
 from repro.core.monitor import StatsMonitor
-from repro.experiments.traces import build_app_topology
+from repro.experiments.traces import ObservabilityLike, build_app_topology
 from repro.apps import RateProfile
 from repro.models import DRNNRegressor
-from repro.storm import SlowdownFault, StormSimulation
+from repro.storm import SimulationBuilder, SlowdownFault
 from repro.storm.faults import Fault
 from repro.storm.runner import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storm.runner import StormSimulation
 
 
 @dataclass
@@ -41,6 +44,8 @@ class ReliabilityResult:
     result: SimulationResult
     controller: Optional[PredictiveController]
     fault_window: Tuple[float, float]
+    #: the simulation behind ``result`` (carries ``sim.obs`` for exports)
+    sim: Optional["StormSimulation"] = None
 
     def throughput_during_fault(self) -> float:
         lo, hi = self.fault_window
@@ -111,7 +116,7 @@ def train_calibration_predictor(
             factor=15.0,
         )
     ]
-    sim = StormSimulation(topology, seed=seed + 1000, faults=faults)
+    sim = SimulationBuilder(topology).seed(seed + 1000).faults(faults).build()
     result = sim.run(duration=calibration_duration)
     monitor = StatsMonitor(
         sim.cluster, include_interference=True, target_feature="avg_service_time"
@@ -142,6 +147,7 @@ def run_reliability_scenario(
     predictor: Optional[PerformancePredictor] = None,
     control_interval: float = 5.0,
     window: int = 6,
+    observability: ObservabilityLike = None,
 ) -> ReliabilityResult:
     """Run one arm of the misbehaving-worker experiment."""
     if control not in (None, "reactive", "drnn"):
@@ -153,7 +159,12 @@ def run_reliability_scenario(
     faults = default_faults(
         k_misbehaving, fault_start, fault_duration, factor=slowdown_factor
     )
-    sim = StormSimulation(topology, seed=seed, faults=faults)
+    builder = (
+        SimulationBuilder(topology)
+        .seed(seed)
+        .faults(faults)
+        .observability(observability)
+    )
     controller = None
     if control is not None:
         if control == "drnn" and predictor is None:
@@ -164,10 +175,11 @@ def run_reliability_scenario(
             predictor = PerformancePredictor(None, window=window)
         assert predictor is not None
         controller = PredictiveController(
-            sim,
             predictor,
             ControllerConfig(control_interval=control_interval, window=window),
         )
+        builder.controller(controller)
+    sim = builder.build()
     result = sim.run(duration=duration)
     label = control or "baseline"
     return ReliabilityResult(
@@ -175,6 +187,7 @@ def run_reliability_scenario(
         result=result,
         controller=controller,
         fault_window=(fault_start, fault_start + fault_duration),
+        sim=sim,
     )
 
 

@@ -10,7 +10,7 @@ E8 and E9; everything is overridable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.apps import (
     RateProfile,
@@ -18,10 +18,14 @@ from repro.apps import (
     build_url_count_topology,
 )
 from repro.core.monitor import StatsMonitor
-from repro.storm import CpuHogFault, StormSimulation
+from repro.obs import Observability, ObservabilityConfig
+from repro.storm import CpuHogFault, SimulationBuilder, StormSimulation
 from repro.storm.faults import Fault, RampingHogFault
 from repro.storm.runner import SimulationResult
 from repro.storm.topology import TopologyConfig
+
+#: accepted by every experiment entry point's ``observability`` option
+ObservabilityLike = Union[ObservabilityConfig, Observability, None]
 
 APPS = ("url_count", "continuous_query")
 
@@ -124,6 +128,7 @@ def collect_trace(
     faults: Optional[Sequence[Fault]] = None,
     target_feature: str = "avg_process_latency",
     hot: bool = True,
+    observability: ObservabilityLike = None,
 ) -> TraceBundle:
     """Run ``app`` for ``duration`` sim-seconds and return its trace.
 
@@ -131,13 +136,19 @@ def collect_trace(
     (queue wait + service); the monitor pair (with/without interference
     features) feeds the E8 ablation at zero extra simulation cost.
     ``hot`` selects the saturating trace variant of the topology (see
-    :func:`build_app_topology`).
+    :func:`build_app_topology`); ``observability`` enables tracing and/or
+    kernel profiling for the run (see :mod:`repro.obs`).
     """
     profile = profile or default_profile(base=base_rate, horizon=duration)
     faults = list(faults) if faults is not None else default_interference(duration)
     topology = build_app_topology(app, profile, hot=hot)
-    sim = StormSimulation(
-        topology, seed=seed, metrics_interval=interval, faults=faults
+    sim = (
+        SimulationBuilder(topology)
+        .seed(seed)
+        .metrics_interval(interval)
+        .faults(faults)
+        .observability(observability)
+        .build()
     )
     result = sim.run(duration=duration)
     monitor = StatsMonitor(

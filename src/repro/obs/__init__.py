@@ -1,0 +1,159 @@
+"""repro.obs — structured observability for the simulator stack.
+
+Three capabilities, all off by default and zero-cost when disabled:
+
+* **Tracing** (:mod:`~repro.obs.tracer`) — a ring-buffered structured
+  event tracer.  The storm layer emits tuple-lifecycle spans
+  (emit → transfer → queue → execute → ack/fail/replay), the control
+  layer emits decision records (sample/predict/detect/plan/apply with
+  inputs and chosen ratios), and the fault injector emits ground-truth
+  apply/revert markers.
+* **Metrics export** (:mod:`~repro.obs.export`) — serialise
+  :class:`~repro.storm.metrics.MultilevelSnapshot` streams and traces to
+  JSONL/CSV for offline analysis, plus an ASCII live summary.
+* **Profiling** (:mod:`~repro.obs.profiler`) — DES kernel hooks:
+  event-loop counters, heap depth, events/sec, and per-process
+  wall-time attribution, so simulator hot paths are measurable.
+
+Enable through the run API::
+
+    sim = (SimulationBuilder(topology)
+           .observability(trace=True, profile=True)
+           .build())
+    sim.run(duration=120)
+    events = sim.obs.tracer.events("tuple.ack")
+    print(sim.obs.profiler.report())
+
+The hot-path contract: when a capability is disabled its handle is
+literally ``None``, so instrumented code pays a single ``is not None``
+check per event and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.obs.profiler import KernelProfiler
+from repro.obs.tracer import (
+    CONTROL_APPLY,
+    CONTROL_DECISION,
+    CONTROL_SAMPLE,
+    CONTROL_SKIP,
+    FAULT_APPLY,
+    FAULT_REVERT,
+    TUPLE_ACK,
+    TUPLE_CLOSE_KINDS,
+    TUPLE_DROP,
+    TUPLE_EMIT,
+    TUPLE_EXECUTE,
+    TUPLE_FAIL,
+    TUPLE_QUEUE,
+    TUPLE_REPLAY,
+    TUPLE_SHED,
+    TUPLE_TRANSFER,
+    TraceEvent,
+    Tracer,
+    group_tuple_spans,
+)
+from repro.obs.export import (
+    load_snapshots_jsonl,
+    load_trace_jsonl,
+    render_live_summary,
+    snapshots_to_csv,
+    snapshots_to_jsonl,
+    summary_to_json,
+    trace_to_jsonl,
+)
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What to switch on for one simulation run.
+
+    ``trace`` buys tuple-lifecycle/controller/fault events into a ring
+    buffer of ``trace_capacity`` events (oldest dropped first);
+    ``profile`` attaches a :class:`KernelProfiler` to the DES kernel.
+    """
+
+    trace: bool = False
+    profile: bool = False
+    trace_capacity: int = 1 << 16
+
+    def validate(self) -> None:
+        if self.trace_capacity <= 0:
+            raise ValueError(
+                f"trace_capacity must be positive, got {self.trace_capacity}"
+            )
+
+
+class Observability:
+    """Live observability state owned by one simulation.
+
+    Holds the (possibly ``None``) tracer and profiler handles that the
+    runner threads through the cluster, executors, ledger, fault
+    injector, and controller.
+    """
+
+    def __init__(
+        self,
+        config: Union[ObservabilityConfig, "Observability", None] = None,
+    ) -> None:
+        if isinstance(config, Observability):  # pass-through (builder reuse)
+            self.config = config.config
+            self.tracer = config.tracer
+            self.profiler = config.profiler
+            return
+        self.config = config or ObservabilityConfig()
+        self.config.validate()
+        self.tracer: Optional[Tracer] = (
+            Tracer(capacity=self.config.trace_capacity)
+            if self.config.trace
+            else None
+        )
+        self.profiler: Optional[KernelProfiler] = (
+            KernelProfiler() if self.config.profile else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer is not None or self.profiler is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observability trace={self.tracer is not None}"
+            f" profile={self.profiler is not None}>"
+        )
+
+
+__all__ = [
+    "CONTROL_APPLY",
+    "CONTROL_DECISION",
+    "CONTROL_SAMPLE",
+    "CONTROL_SKIP",
+    "FAULT_APPLY",
+    "FAULT_REVERT",
+    "KernelProfiler",
+    "Observability",
+    "ObservabilityConfig",
+    "TUPLE_ACK",
+    "TUPLE_CLOSE_KINDS",
+    "TUPLE_DROP",
+    "TUPLE_EMIT",
+    "TUPLE_EXECUTE",
+    "TUPLE_FAIL",
+    "TUPLE_QUEUE",
+    "TUPLE_REPLAY",
+    "TUPLE_SHED",
+    "TUPLE_TRANSFER",
+    "TraceEvent",
+    "Tracer",
+    "group_tuple_spans",
+    "load_snapshots_jsonl",
+    "load_trace_jsonl",
+    "render_live_summary",
+    "snapshots_to_csv",
+    "snapshots_to_jsonl",
+    "summary_to_json",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,234 @@
+"""Offline export: snapshots and traces to JSONL/CSV, ASCII live summary.
+
+JSONL (one JSON object per line) is the interchange format for offline
+analysis: it streams, appends, greps, and loads into pandas with
+``pd.read_json(path, lines=True)``.  CSV covers the spreadsheet path for
+a single statistics level.  Everything here is pure serialisation — no
+simulation state is touched, so exports can run mid-run or post-run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.tracer import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storm.metrics import MultilevelSnapshot
+
+PathLike = Union[str, os.PathLike]
+
+
+def _jsonable(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays, tuples, and sets into JSON-safe types."""
+    if isinstance(obj, dict):
+        return {_key(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_jsonable(v) for v in obj)
+    if hasattr(obj, "tolist"):  # numpy array or scalar
+        return _jsonable(obj.tolist())
+    if hasattr(obj, "item") and type(obj).__module__ == "numpy":
+        return obj.item()
+    return obj
+
+
+def _key(k: Any) -> str:
+    if isinstance(k, tuple):  # e.g. edge keys (source, consumer, stream)
+        return "/".join(str(p) for p in k)
+    return str(k)
+
+
+# -- trace events ---------------------------------------------------------------
+
+
+def trace_to_jsonl(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """Write trace events to ``path``, one JSON object per line.
+
+    Each line is ``{"time": ..., "kind": ..., <payload fields>}``.
+    Returns the number of lines written.
+    """
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for e in events:
+            row: Dict[str, Any] = {"time": e.time, "kind": e.kind}
+            row.update(_jsonable(e.fields))
+            fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+            n += 1
+    return n
+
+
+def load_trace_jsonl(path: PathLike) -> List[TraceEvent]:
+    """Reload a JSONL trace written by :func:`trace_to_jsonl`."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            time = row.pop("time")
+            kind = row.pop("kind")
+            events.append(TraceEvent(time=time, kind=kind, fields=row))
+    return events
+
+
+# -- multilevel snapshots ---------------------------------------------------------
+
+
+def snapshots_to_jsonl(
+    snapshots: Sequence["MultilevelSnapshot"], path: PathLike
+) -> int:
+    """Write one JSON object per snapshot (all four statistics levels)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for s in snapshots:
+            fh.write(json.dumps(_jsonable(asdict(s)), separators=(",", ":")))
+            fh.write("\n")
+    return len(snapshots)
+
+
+def load_snapshots_jsonl(path: PathLike) -> List["MultilevelSnapshot"]:
+    """Reload snapshots written by :func:`snapshots_to_jsonl`.
+
+    Reconstructs the full dataclass tree (integer worker/executor keys
+    included), so ``MetricsCollector``-style series extraction works on
+    reloaded data.
+    """
+    from repro.storm.metrics import (
+        ExecutorStats,
+        MultilevelSnapshot,
+        NodeStats,
+        TopologyStats,
+        WorkerStats,
+    )
+
+    out: List[MultilevelSnapshot] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            out.append(
+                MultilevelSnapshot(
+                    time=row["time"],
+                    topology=TopologyStats(**row["topology"]),
+                    nodes={
+                        name: NodeStats(**ns)
+                        for name, ns in row["nodes"].items()
+                    },
+                    workers={
+                        int(wid): WorkerStats(**ws)
+                        for wid, ws in row["workers"].items()
+                    },
+                    executors={
+                        int(tid): ExecutorStats(**es)
+                        for tid, es in row["executors"].items()
+                    },
+                )
+            )
+    return out
+
+
+#: Flat CSV columns per statistics level.
+_CSV_LEVELS = {
+    "topology": (
+        "throughput", "emit_rate", "avg_complete_latency",
+        "acked", "failed", "in_flight", "dropped",
+    ),
+    "worker": (
+        "executed", "emitted", "avg_process_latency", "avg_service_time",
+        "queue_len", "backlog", "cpu_share", "n_executors",
+    ),
+    "node": ("utilization", "n_workers", "busy_executors", "cores"),
+    "executor": (
+        "component_id", "worker_id", "executed", "emitted",
+        "avg_process_latency", "avg_service_time",
+        "queue_len", "backlog", "cpu_share",
+    ),
+}
+
+
+def snapshots_to_csv(
+    snapshots: Sequence["MultilevelSnapshot"],
+    path: PathLike,
+    level: str = "worker",
+) -> int:
+    """Flatten one statistics level to CSV: one row per (time, entity).
+
+    ``level`` is ``"topology"``, ``"node"``, ``"worker"``, or
+    ``"executor"``.  Returns the number of data rows written.
+    """
+    if level not in _CSV_LEVELS:
+        raise ValueError(
+            f"unknown level {level!r}; choose from {sorted(_CSV_LEVELS)}"
+        )
+    cols = _CSV_LEVELS[level]
+    n = 0
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        id_col = {"topology": (), "node": ("node",), "worker": ("worker",),
+                  "executor": ("task",)}[level]
+        writer.writerow(("time",) + id_col + cols)
+        for s in snapshots:
+            if level == "topology":
+                writer.writerow(
+                    (s.time,) + tuple(getattr(s.topology, c) for c in cols)
+                )
+                n += 1
+                continue
+            scope = {"node": s.nodes, "worker": s.workers,
+                     "executor": s.executors}[level]
+            for key in sorted(scope):
+                stats = scope[key]
+                writer.writerow(
+                    (s.time, key) + tuple(getattr(stats, c) for c in cols)
+                )
+                n += 1
+    return n
+
+
+# -- run summaries ---------------------------------------------------------------
+
+
+def summary_to_json(summary: Dict[str, Any], path: PathLike) -> None:
+    """Write a flat run summary (``SimulationResult.summary()``) as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_jsonable(summary), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# -- ASCII live summary ------------------------------------------------------------
+
+
+def render_live_summary(
+    snapshots: Sequence["MultilevelSnapshot"], last: int = 10
+) -> str:
+    """Compact ASCII table of the most recent intervals.
+
+    One line per snapshot: time, throughput, mean complete latency,
+    in-flight trees, total backlog, and the worst node utilisation —
+    enough to watch a run converge or melt down without plots.
+    """
+    if not snapshots:
+        return "(no snapshots yet)"
+    rows = snapshots[-last:]
+    header = (
+        f"{'t (s)':>8}  {'thr (t/s)':>10}  {'lat (ms)':>9}"
+        f"  {'inflight':>8}  {'backlog':>8}  {'max util':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in rows:
+        backlog = sum(w.backlog for w in s.workers.values())
+        util = max((n.utilization for n in s.nodes.values()), default=0.0)
+        lines.append(
+            f"{s.time:8.1f}  {s.topology.throughput:10.1f}"
+            f"  {s.topology.avg_complete_latency * 1e3:9.2f}"
+            f"  {s.topology.in_flight:8d}  {backlog:8d}  {util:8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Ring-buffered structured event tracer.
+
+Every instrumented site in the simulator holds a ``tracer`` attribute
+that is either a :class:`Tracer` or ``None``; the hot-path idiom is::
+
+    tr = self.tracer
+    if tr is not None:
+        tr.record(self.env.now, TUPLE_EXECUTE, task=self.task_id, ...)
+
+so a disabled tracer costs one attribute load and one identity check per
+potential event.  Events land in a bounded :class:`collections.deque`;
+once full, the oldest events are overwritten (``dropped`` counts them),
+which keeps long runs memory-bounded without branching in ``record``.
+
+Event taxonomy (the ``kind`` strings below):
+
+==================  =====================================================
+``tuple.emit``      spout opened a tuple tree (``root`` is the span id)
+``tuple.transfer``  transport accepted a tuple for delivery
+``tuple.queue``     bolt dequeued a tuple (``wait`` = queue time)
+``tuple.execute``   bolt finished servicing a tuple (``service`` seconds)
+``tuple.ack``       tuple tree completed — closes the ``emit`` span
+``tuple.fail``      tuple tree failed/timed out — closes the span
+``tuple.replay``    spout re-queued a failed message for replay
+``tuple.drop``      message exceeded ``max_replays`` and was abandoned
+``tuple.shed``      transport dropped a tuple at a full receiver queue
+``control.*``       controller loop: sample/predict/detect/plan skips,
+                    one ``control.decision`` per acted interval and one
+                    ``control.apply`` per actuated edge (with ratios)
+``fault.apply``     fault injector applied a fault (ground truth)
+``fault.revert``    fault injector reverted a fault
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+TUPLE_EMIT = "tuple.emit"
+TUPLE_TRANSFER = "tuple.transfer"
+TUPLE_QUEUE = "tuple.queue"
+TUPLE_EXECUTE = "tuple.execute"
+TUPLE_ACK = "tuple.ack"
+TUPLE_FAIL = "tuple.fail"
+TUPLE_REPLAY = "tuple.replay"
+TUPLE_DROP = "tuple.drop"
+TUPLE_SHED = "tuple.shed"
+CONTROL_SAMPLE = "control.sample"
+CONTROL_SKIP = "control.skip"
+CONTROL_DECISION = "control.decision"
+CONTROL_APPLY = "control.apply"
+FAULT_APPLY = "fault.apply"
+FAULT_REVERT = "fault.revert"
+
+#: Kinds that close a ``tuple.emit`` span (exactly one per completed root).
+TUPLE_CLOSE_KINDS = frozenset({TUPLE_ACK, TUPLE_FAIL})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event: simulation time, kind, and a flat payload."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"<{self.kind} t={self.time:.6g} {inner}>"
+
+
+class Tracer:
+    """Bounded in-memory event sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; the oldest are overwritten beyond that.
+    """
+
+    __slots__ = ("capacity", "_buf", "_total")
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque[TraceEvent] = deque(maxlen=capacity)
+        self._total = 0
+
+    # -- recording (the hot path) -------------------------------------------------
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append one event.  Callers guard with ``if tracer is not None``."""
+        self._total += 1
+        self._buf.append(TraceEvent(time, kind, fields))
+
+    # -- inspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (including ones since overwritten)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring-buffer overwrite."""
+        return self._total - len(self._buf)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """All retained events, optionally filtered by exact ``kind``.
+
+        A ``kind`` ending in ``.`` or ``.*`` matches the whole prefix
+        (``"tuple.*"`` returns every tuple-lifecycle event).
+        """
+        if kind is None:
+            return list(self._buf)
+        if kind.endswith("*"):
+            prefix = kind[:-1]
+            return [e for e in self._buf if e.kind.startswith(prefix)]
+        return [e for e in self._buf if e.kind == kind]
+
+    def clear(self) -> None:
+        """Drop retained events and reset the counters."""
+        self._buf.clear()
+        self._total = 0
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Retained-event histogram by kind (for summaries and tests)."""
+        counts: Dict[str, int] = {}
+        for e in self._buf:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer retained={len(self._buf)}/{self.capacity}"
+            f" total={self._total}>"
+        )
+
+
+def group_tuple_spans(
+    events: Iterable[TraceEvent],
+) -> Dict[int, List[TraceEvent]]:
+    """Group tuple-lifecycle events by their span id (the tree root).
+
+    Returns ``{root_id: [events in recorded order]}``.  Events without a
+    ``root`` field (unreliable emissions, ticks) are skipped.  Useful for
+    span-tree integrity checks: a well-formed completed span starts with
+    ``tuple.emit`` and contains exactly one close
+    (:data:`TUPLE_CLOSE_KINDS`).
+    """
+    spans: Dict[int, List[TraceEvent]] = {}
+    for e in events:
+        if not e.kind.startswith("tuple."):
+            continue
+        root = e.fields.get("root")
+        if root is None:
+            roots = e.fields.get("roots") or ()
+        else:
+            roots = (root,)
+        for r in roots:
+            spans.setdefault(r, []).append(e)
+    return spans

@@ -23,11 +23,15 @@ observes and manipulates:
   node/worker/executor/topology-level counters the controller samples.
 * **Fault injection** (:mod:`~repro.storm.faults`) — misbehaving workers
   (slowdowns, CPU-hog neighbours, pauses) on a schedule.
-* **Runner** (:mod:`~repro.storm.runner`) — one-call simulation harness.
+* **Runner & builder** (:mod:`~repro.storm.runner`,
+  :mod:`~repro.storm.builder`) — one-call simulation harness behind the
+  fluent :class:`SimulationBuilder`, plus per-segment
+  :class:`SimulationResult` summaries and named :class:`Series`.
 """
 
 from repro.storm.acker import AckLedger
 from repro.storm.api import Bolt, Emission, OutputCollector, Spout, TopologyContext
+from repro.storm.builder import SimulationBuilder
 from repro.storm.cluster import Cluster, EvenScheduler, NodeSpec
 from repro.storm.faults import (
     CpuHogFault,
@@ -49,7 +53,7 @@ from repro.storm.grouping import (
 from repro.storm.metrics import MetricsCollector, MultilevelSnapshot
 from repro.storm.node import Node
 from repro.storm.schedulers import PackingScheduler, ResourceAwareScheduler
-from repro.storm.runner import SimulationResult, StormSimulation
+from repro.storm.runner import Series, SimulationResult, StormSimulation
 from repro.storm.topology import Topology, TopologyBuilder, TopologyConfig
 from repro.storm.tuples import Tuple
 
@@ -77,7 +81,9 @@ __all__ = [
     "PauseFault",
     "RampingHogFault",
     "ResourceAwareScheduler",
+    "Series",
     "ShuffleGrouping",
+    "SimulationBuilder",
     "SimulationResult",
     "SlowdownFault",
     "Spout",

@@ -18,8 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
+from repro.obs.tracer import TUPLE_ACK, TUPLE_FAIL
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -64,10 +67,12 @@ class AckLedger:
         env: "Environment",
         message_timeout: float,
         sweep_interval: float = 1.0,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.message_timeout = message_timeout
         self.sweep_interval = sweep_interval
+        self.tracer = tracer
         self._trees: Dict[int, _TreeState] = {}
         self._on_ack: Dict[int, Callable] = {}  # spout_task -> callback
         self._on_fail: Dict[int, Callable] = {}
@@ -125,6 +130,12 @@ class AckLedger:
             latency = self.env.now - tree.start_time
             self.acked_count += 1
             self.latency_sum += latency
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.env.now, TUPLE_ACK, root=root_id,
+                    msg_id=tree.msg_id, spout_task=tree.spout_task,
+                    latency=latency,
+                )
             self.completions.append(
                 CompletionRecord(
                     msg_id=tree.msg_id,
@@ -143,10 +154,18 @@ class AckLedger:
         tree = self._trees.pop(root_id, None)
         if tree is None:
             return
-        self._record_failure(tree)
+        self._record_failure(tree, root_id, reason="failed")
 
-    def _record_failure(self, tree: _TreeState) -> None:
+    def _record_failure(
+        self, tree: _TreeState, root_id: int, reason: str = "timeout"
+    ) -> None:
         self.failed_count += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, TUPLE_FAIL, root=root_id,
+                msg_id=tree.msg_id, spout_task=tree.spout_task,
+                latency=self.env.now - tree.start_time, reason=reason,
+            )
         self.completions.append(
             CompletionRecord(
                 msg_id=tree.msg_id,
@@ -173,7 +192,7 @@ class AckLedger:
             ]
             for root in expired:
                 tree = self._trees.pop(root)
-                self._record_failure(tree)
+                self._record_failure(tree, root, reason="timeout")
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,201 @@
+"""Fluent assembly of a :class:`~repro.storm.runner.StormSimulation`.
+
+The builder is the single front door to the run API: cluster shape,
+seed, fault schedule, controller attachment, and observability all hang
+off one chain instead of a growing constructor signature plus
+side-effectful "construct the controller with a sim reference" wiring::
+
+    sim = (SimulationBuilder(topology)
+           .nodes(NodeSpec("alpha", cores=4, slots=2),
+                  NodeSpec("beta", cores=4, slots=2))
+           .seed(7)
+           .faults(SlowdownFault(start=60, duration=90, worker_id=1,
+                                 factor=20))
+           .controller(PerformancePredictor(None, window=4),
+                       ControllerConfig(control_interval=5.0, window=4))
+           .observability(trace=True, profile=True)
+           .build())
+    result = sim.run(duration=210)
+    print(result.summary())
+    print(sim.obs.profiler.report())
+
+Every method returns the builder; ``build()`` materialises the
+simulation exactly once, and ``run(duration)`` is sugar for
+``build().run(duration)`` when the simulation object itself is not
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+from repro.obs import Observability, ObservabilityConfig
+from repro.storm.cluster import NodeSpec
+from repro.storm.faults import Fault
+from repro.storm.runner import (
+    DEFAULT_NODES,
+    SimulationResult,
+    StormSimulation,
+)
+from repro.storm.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import ControllerConfig
+    from repro.core.controller import PredictiveController
+    from repro.core.predictor import PerformancePredictor
+
+
+class SimulationBuilder:
+    """Collects run options, then builds a :class:`StormSimulation`."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._nodes: Sequence[NodeSpec] = DEFAULT_NODES
+        self._seed = 0
+        self._metrics_interval = 1.0
+        self._faults: List[Fault] = []
+        self._controllers: List[object] = []  # controllers or spec tuples
+        self._observability: Union[
+            ObservabilityConfig, Observability, None
+        ] = None
+        self._built: Optional[StormSimulation] = None
+
+    # -- cluster & run options ----------------------------------------------------
+
+    def nodes(
+        self, *specs: Union[NodeSpec, Sequence[NodeSpec]]
+    ) -> "SimulationBuilder":
+        """Set the cluster shape: varargs or one sequence of NodeSpecs."""
+        if len(specs) == 1 and not isinstance(specs[0], NodeSpec):
+            flat: Sequence[NodeSpec] = tuple(specs[0])
+        else:
+            flat = tuple(specs)  # type: ignore[arg-type]
+        if not flat:
+            raise ValueError("nodes() needs at least one NodeSpec")
+        for s in flat:
+            if not isinstance(s, NodeSpec):
+                raise TypeError(f"expected NodeSpec, got {s!r}")
+        self._nodes = flat
+        return self
+
+    def seed(self, seed: int) -> "SimulationBuilder":
+        """Root seed for all simulation randomness."""
+        self._seed = int(seed)
+        return self
+
+    def metrics_interval(self, interval: float) -> "SimulationBuilder":
+        """Sampling period of the multilevel statistics collector."""
+        if interval <= 0:
+            raise ValueError("metrics interval must be positive")
+        self._metrics_interval = float(interval)
+        return self
+
+    def faults(
+        self, *faults: Union[Fault, Sequence[Fault]]
+    ) -> "SimulationBuilder":
+        """Append faults to the injection schedule (varargs or sequence)."""
+        for f in faults:
+            if isinstance(f, Fault):
+                self._faults.append(f)
+            else:
+                self._faults.extend(f)
+        return self
+
+    # -- controller --------------------------------------------------------------
+
+    def controller(
+        self,
+        predictor: Union["PerformancePredictor", "PredictiveController"],
+        config: Optional["ControllerConfig"] = None,
+        edges: Optional[Sequence[Tuple[str, str, str]]] = None,
+        online_fit_after: Optional[int] = None,
+    ) -> "SimulationBuilder":
+        """Attach the predictive control loop to the built simulation.
+
+        Pass either a ready (detached) :class:`PredictiveController`, or
+        a :class:`PerformancePredictor` plus its loop options and the
+        builder constructs the controller at ``build()`` time.
+        """
+        from repro.core.controller import PredictiveController
+
+        if isinstance(predictor, PredictiveController):
+            if config is not None or edges is not None \
+                    or online_fit_after is not None:
+                raise TypeError(
+                    "pass loop options when giving a predictor, not an "
+                    "already-constructed controller"
+                )
+            self._controllers.append(predictor)
+        else:
+            self._controllers.append(
+                (predictor, config, edges, online_fit_after)
+            )
+        return self
+
+    # -- observability ------------------------------------------------------------
+
+    def observability(
+        self,
+        config: Union[ObservabilityConfig, Observability, None] = None,
+        *,
+        trace: bool = False,
+        profile: bool = False,
+        trace_capacity: int = 1 << 16,
+    ) -> "SimulationBuilder":
+        """Enable tracing/profiling (see :mod:`repro.obs`).
+
+        Either pass a prepared :class:`ObservabilityConfig` (flags are
+        then ignored) or use the keyword flags directly.
+        """
+        if config is not None:
+            self._observability = config
+        else:
+            self._observability = ObservabilityConfig(
+                trace=trace, profile=profile, trace_capacity=trace_capacity
+            )
+        return self
+
+    # -- materialisation -----------------------------------------------------------
+
+    def build(self) -> StormSimulation:
+        """Materialise the simulation (idempotent: one sim per builder)."""
+        if self._built is not None:
+            return self._built
+        sim = StormSimulation(
+            self._topology,
+            nodes=self._nodes,
+            seed=self._seed,
+            metrics_interval=self._metrics_interval,
+            faults=tuple(self._faults),
+            observability=self._observability,
+        )
+        if self._controllers:
+            from repro.core.controller import PredictiveController
+
+            for spec in self._controllers:
+                if isinstance(spec, PredictiveController):
+                    sim.attach(spec)
+                else:
+                    predictor, config, edges, online_fit_after = spec
+                    sim.attach(
+                        PredictiveController(
+                            predictor,
+                            config=config,
+                            edges=edges,
+                            online_fit_after=online_fit_after,
+                        )
+                    )
+        self._built = sim
+        return sim
+
+    def run(self, duration: float) -> SimulationResult:
+        """``build()`` then run one segment of ``duration`` seconds."""
+        return self.build().run(duration)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulationBuilder topology={self._topology.name!r}"
+            f" nodes={len(self._nodes)} faults={len(self._faults)}"
+            f" controllers={len(self._controllers)}"
+            f" built={self._built is not None}>"
+        )

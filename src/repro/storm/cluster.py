@@ -29,6 +29,7 @@ from repro.storm.worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.tracer import Tracer
     from repro.storm.executor import BaseExecutor
 
 
@@ -96,6 +97,7 @@ class Cluster:
         node_specs: Sequence[NodeSpec],
         seed: int = 0,
         scheduler: Optional[EvenScheduler] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if not node_specs:
             raise ValueError("cluster needs at least one node")
@@ -103,6 +105,7 @@ class Cluster:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate node names in {names}")
         self.env = env
+        self.tracer = tracer
         self.rngs = RngRegistry(seed)
         self.scheduler = scheduler or EvenScheduler()
         self.nodes = [Node(env, s.name, s.cores, s.slots) for s in node_specs]
@@ -126,8 +129,11 @@ class Cluster:
             self.env,
             message_timeout=config.message_timeout,
             sweep_interval=config.ack_sweep_interval,
+            tracer=self.tracer,
         )
-        self.transport = Transport(self.env, config, ledger=self.ledger)
+        self.transport = Transport(
+            self.env, config, ledger=self.ledger, tracer=self.tracer
+        )
 
         placements = self.scheduler.place_workers(config.num_workers, self.nodes)
         self.workers = [
@@ -173,6 +179,7 @@ class Cluster:
                     transport=self.transport,
                     ledger=self.ledger,
                     rng=self.rngs.get(f"executor/{cid}/{task_index}"),
+                    tracer=self.tracer,
                 )
                 if spec.is_spout:
                     assert isinstance(instance, Spout)

@@ -24,12 +24,22 @@ import numpy as np
 
 from repro.des.events import Event
 from repro.des.stores import Store
+from repro.obs.tracer import (
+    TUPLE_DROP,
+    TUPLE_EMIT,
+    TUPLE_EXECUTE,
+    TUPLE_QUEUE,
+    TUPLE_REPLAY,
+    TUPLE_SHED,
+    TUPLE_TRANSFER,
+)
 from repro.storm.api import Bolt, Emission, OutputCollector, Spout, TopologyContext
 from repro.storm.grouping import DirectGrouping, Grouping
 from repro.storm.tuples import DEFAULT_STREAM, SpoutRecord, Tuple, next_edge_id
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.tracer import Tracer
     from repro.storm.acker import AckLedger
     from repro.storm.topology import TopologyConfig
     from repro.storm.worker import Worker
@@ -63,10 +73,12 @@ class Transport:
         env: "Environment",
         config: "TopologyConfig",
         ledger: Optional["AckLedger"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.config = config
         self.ledger = ledger
+        self.tracer = tracer
         self.queues: Dict[int, Store] = {}
         self.placement: Dict[int, "Worker"] = {}
         self.sent_count = 0
@@ -97,6 +109,17 @@ class Transport:
         delay = self.latency(src_worker, dst_task)
         self.sent_count += 1
         shed = self.config.overflow_policy == "shed"
+        tr = self.tracer
+        if tr is not None:
+            tr.record(
+                env.now,
+                TUPLE_TRANSFER,
+                src_task=tup.source_task,
+                dst_task=dst_task,
+                edge=tup.edge_id,
+                roots=tup.roots,
+                delay=delay,
+            )
 
         def deliver() -> None:
             if shed and queue.is_full:
@@ -104,6 +127,11 @@ class Transport:
                 # right away so the spout replays without waiting for the
                 # message timeout.
                 self.dropped_count += 1
+                if tr is not None:
+                    tr.record(
+                        env.now, TUPLE_SHED, dst_task=dst_task,
+                        edge=tup.edge_id, roots=tup.roots,
+                    )
                 if self.ledger is not None:
                     for root in tup.roots:
                         self.ledger.fail(root)
@@ -127,6 +155,7 @@ class BaseExecutor:
         transport: Transport,
         ledger: "AckLedger",
         rng: np.random.Generator,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.task_id = task_id
@@ -137,6 +166,7 @@ class BaseExecutor:
         self.transport = transport
         self.ledger = ledger
         self.rng = rng
+        self.tracer = tracer
         self.queue = Store(env, capacity=config.executor_queue_capacity)
         #: stream -> [(consumer_id, Grouping)]
         self.outbound: Dict[str, List[Tup[str, Grouping]]] = {}
@@ -259,12 +289,23 @@ class SpoutExecutor(BaseExecutor):
             return
         self.failed_count += 1
         self.spout.fail(msg_id)
+        tr = self.tracer
         if rec.retries < self.config.max_replays:
             rec.retries += 1
             self.replay_queue.append(rec)
             self.replayed_count += 1
+            if tr is not None:
+                tr.record(
+                    self.env.now, TUPLE_REPLAY, msg_id=msg_id,
+                    task=self.task_id, retries=rec.retries,
+                )
         else:
             self.dropped_count += 1
+            if tr is not None:
+                tr.record(
+                    self.env.now, TUPLE_DROP, msg_id=msg_id,
+                    task=self.task_id, retries=rec.retries,
+                )
         self._signal()
 
     def _signal(self) -> None:
@@ -323,6 +364,7 @@ class SpoutExecutor(BaseExecutor):
     def _emit_record(self, rec: SpoutRecord) -> None:
         """Emit (or re-emit) one spout message and open its ack tree."""
         reliable = rec.msg_id is not None
+        tr = self.tracer
         if reliable:
             root = next_edge_id()
             rec.root_id = root
@@ -331,6 +373,12 @@ class SpoutExecutor(BaseExecutor):
             # then fold the edges in exactly as Storm's acker-init does.
             self.ledger.init_tree(root, self.task_id, rec.msg_id, edge_id=0)
             self.pending[rec.msg_id] = rec
+            if tr is not None:
+                tr.record(
+                    self.env.now, TUPLE_EMIT, root=root, msg_id=rec.msg_id,
+                    task=self.task_id, component=self.component_id,
+                    retries=rec.retries,
+                )
             edges = self.route_emission(rec.values, rec.stream, roots=(root,))
             if not edges:
                 # No consumers: the tree is trivially complete.
@@ -388,6 +436,13 @@ class BoltExecutor(BaseExecutor):
         tup = envelope.tup
         wait = self.env.now - envelope.enqueue_time
         is_tick = tup.stream == TICK_STREAM
+        tr = self.tracer
+        if tr is not None and not is_tick:
+            tr.record(
+                self.env.now, TUPLE_QUEUE, task=self.task_id,
+                component=self.component_id, edge=tup.edge_id,
+                roots=tup.roots, wait=wait,
+            )
         nominal = 0.2e-3 if is_tick else self.bolt.cpu_cost(tup)
         dilation = self.worker.node.service_started()
         service = (
@@ -398,6 +453,12 @@ class BoltExecutor(BaseExecutor):
         )
         yield self.env.timeout(service)
         self.worker.node.service_finished()
+        if tr is not None and not is_tick:
+            tr.record(
+                self.env.now, TUPLE_EXECUTE, task=self.task_id,
+                component=self.component_id, edge=tup.edge_id,
+                roots=tup.roots, service=service,
+            )
         if is_tick:
             self.bolt.tick(self.env.now, self.collector)
         else:

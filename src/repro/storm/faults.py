@@ -19,11 +19,14 @@ experiment harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Sequence
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.obs.tracer import FAULT_APPLY, FAULT_REVERT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.tracer import Tracer
     from repro.storm.cluster import Cluster
 
 
@@ -175,13 +178,24 @@ class FaultInjector:
         env: "Environment",
         cluster: "Cluster",
         faults: Sequence[Fault] = (),
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
+        self.tracer = tracer
         self.log: List[FaultEvent] = []
         for f in faults:
             f.validate(cluster)
             env.process(self._driver(f), name=f"fault-{type(f).__name__}")
+
+    def _trace(self, kind: str, fault: Fault) -> None:
+        if self.tracer is not None:
+            params = {
+                f.name: getattr(fault, f.name) for f in dataclass_fields(fault)
+            }
+            self.tracer.record(
+                self.env.now, kind, fault=type(fault).__name__, **params
+            )
 
     def _driver(self, fault: Fault):
         if fault.start > self.env.now:
@@ -189,12 +203,14 @@ class FaultInjector:
         fault.apply(self.cluster)
         record = FaultEvent(fault=fault, applied_at=self.env.now)
         self.log.append(record)
+        self._trace(FAULT_APPLY, fault)
         if isinstance(fault, RampingHogFault):
             yield from self._ramp_driver(fault)
         else:
             yield self.env.timeout(fault.duration)
         fault.revert(self.cluster)
         record.reverted_at = self.env.now
+        self._trace(FAULT_REVERT, fault)
 
     def _ramp_driver(self, fault: RampingHogFault):
         """Staircase the node's external load along the ramp profile.

@@ -1,31 +1,48 @@
-"""One-call simulation harness.
+"""One-call simulation harness and the redesigned run API.
 
-:class:`StormSimulation` bundles environment, cluster, metrics, and fault
-injection so applications and experiments can write::
+The blessed entry point is the fluent :class:`~repro.storm.builder.
+SimulationBuilder`::
 
-    sim = StormSimulation(topology, nodes=[NodeSpec("n0", cores=4, slots=2)],
-                          seed=7, faults=[SlowdownFault(start=60, duration=120,
-                                                        worker_id=1, factor=8)])
+    sim = (SimulationBuilder(topology)
+           .nodes(NodeSpec("n0", cores=4, slots=2))
+           .seed(7)
+           .faults(SlowdownFault(start=60, duration=120, worker_id=1,
+                                 factor=8))
+           .controller(PerformancePredictor(None, window=4))
+           .observability(trace=True)
+           .build())
     result = sim.run(duration=300)
     print(result.mean_throughput(), result.latency_percentile(0.99))
 
-Controllers (e.g. :class:`repro.core.controller.PredictiveController`)
-attach to the simulation *before* :meth:`StormSimulation.run`.
+Controllers attach explicitly (``sim.attach(controller)`` or the
+builder's ``.controller(...)``) and must attach *before* the first
+:meth:`StormSimulation.run`.
+
+The :class:`StormSimulation` constructor is retained as a thin
+compatibility shim over the same wiring; new code should build through
+:class:`SimulationBuilder` (``scripts/check_api.py`` lints first-party
+code for direct construction).  Repeated ``run()`` calls advance the
+same simulation and each returns a *per-segment* result — counters and
+latencies cover only that segment, never the whole history.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.des.environment import Environment
+from repro.obs import Observability, ObservabilityConfig
 from repro.storm.cluster import Cluster, NodeSpec
 from repro.storm.faults import Fault, FaultInjector
 from repro.storm.metrics import MetricsCollector, MultilevelSnapshot
 from repro.storm.topology import Topology
 from repro.storm.tuples import reset_edge_ids
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import PredictiveController
 
 
 #: Default cluster shape used by the experiments: 4 nodes, 2 slots each —
@@ -38,9 +55,21 @@ DEFAULT_NODES = (
 )
 
 
+class Series(NamedTuple):
+    """A named time series: sample times ``t`` and values ``y``.
+
+    Unpacks like the bare 2-tuple it replaces (``t, y = series``), but
+    field access (``series.t`` / ``series.y``) is the supported style —
+    the API lint flags raw tuple unpacking of the series helpers.
+    """
+
+    t: np.ndarray
+    y: np.ndarray
+
+
 @dataclass
 class SimulationResult:
-    """Everything an experiment needs after a run."""
+    """Everything an experiment needs after one ``run()`` segment."""
 
     duration: float
     snapshots: List[MultilevelSnapshot]
@@ -50,6 +79,8 @@ class SimulationResult:
     complete_latencies: np.ndarray  # per acked tuple, seconds
     metrics: MetricsCollector
     cluster: Cluster
+    #: simulation time at which this segment started (0 for the first run)
+    start_time: float = 0.0
 
     # -- summary helpers --------------------------------------------------------------
 
@@ -83,19 +114,45 @@ class SimulationResult:
             return float("nan")
         return float(np.quantile(self.complete_latencies, q))
 
-    def throughput_series(self) -> tuple:
-        t = np.array([s.time for s in self.snapshots])
-        y = np.array([s.topology.throughput for s in self.snapshots])
-        return t, y
+    def throughput_series(self) -> Series:
+        return Series(
+            t=np.array([s.time for s in self.snapshots]),
+            y=np.array([s.topology.throughput for s in self.snapshots]),
+        )
 
-    def latency_series(self) -> tuple:
-        t = np.array([s.time for s in self.snapshots])
-        y = np.array([s.topology.avg_complete_latency for s in self.snapshots])
-        return t, y
+    def latency_series(self) -> Series:
+        return Series(
+            t=np.array([s.time for s in self.snapshots]),
+            y=np.array(
+                [s.topology.avg_complete_latency for s in self.snapshots]
+            ),
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Flat scalar summary of this segment (JSON/benchmark-friendly)."""
+        return {
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "acked": self.acked,
+            "failed": self.failed,
+            "dropped": self.dropped,
+            "snapshots": len(self.snapshots),
+            "mean_throughput": self.mean_throughput(),
+            "mean_complete_latency": self.mean_complete_latency(),
+            "p50_complete_latency": self.latency_percentile(0.5),
+            "p99_complete_latency": self.latency_percentile(0.99),
+        }
 
 
 class StormSimulation:
-    """Owns one environment + cluster + topology and runs it."""
+    """Owns one environment + cluster + topology and runs it.
+
+    .. deprecated:: direct keyword construction
+        This constructor remains as a compatibility shim; build through
+        :class:`~repro.storm.builder.SimulationBuilder` instead, which
+        carries the same options plus controller attachment and
+        observability without growing this signature further.
+    """
 
     def __init__(
         self,
@@ -104,43 +161,106 @@ class StormSimulation:
         seed: int = 0,
         metrics_interval: float = 1.0,
         faults: Sequence[Fault] = (),
+        observability: Union[ObservabilityConfig, Observability, None] = None,
     ) -> None:
         # Fresh edge-id space per simulation keeps runs independent even
         # within one process (pytest runs many simulations back to back).
         reset_edge_ids()
+        self.obs = Observability(observability)
         self.env = Environment()
-        self.cluster = Cluster(self.env, nodes, seed=seed)
+        if self.obs.profiler is not None:
+            self.env.set_profiler(self.obs.profiler)
+        self.cluster = Cluster(
+            self.env, nodes, seed=seed, tracer=self.obs.tracer
+        )
         self.cluster.submit(topology)
         self.metrics = MetricsCollector(
             self.env, self.cluster, interval=metrics_interval
         )
-        self.fault_injector = FaultInjector(self.env, self.cluster, faults)
+        self.fault_injector = FaultInjector(
+            self.env, self.cluster, faults, tracer=self.obs.tracer
+        )
         self.topology = topology
+        self.controllers: List["PredictiveController"] = []
+        self._started = False
+        # per-segment baselines for repeated run() calls
+        self._completions_seen = 0
+        self._snapshots_seen = 0
+        self._prev_acked = 0
+        self._prev_failed = 0
+        self._prev_dropped = 0
+
+    # -- controller attachment ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`run` has been called at least once."""
+        return self._started
+
+    @property
+    def controller(self) -> Optional["PredictiveController"]:
+        """The first attached controller, or ``None``."""
+        return self.controllers[0] if self.controllers else None
+
+    def attach(self, controller: "PredictiveController") -> "StormSimulation":
+        """Attach a (detached) controller to this simulation.
+
+        Must happen before the first :meth:`run` — the controller needs
+        to see the warm-up statistics window from t=0 and its loop
+        process must start with the simulation.  Returns ``self`` so the
+        call chains.
+        """
+        if self._started:
+            raise RuntimeError(
+                "cannot attach a controller after run() has started; "
+                "attach before the first run (or use "
+                "SimulationBuilder.controller(...))"
+            )
+        controller._bind(self)
+        self.controllers.append(controller)
+        return self
+
+    # -- running -----------------------------------------------------------------------
 
     def run(self, duration: float) -> SimulationResult:
-        """Advance the simulation by ``duration`` seconds and summarise."""
+        """Advance the simulation by ``duration`` seconds and summarise.
+
+        Each call returns a result covering *only* the newly simulated
+        segment: counters, snapshots, and per-tuple latencies since the
+        previous ``run()`` call.
+        """
         if duration <= 0:
             raise ValueError("duration must be positive")
+        self._started = True
+        start_time = self.env.now
         self.env.run(until=self.env.now + duration)
         ledger = self.cluster.ledger
         assert ledger is not None
+        new_completions = ledger.completions[self._completions_seen :]
+        self._completions_seen = len(ledger.completions)
         lats = np.array(
-            [c.latency for c in ledger.completions if c.acked], dtype=float
+            [c.latency for c in new_completions if c.acked], dtype=float
         )
         from repro.storm.executor import SpoutExecutor
 
-        dropped = sum(
+        dropped_total = sum(
             ex.dropped_count
             for ex in self.cluster.executors.values()
             if isinstance(ex, SpoutExecutor)
         )
-        return SimulationResult(
+        result = SimulationResult(
             duration=duration,
-            snapshots=list(self.metrics.snapshots),
-            acked=ledger.acked_count,
-            failed=ledger.failed_count,
-            dropped=dropped,
+            snapshots=list(self.metrics.snapshots[self._snapshots_seen :]),
+            acked=ledger.acked_count - self._prev_acked,
+            failed=ledger.failed_count - self._prev_failed,
+            dropped=dropped_total - self._prev_dropped,
             complete_latencies=lats,
             metrics=self.metrics,
             cluster=self.cluster,
+            start_time=start_time,
         )
+        self._snapshots_seen = len(self.metrics.snapshots)
+        self._prev_acked = ledger.acked_count
+        self._prev_failed = ledger.failed_count
+        self._prev_dropped = dropped_total
+        return result

@@ -1,0 +1,67 @@
+"""Zero-cost-when-disabled guarantees of the observability layer.
+
+The structural checks pin the mechanism (disabled handles are literally
+``None`` everywhere they are threaded); the timing check guards against
+gross regressions of the disabled-path overhead.  The precise <2%
+criterion on E10 is measured by the benchmark suite, not here — a unit
+test asserting a tight wall-clock margin would be flaky on loaded CI
+machines, so this one uses a generous bound.
+"""
+
+import time
+
+from repro.apps import RateProfile, build_url_count_topology
+from repro.storm import SimulationBuilder
+
+
+def build_sim(trace: bool):
+    topo = build_url_count_topology(profile=RateProfile(base=150.0))
+    builder = SimulationBuilder(topo).seed(2)
+    if trace:
+        builder.observability(trace=True)
+    return builder.build()
+
+
+def test_disabled_observability_threads_none_everywhere():
+    sim = build_sim(trace=False)
+    assert sim.obs.tracer is None
+    assert sim.obs.profiler is None
+    assert sim.cluster.tracer is None
+    assert sim.cluster.ledger.tracer is None
+    assert sim.cluster.transport.tracer is None
+    assert sim.fault_injector.tracer is None
+    for ex in sim.cluster.executors.values():
+        assert ex.tracer is None
+
+
+def test_enabled_observability_threads_one_shared_tracer():
+    sim = build_sim(trace=True)
+    tr = sim.obs.tracer
+    assert tr is not None
+    assert sim.cluster.tracer is tr
+    assert sim.cluster.ledger.tracer is tr
+    assert sim.cluster.transport.tracer is tr
+    for ex in sim.cluster.executors.values():
+        assert ex.tracer is tr
+
+
+def test_disabled_tracer_wall_time_overhead_is_small():
+    # Warm both paths once (imports, JIT-ish caches), then time.
+    build_sim(trace=False).run(duration=2)
+
+    t0 = time.perf_counter()
+    plain = build_sim(trace=False)
+    plain.run(duration=30)
+    plain_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    traced = build_sim(trace=True)
+    traced.run(duration=30)
+    traced_wall = time.perf_counter() - t0
+
+    assert traced.obs.tracer.total_recorded > 1000
+    # Disabled-path runtime must stay in the same ballpark as the traced
+    # run minus its recording cost; 50% headroom absorbs CI noise while
+    # still catching an accidentally hot disabled path (e.g. building
+    # event dicts before the None check).
+    assert plain_wall < traced_wall * 1.5

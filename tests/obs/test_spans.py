@@ -1,0 +1,74 @@
+"""Span-tree integrity of traced runs.
+
+Property under test: in a traced simulation, every tuple tree whose root
+span was opened (``tuple.emit``) and that the ack ledger has resolved is
+closed by *exactly one* terminal event (``tuple.ack`` or ``tuple.fail``),
+and the open precedes the close in simulation time.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import TUPLE_CLOSE_KINDS, TUPLE_EMIT, group_tuple_spans
+from repro.storm import SimulationBuilder, NodeSpec, TopologyBuilder, TopologyConfig
+from tests.storm.helpers import CounterSpout, PassBolt, SinkBolt
+
+
+def traced_sim(seed: int, rate: float = 120.0):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=rate))
+    b.set_bolt("mid", PassBolt(), parallelism=2).shuffle_grouping("src")
+    b.set_bolt("sink", SinkBolt(), parallelism=2).shuffle_grouping("mid")
+    topo = b.build("spans", TopologyConfig(num_workers=2))
+    return (
+        SimulationBuilder(topo)
+        .nodes(NodeSpec("n0", cores=4, slots=2))
+        .seed(seed)
+        .observability(trace=True)
+        .build()
+    )
+
+
+def check_span_integrity(sim):
+    tracer = sim.obs.tracer
+    spans = group_tuple_spans(tracer.events())
+    ledger = sim.cluster.ledger
+    open_roots = set(ledger._trees)  # still in flight at end of run
+    checked = 0
+    for root, events in spans.items():
+        closes = [e for e in events if e.kind in TUPLE_CLOSE_KINDS]
+        opens = [e for e in events if e.kind == TUPLE_EMIT]
+        if root in open_roots:
+            assert len(closes) == 0, f"in-flight root {root} has a close"
+            continue
+        if not opens:
+            continue  # opened before the ring buffer window — unverifiable
+        assert len(opens) == 1, f"root {root} opened {len(opens)} times"
+        assert len(closes) == 1, (
+            f"resolved root {root} closed by {len(closes)} events: "
+            f"{[e.kind for e in closes]}"
+        )
+        assert opens[0].time <= closes[0].time
+        checked += 1
+    return checked
+
+
+def test_every_emit_closed_exactly_once():
+    sim = traced_sim(seed=1)
+    sim.run(duration=20)
+    assert check_span_integrity(sim) > 100
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_span_integrity_across_seeds(seed):
+    sim = traced_sim(seed=seed, rate=60.0)
+    sim.run(duration=8)
+    assert check_span_integrity(sim) > 10
+
+
+def test_span_integrity_survives_segmented_runs():
+    sim = traced_sim(seed=3)
+    sim.run(duration=5)
+    sim.run(duration=5)
+    assert check_span_integrity(sim) > 50

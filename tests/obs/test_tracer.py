@@ -1,0 +1,88 @@
+"""Unit tests for the structured event tracer."""
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    ObservabilityConfig,
+    Tracer,
+    TUPLE_ACK,
+    TUPLE_EMIT,
+    TUPLE_TRANSFER,
+    group_tuple_spans,
+)
+
+
+def test_record_and_read_back():
+    tr = Tracer()
+    tr.record(1.0, TUPLE_EMIT, root=1, task=2)
+    tr.record(2.0, TUPLE_ACK, root=1, latency=1.0)
+    events = tr.events()
+    assert [e.kind for e in events] == [TUPLE_EMIT, TUPLE_ACK]
+    assert events[0].time == 1.0
+    assert events[0].get("task") == 2
+    assert events[0].get("missing", "d") == "d"
+
+
+def test_kind_filter_and_prefix_filter():
+    tr = Tracer()
+    tr.record(0.0, TUPLE_EMIT, root=1)
+    tr.record(0.5, TUPLE_TRANSFER, roots=(1,))
+    tr.record(1.0, "control.decision", flagged=[])
+    assert len(tr.events(TUPLE_EMIT)) == 1
+    assert len(tr.events("tuple.*")) == 2
+    assert len(tr.events("control.*")) == 1
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    tr = Tracer(capacity=4)
+    for i in range(10):
+        tr.record(float(i), TUPLE_EMIT, root=i)
+    events = tr.events()
+    assert len(events) == 4
+    assert [e.get("root") for e in events] == [6, 7, 8, 9]
+    assert tr.total_recorded == 10
+    assert tr.dropped == 6
+
+
+def test_kind_counts_and_clear():
+    tr = Tracer()
+    tr.record(0.0, TUPLE_EMIT, root=1)
+    tr.record(0.1, TUPLE_EMIT, root=2)
+    tr.record(0.2, TUPLE_ACK, root=1)
+    assert tr.kind_counts() == {TUPLE_EMIT: 2, TUPLE_ACK: 1}
+    tr.clear()
+    assert tr.events() == []
+    assert tr.total_recorded == 0
+
+
+def test_group_tuple_spans_by_root_and_roots():
+    tr = Tracer()
+    tr.record(0.0, TUPLE_EMIT, root=7)
+    tr.record(0.1, TUPLE_TRANSFER, roots=(7, 8))
+    tr.record(0.2, TUPLE_ACK, root=8)
+    spans = group_tuple_spans(tr.events())
+    assert set(spans) == {7, 8}
+    assert len(spans[7]) == 2  # emit + transfer
+    assert len(spans[8]) == 2  # transfer + ack
+
+
+def test_observability_disabled_has_no_handles():
+    obs = Observability()
+    assert obs.tracer is None
+    assert obs.profiler is None
+    assert not obs.enabled
+
+
+def test_observability_config_validation():
+    with pytest.raises(ValueError):
+        ObservabilityConfig(trace=True, trace_capacity=0).validate()
+
+
+def test_observability_passthrough():
+    obs = Observability(ObservabilityConfig(trace=True))
+    again = Observability(obs)
+    assert again.tracer is obs.tracer  # shared handles, not copies
+    assert again.config is obs.config
+    assert obs.tracer is not None
+    assert obs.enabled

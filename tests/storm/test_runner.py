@@ -31,8 +31,18 @@ def test_run_is_resumable():
     r1 = sim.run(duration=5)
     r2 = sim.run(duration=5)
     assert sim.env.now == pytest.approx(10.0)
-    assert r2.acked > r1.acked  # cumulative counters across segments
-    assert len(r2.snapshots) == 10
+    # Each run() call reports its own segment, not the whole history.
+    assert r1.start_time == pytest.approx(0.0)
+    assert r2.start_time == pytest.approx(5.0)
+    assert len(r1.snapshots) == 5
+    assert len(r2.snapshots) == 5
+    assert all(s.time > 5.0 for s in r2.snapshots)
+    # Roughly the same work happens in each equal-length segment.
+    assert r1.acked > 0 and r2.acked > 0
+    assert r2.acked == pytest.approx(r1.acked, rel=0.5)
+    # Per-segment latencies cover only the new completions.
+    total = sim.cluster.ledger.acked_count
+    assert r1.acked + r2.acked == total
 
 
 def test_mean_throughput_between_windows():
