@@ -15,6 +15,10 @@ Commands
     Collect a trace and run the DRNN/ARIMA/SVR comparison on it.
 ``reliability``
     Run one misbehaving-worker scenario (baseline / reactive / drnn).
+``chaos``
+    Run a seeded chaos campaign (worker crashes, message loss, delay
+    jitter) and print per-run degradation / recovery-time / tuple
+    accounting; ``--out`` writes the full campaign report as JSON.
 
 Every command accepts ``--seed`` and prints deterministic results.
 """
@@ -174,6 +178,56 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.reliability import run_chaos_campaign
+    from repro.obs import summary_to_json
+    from repro.storm import ChaosSpec
+
+    spec = ChaosSpec(
+        crashes=args.crashes,
+        losses=args.losses,
+        delays=args.delays,
+        slowdowns=args.slowdowns,
+    )
+    control = None if args.arm == "baseline" else args.arm
+    report = run_chaos_campaign(
+        app=args.app,
+        spec=spec,
+        seed=args.seed,
+        runs=args.runs,
+        horizon=args.duration,
+        base_rate=args.rate,
+        control=control,
+    )
+    print(f"app          : {args.app}  arm: {args.arm}")
+    print(f"campaign     : seed={args.seed} runs={args.runs}"
+          f" horizon={args.duration:.0f}s")
+    header = (
+        f"{'run':>3}  {'seed':>10}  {'faults':>6}  {'degr %':>7}"
+        f"  {'recovery s':>10}  {'lost':>6}  {'dropped':>7}  {'conserved':>9}"
+    )
+    print(header)
+    for r in report.runs:
+        rec = f"{r.recovery_time:10.1f}" if np.isfinite(r.recovery_time) \
+            else f"{'never':>10}"
+        print(
+            f"{r.run_index:>3}  {r.seed:>10}  {len(r.schedule):>6}"
+            f"  {100 * r.degradation:7.1f}  {rec}  {r.lost:>6}"
+            f"  {r.dropped:>7}  {str(r.conserved):>9}"
+        )
+    summary = report.summary()
+    print(f"mean degradation : {100 * summary['mean_degradation']:.1f} %")
+    if summary["recovered_runs"]:
+        print(f"mean recovery    : {summary['mean_recovery_time']:.1f} s"
+              f" ({summary['recovered_runs']}/{len(report.runs)} runs)")
+    print(f"tuple conservation{' holds' if summary['all_conserved'] else ' VIOLATED'}"
+          f" across all runs")
+    if args.out:
+        summary_to_json(summary, args.out)
+        print(f"wrote campaign report to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -222,6 +276,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=1, help="misbehaving workers")
     obs_flags(p)
     p.set_defaults(func=_cmd_reliability)
+
+    p = sub.add_parser("chaos", help="seeded chaos campaign (crash/loss/delay)")
+    common(p, 180.0)
+    p.add_argument("--runs", type=int, default=3,
+                   help="simulations in the campaign")
+    p.add_argument("--arm", default="baseline",
+                   choices=("baseline", "reactive"))
+    p.add_argument("--crashes", type=int, default=1)
+    p.add_argument("--losses", type=int, default=1)
+    p.add_argument("--delays", type=int, default=0)
+    p.add_argument("--slowdowns", type=int, default=0)
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the campaign report JSON here")
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -63,6 +63,10 @@ class ControlAction:
     predictions: Dict[int, float]
     flagged: Set[int]
     ratios: Dict[Tuple[str, str, str], np.ndarray] = field(default_factory=dict)
+    #: workers that were dead (crashed, not restarted) at decision time —
+    #: treated as flagged when planning, but recorded separately because
+    #: the signal is a hard liveness fact, not a statistical inference
+    crashed: Set[int] = field(default_factory=set)
 
 
 class PredictiveController:
@@ -196,6 +200,11 @@ class PredictiveController:
         assert self.monitor is not None
         now = sim.env.now
         tr = self._tracer
+        # Crash signals bypass the statistical pipeline entirely: a dead
+        # worker is a liveness fact (the supervisor knows), not something
+        # to infer from latency history — so it can act even during
+        # warmup, when the monitor window is still filling.
+        crashed = set(sim.cluster.crashed_workers())
         snapshots = sim.metrics.snapshots
         new = snapshots[self._seen_snapshots :]
         self._seen_snapshots = len(snapshots)
@@ -206,7 +215,9 @@ class PredictiveController:
                 n_intervals=self.monitor.n_intervals,
             )
         if self.monitor.n_intervals < self.config.window:
-            if tr is not None:
+            if crashed:
+                self._plan_and_apply(now, {}, set(), crashed)
+            elif tr is not None:
                 tr.record(now, CONTROL_SKIP, reason="warmup",
                           n_intervals=self.monitor.n_intervals)
             return
@@ -217,7 +228,9 @@ class PredictiveController:
         ):
             self.predictor.fit_from_monitor(self.monitor)
         if not self.predictor.fitted:
-            if tr is not None:
+            if crashed:
+                self._plan_and_apply(now, {}, set(), crashed)
+            elif tr is not None:
                 tr.record(now, CONTROL_SKIP, reason="predictor-not-fitted")
             return
         predictions = self.predictor.predict_workers(self.monitor)
@@ -226,18 +239,46 @@ class PredictiveController:
         flagged = self.detector.update(
             predictions, observed, backlogs, now=now
         )
+        self._plan_and_apply(
+            now, predictions, flagged, crashed,
+            observed=observed, backlogs=backlogs,
+        )
+
+    def _plan_and_apply(
+        self,
+        now: float,
+        predictions: Dict[int, float],
+        flagged: Set[int],
+        crashed: Set[int],
+        observed: Optional[Dict[int, float]] = None,
+        backlogs: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Plan ratios for every controlled edge and actuate the cluster.
+
+        ``flagged | crashed`` is the avoid set handed to the planner;
+        crashed workers need no detector evidence.
+        """
+        sim = self._require_attached()
+        tr = self._tracer
+        avoid = set(flagged) | crashed
         action = ControlAction(
             time=now,
             predictions=dict(predictions),
             flagged=set(flagged),
+            crashed=crashed,
         )
         if tr is not None:
             tr.record(
                 now, CONTROL_DECISION,
                 predictions={int(w): float(p) for w, p in predictions.items()},
-                observed={int(w): float(v) for w, v in observed.items()},
-                backlogs={int(w): int(b) for w, b in backlogs.items()},
+                observed={
+                    int(w): float(v) for w, v in (observed or {}).items()
+                },
+                backlogs={
+                    int(w): int(b) for w, b in (backlogs or {}).items()
+                },
                 flagged=sorted(flagged),
+                crashed=sorted(crashed),
                 health_ratios={
                     int(w): float(r) for w, r in self.detector.ratios.items()
                 },
@@ -252,7 +293,7 @@ class PredictiveController:
                 tasks=tasks,
                 task_worker=self._task_worker,
                 health_ratios=self.detector.ratios,
-                flagged=flagged,
+                flagged=avoid,
                 prev_ratios=control.ratios,
             )
             sim.cluster.set_split_ratios(source, consumer, ratios, stream)

@@ -127,6 +127,19 @@ class Store:
         self._dispatch()
         return ev
 
+    def drain(self) -> list:
+        """Remove and return every stored item (crash/purge semantics).
+
+        Capacity freed by the drain lets blocked putters complete, so their
+        items may appear in the store immediately afterwards — callers that
+        must empty the *backlog* too should drain in a loop until empty.
+        """
+        taken = []
+        while self.items:
+            taken.append(self._do_take())
+        self._dispatch()
+        return taken
+
     # -- hooks for subclasses ------------------------------------------------------
 
     def _do_store(self, item: Any) -> None:

@@ -28,7 +28,15 @@ from repro.core.monitor import StatsMonitor
 from repro.experiments.traces import ObservabilityLike, build_app_topology
 from repro.apps import RateProfile
 from repro.models import DRNNRegressor
-from repro.storm import SimulationBuilder, SlowdownFault
+from repro.storm import (
+    ChaosCampaign,
+    ChaosSpec,
+    SimulationBuilder,
+    SlowdownFault,
+    TopologyConfig,
+    WorkerCrashFault,
+)
+from repro.storm.chaos import CampaignReport
 from repro.storm.faults import Fault
 from repro.storm.runner import SimulationResult
 
@@ -75,19 +83,109 @@ class ReliabilityResult:
 def default_faults(
     k: int, start: float, duration: float, factor: float = 25.0,
     worker_ids: Sequence[int] = (2, 4, 1),
+    fault_kind: str = "slowdown",
 ) -> List[Fault]:
-    """Slow ``k`` workers by ``factor`` for the window (staggered 10 s)."""
+    """Degrade ``k`` workers for the window (staggered 10 s).
+
+    ``fault_kind`` selects the archetype: ``"slowdown"`` dilates service
+    times by ``factor`` (the paper's scenario); ``"crash"`` kills the
+    worker outright, with ``duration`` as the supervisor restart delay.
+    """
     if k > len(worker_ids):
         raise ValueError(f"at most {len(worker_ids)} misbehaving workers")
-    return [
-        SlowdownFault(
-            start=start + 10.0 * i,
-            duration=duration - 10.0 * i,
-            worker_id=worker_ids[i],
-            factor=factor,
+    if fault_kind == "slowdown":
+        return [
+            SlowdownFault(
+                start=start + 10.0 * i,
+                duration=duration - 10.0 * i,
+                worker_id=worker_ids[i],
+                factor=factor,
+            )
+            for i in range(k)
+        ]
+    if fault_kind == "crash":
+        return [
+            WorkerCrashFault(
+                start=start + 10.0 * i,
+                duration=duration - 10.0 * i,
+                worker_id=worker_ids[i],
+            )
+            for i in range(k)
+        ]
+    raise ValueError(f"unknown fault_kind {fault_kind!r}")
+
+
+def chaos_topology_config(app: str = "url_count") -> TopologyConfig:
+    """Topology knobs tuned for crash/loss recovery experiments.
+
+    Crash and loss faults recover through the acker's message timeout:
+    the default 30 s timeout with 3 replays would leave tuples parked for
+    most of a fault window and drop stragglers.  A tighter timeout and a
+    deeper replay budget keep recovery fast *and* lossless (at-least-once
+    is preserved either way; these only shape the latency tail).
+    """
+    del app  # same knobs suit both evaluation apps today
+    return TopologyConfig(
+        num_workers=6,
+        tick_interval=1.0,
+        message_timeout=10.0,
+        max_replays=8,
+    )
+
+
+def run_chaos_campaign(
+    app: str = "url_count",
+    spec: Optional[ChaosSpec] = None,
+    seed: int = 7,
+    runs: int = 3,
+    horizon: float = 180.0,
+    base_rate: float = 200.0,
+    control: Optional[str] = None,
+    control_interval: float = 5.0,
+    window: int = 6,
+    trace: bool = False,
+) -> CampaignReport:
+    """Run a seeded chaos campaign over one evaluation app.
+
+    ``control=None`` runs the uncontrolled arm; ``"reactive"`` attaches a
+    last-observation controller per run (its crash reaction reroutes
+    around dead workers even before the statistics window fills).  The
+    report is a pure function of the arguments — rerunning reproduces it
+    bit-for-bit.
+    """
+    if control not in (None, "reactive"):
+        raise ValueError(f"unknown chaos control arm {control!r}")
+    spec = spec if spec is not None else ChaosSpec(crashes=1, losses=1)
+
+    def factory():
+        return build_app_topology(
+            app,
+            RateProfile(base=base_rate),
+            grouping="dynamic",
+            config=chaos_topology_config(app),
         )
-        for i in range(k)
-    ]
+
+    controller_factory = None
+    if control == "reactive":
+        def controller_factory():
+            return PredictiveController(
+                PerformancePredictor(None, window=window),
+                ControllerConfig(
+                    control_interval=control_interval, window=window
+                ),
+            )
+
+    campaign = ChaosCampaign(
+        factory,
+        spec,
+        seed=seed,
+        runs=runs,
+        horizon=horizon,
+        trace=trace,
+        app=app,
+        controller_factory=controller_factory,
+    )
+    return campaign.run()
 
 
 def train_calibration_predictor(
@@ -148,16 +246,19 @@ def run_reliability_scenario(
     control_interval: float = 5.0,
     window: int = 6,
     observability: ObservabilityLike = None,
+    fault_kind: str = "slowdown",
 ) -> ReliabilityResult:
     """Run one arm of the misbehaving-worker experiment."""
     if control not in (None, "reactive", "drnn"):
         raise ValueError(f"unknown control arm {control!r}")
     grouping = "shuffle" if control is None else "dynamic"
+    config = chaos_topology_config(app) if fault_kind == "crash" else None
     topology = build_app_topology(
-        app, RateProfile(base=base_rate), grouping=grouping
+        app, RateProfile(base=base_rate), grouping=grouping, config=config
     )
     faults = default_faults(
-        k_misbehaving, fault_start, fault_duration, factor=slowdown_factor
+        k_misbehaving, fault_start, fault_duration, factor=slowdown_factor,
+        fault_kind=fault_kind,
     )
     builder = (
         SimulationBuilder(topology)

@@ -48,6 +48,7 @@ from repro.obs.tracer import (
     TUPLE_EMIT,
     TUPLE_EXECUTE,
     TUPLE_FAIL,
+    TUPLE_LOSS,
     TUPLE_QUEUE,
     TUPLE_REPLAY,
     TUPLE_SHED,
@@ -142,6 +143,7 @@ __all__ = [
     "TUPLE_EMIT",
     "TUPLE_EXECUTE",
     "TUPLE_FAIL",
+    "TUPLE_LOSS",
     "TUPLE_QUEUE",
     "TUPLE_REPLAY",
     "TUPLE_SHED",

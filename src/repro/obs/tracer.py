@@ -24,6 +24,9 @@ Event taxonomy (the ``kind`` strings below):
 ``tuple.replay``    spout re-queued a failed message for replay
 ``tuple.drop``      message exceeded ``max_replays`` and was abandoned
 ``tuple.shed``      transport dropped a tuple at a full receiver queue
+``tuple.loss``      chaos drop in transit (``reason``: ``loss`` = message-
+                    loss fault, ``crash`` = destination worker was dead);
+                    the tree recovers via the acker timeout + replay
 ``control.*``       controller loop: sample/predict/detect/plan skips,
                     one ``control.decision`` per acted interval and one
                     ``control.apply`` per actuated edge (with ratios)
@@ -47,6 +50,7 @@ TUPLE_FAIL = "tuple.fail"
 TUPLE_REPLAY = "tuple.replay"
 TUPLE_DROP = "tuple.drop"
 TUPLE_SHED = "tuple.shed"
+TUPLE_LOSS = "tuple.loss"
 CONTROL_SAMPLE = "control.sample"
 CONTROL_SKIP = "control.skip"
 CONTROL_DECISION = "control.decision"

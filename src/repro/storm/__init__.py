@@ -22,7 +22,11 @@ observes and manipulates:
 * **Multilevel runtime statistics** (:mod:`~repro.storm.metrics`) — the
   node/worker/executor/topology-level counters the controller samples.
 * **Fault injection** (:mod:`~repro.storm.faults`) — misbehaving workers
-  (slowdowns, CPU-hog neighbours, pauses) on a schedule.
+  (slowdowns, CPU-hog neighbours, pauses, crashes) and network chaos
+  (message loss, delay jitter) on a schedule; compositional reverts.
+* **Chaos campaigns** (:mod:`~repro.storm.chaos`) — seeded batches of
+  fault-schedule-sampled runs reduced to degradation/recovery reports,
+  replayable from ``(seed, spec)`` alone.
 * **Runner & builder** (:mod:`~repro.storm.runner`,
   :mod:`~repro.storm.builder`) — one-call simulation harness behind the
   fluent :class:`SimulationBuilder`, plus per-segment
@@ -32,13 +36,23 @@ observes and manipulates:
 from repro.storm.acker import AckLedger
 from repro.storm.api import Bolt, Emission, OutputCollector, Spout, TopologyContext
 from repro.storm.builder import SimulationBuilder
+from repro.storm.chaos import (
+    CampaignReport,
+    ChaosCampaign,
+    ChaosRunReport,
+    ChaosSpec,
+    sample_schedule,
+)
 from repro.storm.cluster import Cluster, EvenScheduler, NodeSpec
 from repro.storm.faults import (
     CpuHogFault,
     FaultInjector,
+    MessageLossFault,
+    NetworkDelayFault,
     PauseFault,
     RampingHogFault,
     SlowdownFault,
+    WorkerCrashFault,
 )
 from repro.storm.grouping import (
     AllGrouping,
@@ -61,6 +75,10 @@ __all__ = [
     "AckLedger",
     "AllGrouping",
     "Bolt",
+    "CampaignReport",
+    "ChaosCampaign",
+    "ChaosRunReport",
+    "ChaosSpec",
     "Cluster",
     "CpuHogFault",
     "DirectGrouping",
@@ -71,8 +89,10 @@ __all__ = [
     "FieldsGrouping",
     "GlobalGrouping",
     "LocalOrShuffleGrouping",
+    "MessageLossFault",
     "MetricsCollector",
     "MultilevelSnapshot",
+    "NetworkDelayFault",
     "Node",
     "NodeSpec",
     "OutputCollector",
@@ -93,4 +113,6 @@ __all__ = [
     "TopologyConfig",
     "TopologyContext",
     "Tuple",
+    "WorkerCrashFault",
+    "sample_schedule",
 ]

@@ -81,6 +81,8 @@ class AckLedger:
         self.acked_count = 0
         self.failed_count = 0
         self.latency_sum = 0.0
+        #: failures by cause: "failed" | "timeout" | "shed" | "crash" | ...
+        self.failure_reasons: Dict[str, int] = {}
         self._proc = env.process(self._sweeper(), name="ack-sweeper")
 
     # -- registration -------------------------------------------------------------
@@ -149,17 +151,18 @@ class AckLedger:
             if cb is not None:
                 cb(tree.msg_id, latency)
 
-    def fail(self, root_id: int) -> None:
-        """Explicitly fail a tree (bolt called ``collector.fail``)."""
+    def fail(self, root_id: int, reason: str = "failed") -> None:
+        """Explicitly fail a tree (bolt ``collector.fail``, shed, crash)."""
         tree = self._trees.pop(root_id, None)
         if tree is None:
             return
-        self._record_failure(tree, root_id, reason="failed")
+        self._record_failure(tree, root_id, reason=reason)
 
     def _record_failure(
         self, tree: _TreeState, root_id: int, reason: str = "timeout"
     ) -> None:
         self.failed_count += 1
+        self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
         if self.tracer is not None:
             self.tracer.record(
                 self.env.now, TUPLE_FAIL, root=root_id,

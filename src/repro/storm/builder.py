@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import ControllerConfig
     from repro.core.controller import PredictiveController
     from repro.core.predictor import PerformancePredictor
+    from repro.storm.chaos import ChaosSpec
 
 
 class SimulationBuilder:
@@ -58,6 +59,7 @@ class SimulationBuilder:
         self._observability: Union[
             ObservabilityConfig, Observability, None
         ] = None
+        self._chaos: Optional[Tuple["ChaosSpec", Optional[int], float]] = None
         self._built: Optional[StormSimulation] = None
 
     # -- cluster & run options ----------------------------------------------------
@@ -99,6 +101,28 @@ class SimulationBuilder:
                 self._faults.append(f)
             else:
                 self._faults.extend(f)
+        return self
+
+    def chaos(
+        self,
+        spec: "ChaosSpec",
+        *,
+        seed: Optional[int] = None,
+        horizon: float = 180.0,
+    ) -> "SimulationBuilder":
+        """Sample a chaos fault schedule from ``spec`` and inject it.
+
+        Sampling happens at ``build()`` time (it needs the topology's
+        worker count) from a generator seeded with ``seed`` — defaulting
+        to the builder's simulation seed — so the run stays replayable
+        from ``(seed, spec, horizon)`` alone.  ``horizon`` bounds the
+        sampled fault windows; run at least that long to see every fault
+        revert.  Composes with explicit :meth:`faults`.
+        """
+        spec.validate()
+        if horizon <= 0:
+            raise ValueError("chaos horizon must be positive")
+        self._chaos = (spec, None if seed is None else int(seed), float(horizon))
         return self
 
     # -- controller --------------------------------------------------------------
@@ -161,12 +185,32 @@ class SimulationBuilder:
         """Materialise the simulation (idempotent: one sim per builder)."""
         if self._built is not None:
             return self._built
+        faults = list(self._faults)
+        if self._chaos is not None:
+            import numpy as np
+
+            from repro.storm.chaos import _SCHEDULE_STREAM, sample_schedule
+
+            spec, chaos_seed, horizon = self._chaos
+            if chaos_seed is None:
+                chaos_seed = self._seed
+            rng = np.random.default_rng(
+                np.random.SeedSequence([chaos_seed, _SCHEDULE_STREAM])
+            )
+            faults.extend(
+                sample_schedule(
+                    spec,
+                    horizon,
+                    self._topology.config.num_workers,
+                    rng,
+                )
+            )
         sim = StormSimulation(
             self._topology,
             nodes=self._nodes,
             seed=self._seed,
             metrics_interval=self._metrics_interval,
-            faults=tuple(self._faults),
+            faults=tuple(faults),
             observability=self._observability,
         )
         if self._controllers:

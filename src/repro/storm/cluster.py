@@ -132,7 +132,14 @@ class Cluster:
             tracer=self.tracer,
         )
         self.transport = Transport(
-            self.env, config, ledger=self.ledger, tracer=self.tracer
+            self.env,
+            config,
+            ledger=self.ledger,
+            tracer=self.tracer,
+            # Dedicated chaos stream: loss/jitter draws never perturb the
+            # component/executor/grouping streams, and non-chaos runs make
+            # no draws from it at all.
+            rng=self.rngs.get("transport/chaos"),
         )
 
         placements = self.scheduler.place_workers(config.num_workers, self.nodes)
@@ -259,6 +266,10 @@ class Cluster:
 
     def tasks_of_worker(self, worker_id: int) -> List[int]:
         return self.workers[worker_id].task_ids
+
+    def crashed_workers(self) -> List[int]:
+        """Ids of workers currently dead (crashed, not yet restarted)."""
+        return [w.worker_id for w in self.workers if w.crashed]
 
     def stop(self) -> None:
         """Signal all executors to stop at their next loop iteration."""

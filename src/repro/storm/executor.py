@@ -28,6 +28,7 @@ from repro.obs.tracer import (
     TUPLE_DROP,
     TUPLE_EMIT,
     TUPLE_EXECUTE,
+    TUPLE_LOSS,
     TUPLE_QUEUE,
     TUPLE_REPLAY,
     TUPLE_SHED,
@@ -66,7 +67,18 @@ class Envelope:
 
 
 class Transport:
-    """Latency-aware point-to-point delivery between tasks."""
+    """Latency-aware point-to-point delivery between tasks.
+
+    Chaos faults (:mod:`repro.storm.faults`) can perturb inter-worker
+    transfers: :meth:`hold_loss` drops each transfer with a probability,
+    :meth:`hold_delay` adds exponential latency jitter.  Both draw from the
+    seeded ``rng`` stream, so a chaos run is bit-reproducible, and both are
+    compositional — overlapping faults stack (loss probabilities combine as
+    ``1 - prod(1 - p_i)``, jitter means add) and revert in any order.
+    Dropped transfers are *not* failed immediately: the tuple tree times
+    out in the acker and the spout replays it — Storm's recovery path for
+    messages lost on the wire or sent to a died worker.
+    """
 
     def __init__(
         self,
@@ -74,19 +86,69 @@ class Transport:
         config: "TopologyConfig",
         ledger: Optional["AckLedger"] = None,
         tracer: Optional["Tracer"] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.env = env
         self.config = config
         self.ledger = ledger
         self.tracer = tracer
+        self.rng = rng
         self.queues: Dict[int, Store] = {}
         self.placement: Dict[int, "Worker"] = {}
         self.sent_count = 0
         self.dropped_count = 0
+        #: transfers dropped by chaos faults / crashed destinations
+        self.lost_count = 0
+        self._loss_holds: List[float] = []
+        self._delay_holds: List[float] = []
+        self.loss_probability = 0.0
+        self.extra_delay_mean = 0.0
 
     def register(self, task_id: int, queue: Store, worker: "Worker") -> None:
         self.queues[task_id] = queue
         self.placement[task_id] = worker
+
+    # -- chaos perturbations ---------------------------------------------------------
+
+    def _require_rng(self) -> np.random.Generator:
+        if self.rng is None:
+            raise RuntimeError(
+                "transport has no rng stream; chaos faults need a cluster-"
+                "built transport (pass rng= when constructing directly)"
+            )
+        return self.rng
+
+    def hold_loss(self, probability: float) -> None:
+        """Start dropping inter-worker transfers with ``probability``."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"loss probability must be in (0, 1]: {probability}")
+        self._require_rng()
+        self._loss_holds.append(probability)
+        self._recompute_loss()
+
+    def release_loss(self, probability: float) -> None:
+        """Remove one matching loss hold (any revert order)."""
+        self._loss_holds.remove(probability)
+        self._recompute_loss()
+
+    def _recompute_loss(self) -> None:
+        keep = 1.0
+        for p in self._loss_holds:
+            keep *= 1.0 - p
+        self.loss_probability = 1.0 - keep
+
+    def hold_delay(self, mean_extra: float) -> None:
+        """Add exponential jitter with mean ``mean_extra`` to transfers."""
+        if mean_extra <= 0:
+            raise ValueError(f"delay mean must be positive: {mean_extra}")
+        self._require_rng()
+        self._delay_holds.append(mean_extra)
+        self.extra_delay_mean = sum(self._delay_holds)
+
+    def release_delay(self, mean_extra: float) -> None:
+        """Remove one matching delay hold (any revert order)."""
+        self._delay_holds.remove(mean_extra)
+        self.extra_delay_mean = sum(self._delay_holds)
 
     def latency(self, src_worker: "Worker", dst_task: int) -> float:
         dst_worker = self.placement[dst_task]
@@ -106,8 +168,22 @@ class Transport:
         """
         queue = self.queues[dst_task]
         env = self.env
+        dst_worker = self.placement[dst_task]
         delay = self.latency(src_worker, dst_task)
         self.sent_count += 1
+        inter_worker = dst_worker is not src_worker
+        if inter_worker and self.loss_probability > 0.0:
+            if self.rng.random() < self.loss_probability:
+                # Lost on the wire: the tree times out and replays.
+                self.lost_count += 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        env.now, TUPLE_LOSS, dst_task=dst_task,
+                        edge=tup.edge_id, roots=tup.roots, reason="loss",
+                    )
+                return
+        if inter_worker and self.extra_delay_mean > 0.0:
+            delay += float(self.rng.exponential(self.extra_delay_mean))
         shed = self.config.overflow_policy == "shed"
         tr = self.tracer
         if tr is not None:
@@ -122,6 +198,17 @@ class Transport:
             )
 
         def deliver() -> None:
+            if dst_worker.crashed:
+                # Connection to a died worker: the transfer vanishes; the
+                # acker's timeout sweep fails the tree and the spout
+                # replays after the worker (or the routing) recovers.
+                self.lost_count += 1
+                if tr is not None:
+                    tr.record(
+                        env.now, TUPLE_LOSS, dst_task=dst_task,
+                        edge=tup.edge_id, roots=tup.roots, reason="crash",
+                    )
+                return
             if shed and queue.is_full:
                 # Load shedding: drop at the receiver and fail the tree
                 # right away so the spout replays without waiting for the
@@ -134,7 +221,7 @@ class Transport:
                     )
                 if self.ledger is not None:
                     for root in tup.roots:
-                        self.ledger.fail(root)
+                        self.ledger.fail(root, reason="shed")
                 return
             queue.put(Envelope(tup, env.now))
 
@@ -252,6 +339,28 @@ class BaseExecutor:
                 self.emitted_count += 1
         return edges
 
+    def purge_queue(self, ledger: Optional["AckLedger"] = None) -> int:
+        """Drop every queued envelope (worker crash), failing their trees.
+
+        Failing through the ledger makes the spout replay the purged
+        tuples immediately instead of waiting out the message timeout.
+        Returns the number of data (non-tick) tuples lost.  Drains in a
+        loop because freeing capacity releases blocked putters.
+        """
+        lost = 0
+        while True:
+            items = self.queue.drain()
+            if not items:
+                return lost
+            for envelope in items:
+                tup = envelope.tup
+                if tup.stream == TICK_STREAM:
+                    continue
+                lost += 1
+                if ledger is not None:
+                    for root in tup.roots:
+                        ledger.fail(root, reason="crash")
+
     def stop(self) -> None:
         self.running = False
 
@@ -267,6 +376,7 @@ class SpoutExecutor(BaseExecutor):
         self.replay_queue: deque[SpoutRecord] = deque()
         self.dropped_count = 0  # messages beyond max_replays
         self.replayed_count = 0
+        self.trees_opened = 0  # reliable emissions (one ack tree each)
         self._wake: Optional[Event] = None
         self.ledger.register_spout(self.task_id, self._on_ack, self._on_fail)
         self.process = self.env.process(
@@ -372,6 +482,7 @@ class SpoutExecutor(BaseExecutor):
             # Open the tree *before* routing so no ack can race ahead,
             # then fold the edges in exactly as Storm's acker-init does.
             self.ledger.init_tree(root, self.task_id, rec.msg_id, edge_id=0)
+            self.trees_opened += 1
             self.pending[rec.msg_id] = rec
             if tr is not None:
                 tr.record(

@@ -1,8 +1,9 @@
-"""Fault injection: scheduled worker misbehaviour.
+"""Fault injection: scheduled worker misbehaviour and chaos faults.
 
 The paper's reliability experiments degrade specific workers and measure
-how much the topology suffers.  Three fault archetypes cover the causes the
-paper attributes to "misbehaving workers":
+how much the topology suffers.  The fault archetypes cover the causes the
+paper attributes to "misbehaving workers", plus the crash/loss faults the
+chaos harness (:mod:`repro.storm.chaos`) campaigns over:
 
 * :class:`SlowdownFault` — the worker's own service times dilate (JVM GC
   thrash, failing disk, contended lock inside the process);
@@ -10,11 +11,22 @@ paper attributes to "misbehaving workers":
   CPU, so every worker on that node slows via interference (this is the
   co-location effect the DRNN is built to predict);
 * :class:`PauseFault` — the worker freezes outright for a while
-  (stop-the-world pause, livelock).
+  (stop-the-world pause, livelock);
+* :class:`WorkerCrashFault` — the worker process dies, losing its queued
+  tuples; the supervisor restarts it after ``duration`` seconds.  Lost
+  tuples are recovered through the acker (fail → spout replay);
+* :class:`MessageLossFault` — each inter-worker transfer is dropped with
+  a probability, drawn from the seeded transport RNG (lossy network);
+* :class:`NetworkDelayFault` — inter-worker transfers gain exponential
+  latency jitter (congested or degraded network path).
 
 Faults carry a start time and duration; the :class:`FaultInjector` process
 applies and reverts them on schedule and records ground truth for the
-experiment harness.
+experiment harness.  Apply/revert pairs are *compositional*: overlapping
+faults of any mix on the same worker/node/transport restore the original
+state regardless of which window closes first (slowdowns stack
+multiplicatively, pauses and loss/delay holds are reference counted,
+CPU-hog demand is additive).
 """
 
 from __future__ import annotations
@@ -63,10 +75,10 @@ class SlowdownFault(Fault):
             raise ValueError("slowdown factor must be >= 1")
 
     def apply(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].set_slow_factor(self.factor)
+        cluster.workers[self.worker_id].hold_slowdown(self.factor)
 
     def revert(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].set_slow_factor(1.0)
+        cluster.workers[self.worker_id].release_slowdown(self.factor)
 
 
 @dataclass(frozen=True)
@@ -155,10 +167,88 @@ class PauseFault(Fault):
             raise ValueError(f"no worker {self.worker_id}")
 
     def apply(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].pause()
+        cluster.workers[self.worker_id].hold_pause()
 
     def revert(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].resume()
+        cluster.workers[self.worker_id].release_pause()
+
+
+@dataclass(frozen=True)
+class WorkerCrashFault(Fault):
+    """Kill one worker process; the supervisor restarts it after ``duration``.
+
+    On apply the worker's queued (non-tick) tuples are purged and their
+    trees failed through the acker, so spouts replay them immediately.
+    Tuples already in transit towards the dead worker are dropped by the
+    transport at delivery time and recover via the acker's message
+    timeout.  On revert the worker resumes processing with empty queues.
+    """
+
+    worker_id: int = 0
+
+    def validate(self, cluster: "Cluster") -> None:
+        super().validate(cluster)
+        if not 0 <= self.worker_id < len(cluster.workers):
+            raise ValueError(f"no worker {self.worker_id}")
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.workers[self.worker_id].crash(cluster.ledger)
+
+    def revert(self, cluster: "Cluster") -> None:
+        cluster.workers[self.worker_id].restart()
+
+
+@dataclass(frozen=True)
+class MessageLossFault(Fault):
+    """Drop each inter-worker transfer with ``probability`` while active.
+
+    Draws come from the transport's dedicated seeded RNG stream, so runs
+    remain replayable from ``(seed, schedule)`` and non-chaos runs consume
+    no draws.  Overlapping loss faults combine as independent drop events
+    (``1 - prod(1 - p_i)``) and revert in any order.
+    """
+
+    probability: float = 0.05
+
+    def validate(self, cluster: "Cluster") -> None:
+        super().validate(cluster)
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"loss probability must be in (0, 1], got {self.probability}"
+            )
+        cluster.transport._require_rng()
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.transport.hold_loss(self.probability)
+
+    def revert(self, cluster: "Cluster") -> None:
+        cluster.transport.release_loss(self.probability)
+
+
+@dataclass(frozen=True)
+class NetworkDelayFault(Fault):
+    """Add exponential latency jitter (mean ``extra_delay``) to transfers.
+
+    Only inter-worker sends are affected, mirroring where the network sits
+    in the placement-dependent latency model.  Overlapping delay faults
+    add their means; reverts compose in any order.
+    """
+
+    extra_delay: float = 0.05
+
+    def validate(self, cluster: "Cluster") -> None:
+        super().validate(cluster)
+        if self.extra_delay <= 0:
+            raise ValueError(
+                f"extra_delay must be positive, got {self.extra_delay}"
+            )
+        cluster.transport._require_rng()
+
+    def apply(self, cluster: "Cluster") -> None:
+        cluster.transport.hold_delay(self.extra_delay)
+
+    def revert(self, cluster: "Cluster") -> None:
+        cluster.transport.release_delay(self.extra_delay)
 
 
 @dataclass

@@ -70,10 +70,13 @@ class FieldsGrouping(Grouping):
         if not fields:
             raise ValueError("fields grouping requires fields")
         self.fields = tuple(fields)
+        # Key→task assignment must depend only on the *set* of consumer
+        # tasks, never on the order the wiring code enumerated them in.
+        self._ordered = sorted(self.target_tasks)
 
     def choose(self, tup: Tuple) -> List[int]:
         key = tup.select(self.fields)
-        return [self.target_tasks[stable_hash(key) % len(self.target_tasks)]]
+        return [self._ordered[stable_hash(key) % len(self._ordered)]]
 
 
 class GlobalGrouping(Grouping):
@@ -142,13 +145,15 @@ class PartialKeyGrouping(Grouping):
         if not fields:
             raise ValueError("partial key grouping requires fields")
         self.fields = tuple(fields)
+        # Candidate pair per key is order-independent (see FieldsGrouping).
+        self._ordered = sorted(self.target_tasks)
         self._sent: Dict[int, int] = {t: 0 for t in self.target_tasks}
 
     def choose(self, tup: Tuple) -> List[int]:
         key = tup.select(self.fields)
-        n = len(self.target_tasks)
-        a = self.target_tasks[stable_hash(key) % n]
-        b = self.target_tasks[stable_hash(("salt", key)) % n]
+        n = len(self._ordered)
+        a = self._ordered[stable_hash(key) % n]
+        b = self._ordered[stable_hash(("salt", key)) % n]
         pick = a if self._sent[a] <= self._sent[b] else b
         self._sent[pick] += 1
         return [pick]

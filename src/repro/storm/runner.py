@@ -81,6 +81,8 @@ class SimulationResult:
     cluster: Cluster
     #: simulation time at which this segment started (0 for the first run)
     start_time: float = 0.0
+    #: tuples dropped in transit by chaos (message loss / crashed worker)
+    lost: int = 0
 
     # -- summary helpers --------------------------------------------------------------
 
@@ -136,6 +138,7 @@ class SimulationResult:
             "acked": self.acked,
             "failed": self.failed,
             "dropped": self.dropped,
+            "lost": self.lost,
             "snapshots": len(self.snapshots),
             "mean_throughput": self.mean_throughput(),
             "mean_complete_latency": self.mean_complete_latency(),
@@ -189,6 +192,7 @@ class StormSimulation:
         self._prev_acked = 0
         self._prev_failed = 0
         self._prev_dropped = 0
+        self._prev_lost = 0
 
     # -- controller attachment ---------------------------------------------------------
 
@@ -248,6 +252,8 @@ class StormSimulation:
             for ex in self.cluster.executors.values()
             if isinstance(ex, SpoutExecutor)
         )
+        transport = self.cluster.transport
+        lost_total = transport.lost_count if transport is not None else 0
         result = SimulationResult(
             duration=duration,
             snapshots=list(self.metrics.snapshots[self._snapshots_seen :]),
@@ -258,9 +264,11 @@ class StormSimulation:
             metrics=self.metrics,
             cluster=self.cluster,
             start_time=start_time,
+            lost=lost_total - self._prev_lost,
         )
         self._snapshots_seen = len(self.metrics.snapshots)
         self._prev_acked = ledger.acked_count
         self._prev_failed = ledger.failed_count
         self._prev_dropped = dropped_total
+        self._prev_lost = lost_total
         return result

@@ -196,7 +196,7 @@ def test_result_summary_is_flat_dict():
     res = sim.run(duration=4)
     summary = res.summary()
     expected = {
-        "start_time", "duration", "acked", "failed", "dropped",
+        "start_time", "duration", "acked", "failed", "dropped", "lost",
         "snapshots", "mean_throughput", "mean_complete_latency",
         "p50_complete_latency", "p99_complete_latency",
     }

@@ -1,0 +1,303 @@
+"""Chaos harness tests: crash/loss/delay faults, campaigns, replayability.
+
+Covers the chaos subsystem's three contracts:
+
+* **fault semantics** — crashes purge queues and recover through acker
+  replay (at-least-once: zero tuples abandoned); message loss drops
+  in-transit tuples that later replay; delay jitter stretches latency;
+* **reproducibility** — a campaign is a pure function of
+  ``(seed, spec, topology, runs, horizon)``, pinned by running twice;
+* **acceptance** — URL Count under a worker crash loses nothing and
+  recovers to >= 90 % of its pre-fault throughput after the restart.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import RateProfile
+from repro.experiments.reliability import (
+    chaos_topology_config,
+    run_chaos_campaign,
+)
+from repro.experiments.traces import build_app_topology
+from repro.storm import (
+    ChaosCampaign,
+    ChaosSpec,
+    MessageLossFault,
+    NetworkDelayFault,
+    NodeSpec,
+    SimulationBuilder,
+    TopologyBuilder,
+    TopologyConfig,
+    WorkerCrashFault,
+    sample_schedule,
+)
+from repro.storm.chaos import derive_run_seed, recovery_time_of
+from repro.storm.executor import SpoutExecutor
+from tests.storm.helpers import CounterSpout, PassBolt, SinkBolt
+
+NODES = (NodeSpec("n0", cores=4, slots=2), NodeSpec("n1", cores=4, slots=2))
+
+
+def chain_topology(rate=150.0, workers=3):
+    """spout -> pass -> sink with a tight timeout for fast replay."""
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=rate), parallelism=1)
+    b.set_bolt("mid", PassBolt(), parallelism=2).shuffle_grouping("src")
+    b.set_bolt("sink", SinkBolt(), parallelism=2).shuffle_grouping("mid")
+    return b.build(
+        "chaos-chain",
+        TopologyConfig(num_workers=workers, message_timeout=5.0, max_replays=8),
+    )
+
+
+def conservation_holds(sim):
+    ledger = sim.cluster.ledger
+    opened = sum(
+        ex.trees_opened
+        for ex in sim.cluster.executors.values()
+        if isinstance(ex, SpoutExecutor)
+    )
+    return opened == ledger.acked_count + ledger.failed_count + ledger.in_flight
+
+
+# --- fault semantics -----------------------------------------------------------
+
+
+def test_worker_crash_sets_flag_and_restarts():
+    sim = (
+        SimulationBuilder(chain_topology())
+        .nodes(NODES)
+        .faults(WorkerCrashFault(start=5, duration=4, worker_id=1))
+        .build()
+    )
+    sim.run(duration=7)  # t=7: crashed, not yet restarted
+    w = sim.cluster.workers[1]
+    assert w.crashed
+    assert w.crash_count == 1
+    assert sim.cluster.crashed_workers() == [1]
+    sim.run(duration=5)  # t=12: supervisor restarted it
+    assert not w.crashed
+    assert sim.cluster.crashed_workers() == []
+
+
+def test_worker_crash_recovers_all_tuples():
+    # The crash purges queues and drops in-transit deliveries, but with a
+    # deep replay budget every affected tuple must eventually ack.
+    sim = (
+        SimulationBuilder(chain_topology(rate=100.0))
+        .nodes(NODES)
+        .faults(WorkerCrashFault(start=10, duration=6, worker_id=1))
+        .build()
+    )
+    res = sim.run(duration=60)
+    assert res.dropped == 0  # nothing abandoned beyond max_replays
+    assert res.lost > 0  # the crash really did lose in-transit tuples
+    assert conservation_holds(sim)
+
+
+def test_message_loss_drops_and_replays():
+    sim = (
+        SimulationBuilder(chain_topology(rate=100.0))
+        .nodes(NODES)
+        .faults(MessageLossFault(start=5, duration=15, probability=0.2))
+        .build()
+    )
+    res = sim.run(duration=50)
+    tp = sim.cluster.transport
+    assert tp.lost_count > 0
+    assert res.dropped == 0
+    assert conservation_holds(sim)
+    # outside the window the loss knob is fully reverted
+    assert tp.loss_probability == 0.0
+
+
+def test_message_loss_only_affects_inter_worker_sends():
+    # One worker => every send is worker-local, so even p=1.0 drops nothing.
+    sim = (
+        SimulationBuilder(chain_topology(rate=100.0, workers=1))
+        .nodes(NODES)
+        .faults(MessageLossFault(start=2, duration=10, probability=1.0))
+        .build()
+    )
+    res = sim.run(duration=20)
+    assert sim.cluster.transport.lost_count == 0
+    assert res.failed == 0
+
+
+def test_network_delay_stretches_complete_latency():
+    base = (
+        SimulationBuilder(chain_topology(rate=100.0))
+        .nodes(NODES)
+        .seed(3)
+        .build()
+        .run(duration=30)
+    )
+    jittered = (
+        SimulationBuilder(chain_topology(rate=100.0))
+        .nodes(NODES)
+        .seed(3)
+        .faults(NetworkDelayFault(start=0.0001, duration=29.9, extra_delay=0.05))
+        .build()
+        .run(duration=30)
+    )
+    assert jittered.latency_percentile(0.9) > base.latency_percentile(0.9) * 5
+
+
+# --- schedule sampling ----------------------------------------------------------
+
+
+def test_sample_schedule_deterministic_and_in_window():
+    spec = ChaosSpec(crashes=2, losses=1, delays=1, slowdowns=1)
+    a = sample_schedule(spec, 200.0, 6, np.random.default_rng(42))
+    b = sample_schedule(spec, 200.0, 6, np.random.default_rng(42))
+    assert a == b
+    assert len(a) == 5
+    for f in a:
+        assert 0.3 * 200 <= f.start <= 0.55 * 200
+    # crash victims are distinct when enough workers exist
+    crash_ids = [f.worker_id for f in a if isinstance(f, WorkerCrashFault)]
+    assert len(set(crash_ids)) == len(crash_ids)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ChaosSpec(crashes=0, losses=0, delays=0, slowdowns=0).validate()
+    with pytest.raises(ValueError):
+        ChaosSpec(crashes=-1).validate()
+    with pytest.raises(ValueError):
+        ChaosSpec(window_lo=0.8, window_hi=0.5).validate()
+    with pytest.raises(ValueError):
+        ChaosSpec(loss_probability=(0.5, 1.5)).validate()
+    with pytest.raises(ValueError):
+        sample_schedule(ChaosSpec(), 0.0, 4, np.random.default_rng(0))
+
+
+def test_derive_run_seed_stable():
+    # Pinned values: run seeds must never drift across refactors, or every
+    # recorded campaign becomes unreplayable.
+    assert derive_run_seed(7, 0) == derive_run_seed(7, 0)
+    assert derive_run_seed(7, 0) != derive_run_seed(7, 1)
+    assert derive_run_seed(7, 0) != derive_run_seed(8, 0)
+
+
+def test_builder_chaos_injects_schedule_deterministically():
+    def build(seed):
+        return (
+            SimulationBuilder(chain_topology())
+            .nodes(NODES)
+            .seed(seed)
+            .chaos(ChaosSpec(crashes=1, losses=1), horizon=60.0)
+            .build()
+        )
+
+    sim_a, sim_b, sim_c = build(5), build(5), build(6)
+    ra, rb = sim_a.run(duration=60), sim_b.run(duration=60)
+    rc = sim_c.run(duration=60)
+    assert ra.summary() == rb.summary()
+    assert ra.summary() != rc.summary()
+    # the sampled schedule itself is identical given the same seed
+    assert [e.fault for e in sim_a.fault_injector.log] == [
+        e.fault for e in sim_b.fault_injector.log
+    ]
+
+
+# --- recovery-time reduction ----------------------------------------------------
+
+
+def test_recovery_time_rolling_window():
+    times = list(range(1, 21))
+    # healthy 100 t/s; fault ends at t=10; throughput back at 95+ by t=13
+    thr = [100] * 9 + [20, 40, 60, 95, 96, 97, 98, 99, 100, 100, 100]
+    rt = recovery_time_of(times, thr, fault_end=10.0, healthy_throughput=100.0,
+                          window=3)
+    # first t>10 where the trailing 3-sample mean >= 90: (95+96+97)/3 at t=15
+    assert rt == pytest.approx(5.0)
+    assert np.isnan(
+        recovery_time_of(times, [10] * 20, 10.0, 100.0)
+    )
+    assert np.isnan(recovery_time_of(times, thr, 10.0, 0.0))
+
+
+# --- campaigns ------------------------------------------------------------------
+
+
+def campaign(seed, runs=2):
+    return ChaosCampaign(
+        lambda: chain_topology(rate=120.0),
+        ChaosSpec(crashes=1, losses=1),
+        seed=seed,
+        runs=runs,
+        horizon=60.0,
+        nodes=NODES,
+    )
+
+
+def test_campaign_replayable_from_seed_and_config():
+    a = campaign(11).run().summary()
+    b = campaign(11).run().summary()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_campaign_seed_changes_results():
+    a = campaign(11, runs=1).run().summary()
+    b = campaign(12, runs=1).run().summary()
+    assert json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True)
+
+
+def test_campaign_runs_conserve_tuples():
+    report = campaign(11).run()
+    assert len(report.runs) == 2
+    for r in report.runs:
+        assert r.conserved
+        assert r.emitted == r.acked + r.failed + r.in_flight
+        assert r.dropped == 0
+    assert report.summary()["all_conserved"] is True
+
+
+def test_run_chaos_campaign_reactive_arm_reroutes():
+    report = run_chaos_campaign(
+        spec=ChaosSpec(crashes=1),
+        seed=3,
+        runs=1,
+        horizon=90.0,
+        base_rate=120.0,
+        control="reactive",
+    )
+    (run,) = report.runs
+    assert run.conserved and run.dropped == 0
+
+
+# --- acceptance: URL Count crash scenario ---------------------------------------
+
+
+def test_url_count_crash_zero_loss_and_recovery():
+    """ISSUE acceptance: with WorkerCrashFault + acker retries the URL
+    Count topology loses zero tuples and recovers to >= 90 % of its
+    pre-fault throughput after the supervisor restart."""
+    topology = build_app_topology(
+        "url_count",
+        RateProfile(base=150.0),
+        grouping="dynamic",
+        config=chaos_topology_config("url_count"),
+    )
+    fault = WorkerCrashFault(start=40.0, duration=15.0, worker_id=2)
+    sim = (
+        SimulationBuilder(topology)
+        .seed(7)
+        .faults(fault)
+        .build()
+    )
+    res = sim.run(duration=120.0)
+    # zero loss: no tuple abandoned (dropped counts > max_replays drops)
+    assert res.dropped == 0
+    assert conservation_holds(sim)
+    # the crash genuinely disrupted delivery...
+    assert res.lost > 0
+    # ...yet throughput recovers after the restart (t=55) to >= 90 %.
+    healthy = res.mean_throughput_between(10.0, 40.0)
+    recovered = res.mean_throughput_between(65.0, 120.0)
+    assert healthy > 0
+    assert recovered >= 0.9 * healthy

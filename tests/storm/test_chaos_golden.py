@@ -1,0 +1,52 @@
+"""Golden-file pin of the CI chaos-smoke campaign.
+
+``tests/golden/chaos_smoke.json`` is the full report of::
+
+    python -m repro chaos --app url_count --seed 7 --runs 3 \
+        --duration 90 --rate 120 --out tests/golden/chaos_smoke.json
+
+(the exact command the ``chaos-smoke`` CI job runs).  This test rebuilds
+the same campaign through the library API and compares the serialized
+summary byte-for-byte, so any drift in RNG stream layout, schedule
+sampling, fault semantics, or report reduction shows up as a diff — not
+as a silently different experiment.  If a change is *intentional*,
+regenerate the golden with the command above and review the diff.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.reliability import run_chaos_campaign
+from repro.obs.export import summary_to_json
+from repro.storm import ChaosSpec
+
+GOLDEN = Path(__file__).resolve().parents[1] / "golden" / "chaos_smoke.json"
+
+
+def test_chaos_smoke_matches_golden(tmp_path):
+    report = run_chaos_campaign(
+        app="url_count",
+        spec=ChaosSpec(crashes=1, losses=1),
+        seed=7,
+        runs=3,
+        horizon=90.0,
+        base_rate=120.0,
+    )
+    out = tmp_path / "chaos_smoke.json"
+    summary_to_json(report.summary(), out)
+    assert out.read_text() == GOLDEN.read_text(), (
+        "chaos campaign drifted from tests/golden/chaos_smoke.json; if "
+        "intentional, regenerate it (see module docstring) and commit"
+    )
+
+
+def test_golden_is_wellformed_and_conserved():
+    # Guard against a hand-edited or truncated golden file.
+    data = json.loads(GOLDEN.read_text())
+    assert data["campaign_seed"] == 7
+    assert data["runs"] == 3
+    assert data["all_conserved"] is True
+    assert data["total_dropped"] == 0
+    assert len(data["run_reports"]) == 3
+    for run in data["run_reports"]:
+        assert run["emitted"] == run["acked"] + run["failed"] + run["in_flight"]

@@ -1,0 +1,172 @@
+"""Tuple-conservation invariant under chaos: nothing silently vanishes.
+
+With acking enabled, every reliable spout emission opens exactly one
+tuple tree, and every tree ends in exactly one of three states — acked,
+failed, or still in flight.  Crashes and message loss may *delay* a
+tuple (fail -> replay opens a fresh tree) but must never lose one
+without the ledger noticing:
+
+    trees_opened == acked + failed + in_flight        (at any instant)
+
+The tests stop the simulation at many intermediate points (segmented
+``run()`` calls) and check the invariant at each, then cross-check the
+ledger's account against the observability layer's ground truth (every
+``tuple.emit`` span closes with exactly one ack/fail; chaos drops appear
+as ``tuple.loss`` events matching the transport's counter).
+"""
+
+from repro.obs import (
+    TUPLE_ACK,
+    TUPLE_DROP,
+    TUPLE_EMIT,
+    TUPLE_FAIL,
+    TUPLE_LOSS,
+    group_tuple_spans,
+)
+from repro.storm import (
+    MessageLossFault,
+    NodeSpec,
+    SimulationBuilder,
+    TopologyBuilder,
+    TopologyConfig,
+    WorkerCrashFault,
+)
+from repro.storm.executor import SpoutExecutor
+from tests.storm.helpers import CounterSpout, PassBolt, SinkBolt
+
+NODES = (NodeSpec("n0", cores=4, slots=2), NodeSpec("n1", cores=4, slots=2))
+
+
+def topology(rate=120.0, max_replays=8):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=rate), parallelism=1)
+    b.set_bolt("mid", PassBolt(), parallelism=2).shuffle_grouping("src")
+    b.set_bolt("sink", SinkBolt(), parallelism=2).shuffle_grouping("mid")
+    return b.build(
+        "conserve",
+        TopologyConfig(
+            num_workers=3, message_timeout=5.0, max_replays=max_replays
+        ),
+    )
+
+
+def accounting(sim):
+    ledger = sim.cluster.ledger
+    opened = sum(
+        ex.trees_opened
+        for ex in sim.cluster.executors.values()
+        if isinstance(ex, SpoutExecutor)
+    )
+    return opened, ledger.acked_count, ledger.failed_count, ledger.in_flight
+
+
+CRASH_LOSS_FAULTS = [
+    WorkerCrashFault(start=8, duration=6, worker_id=1),
+    MessageLossFault(start=12, duration=10, probability=0.15),
+    WorkerCrashFault(start=25, duration=5, worker_id=2),
+]
+
+
+def test_conservation_at_every_segment_boundary():
+    sim = (
+        SimulationBuilder(topology())
+        .nodes(NODES)
+        .seed(7)
+        .faults(CRASH_LOSS_FAULTS)
+        .build()
+    )
+    checked = 0
+    for _ in range(20):  # 20 x 2.5 s = 50 s, straddling every fault window
+        sim.run(duration=2.5)
+        opened, acked, failed, in_flight = accounting(sim)
+        assert opened == acked + failed + in_flight, (
+            f"conservation violated at t={sim.env.now}: opened={opened} "
+            f"acked={acked} failed={failed} in_flight={in_flight}"
+        )
+        checked += 1
+    assert checked == 20
+    # chaos genuinely exercised the loss paths
+    assert sim.cluster.transport.lost_count > 0
+    assert sim.cluster.ledger.failed_count > 0
+
+
+def test_conservation_cross_checked_against_trace():
+    sim = (
+        SimulationBuilder(topology())
+        .nodes(NODES)
+        .seed(7)
+        .faults(CRASH_LOSS_FAULTS)
+        .observability(trace=True, trace_capacity=1 << 20)
+        .build()
+    )
+    sim.run(duration=50)
+    tracer = sim.obs.tracer
+    assert tracer.dropped == 0  # the cross-check needs the full trace
+    counts = tracer.kind_counts()
+    opened, acked, failed, in_flight = accounting(sim)
+    # ledger counters match the event stream one-for-one
+    assert counts.get(TUPLE_EMIT, 0) == opened
+    assert counts.get(TUPLE_ACK, 0) == acked
+    assert counts.get(TUPLE_FAIL, 0) == failed
+    assert counts.get(TUPLE_LOSS, 0) == sim.cluster.transport.lost_count
+    # every emit span closes with exactly one ack/fail — except the
+    # still-in-flight trees, which have no close yet
+    spans = group_tuple_spans(tracer.events())
+    unclosed = 0
+    for root, events in spans.items():
+        kinds = [e.kind for e in events]
+        if TUPLE_EMIT not in kinds:
+            continue  # ack/fail of a pre-ring-buffer emit (none here)
+        closes = sum(k in (TUPLE_ACK, TUPLE_FAIL) for k in kinds)
+        assert closes <= 1, f"root {root} closed {closes} times"
+        unclosed += closes == 0
+    assert unclosed == in_flight
+
+
+class SlowishSink(SinkBolt):
+    default_cpu_cost = 4e-3
+
+
+def test_crash_failures_attributed_by_reason():
+    # A crash on a queue-heavy worker purges queued tuples with
+    # reason="crash"; in-transit drops surface later as "timeout".
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=300.0), parallelism=1)
+    # slow sink => standing queues at crash time
+    sink = b.set_bolt("sink", SlowishSink(), parallelism=1)
+    sink.shuffle_grouping("src")
+    topo = b.build(
+        "crash-reasons",
+        TopologyConfig(num_workers=2, message_timeout=5.0, max_replays=8),
+    )
+    # the round-robin placement puts the lone sink on worker 0 — crash it
+    sim = (
+        SimulationBuilder(topo)
+        .nodes(NODES)
+        .seed(1)
+        .faults(WorkerCrashFault(start=5, duration=5, worker_id=0))
+        .build()
+    )
+    sim.run(duration=30)
+    reasons = sim.cluster.ledger.failure_reasons
+    assert reasons.get("crash", 0) > 0
+    assert sum(reasons.values()) == sim.cluster.ledger.failed_count
+
+
+def test_dropped_tuples_break_out_of_conservation_visibly():
+    # With a starved replay budget the invariant still holds — dropped
+    # messages end as *failed* trees, and the drop counter records the
+    # abandonment separately (at-least-once gives up loudly, not silently).
+    sim = (
+        SimulationBuilder(topology(max_replays=0))
+        .nodes(NODES)
+        .seed(7)
+        .faults(CRASH_LOSS_FAULTS)
+        .observability(trace=True, trace_capacity=1 << 20)
+        .build()
+    )
+    res = sim.run(duration=50)
+    opened, acked, failed, in_flight = accounting(sim)
+    assert opened == acked + failed + in_flight
+    assert res.dropped > 0
+    assert sim.obs.tracer.kind_counts().get(TUPLE_DROP, 0) == res.dropped

@@ -1,0 +1,184 @@
+"""Overlapping faults must compose: reverts restore the original state
+regardless of which fault window closes first.
+
+Regression for the last-revert-wins family of bugs: SlowdownFault.revert
+used to reset ``slow_factor`` to 1.0 unconditionally and PauseFault's
+first revert resumed the worker, so two overlapping faults on the same
+target left wrong state (or cut the second fault short) once the first
+one ended.  Faults now act through ref-counted / stacked holds.
+"""
+
+import pytest
+
+from repro.storm import (
+    CpuHogFault,
+    MessageLossFault,
+    NetworkDelayFault,
+    NodeSpec,
+    PauseFault,
+    SlowdownFault,
+    StormSimulation,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from tests.storm.helpers import CounterSpout, SlowBolt
+
+NODES = (NodeSpec("n0", cores=4, slots=2), NodeSpec("n1", cores=4, slots=2))
+
+
+def sim_with(faults):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100), parallelism=1)
+    b.set_bolt("work", SlowBolt(cost=1e-3), parallelism=2).shuffle_grouping(
+        "src"
+    )
+    topo = b.build("overlap", TopologyConfig(num_workers=2))
+    return StormSimulation(topo, nodes=NODES, seed=0, faults=faults)
+
+
+# --- CPU hog (the satellite's named case) --------------------------------------
+
+
+def test_two_overlapping_cpu_hogs_restore_external_load():
+    # Windows: [2, 10) demand 2.0 and [4, 6) demand 1.5 — the inner fault
+    # reverts first; the outer revert must land back at exactly 0.
+    sim = sim_with([
+        CpuHogFault(start=2, duration=8, node_name="n0", demand=2.0),
+        CpuHogFault(start=4, duration=2, node_name="n0", demand=1.5),
+    ])
+    node = next(n for n in sim.cluster.nodes if n.name == "n0")
+    sim.run(duration=5)  # t=5: both active
+    assert node.external_load == pytest.approx(3.5)
+    sim.run(duration=3)  # t=8: inner reverted
+    assert node.external_load == pytest.approx(2.0)
+    sim.run(duration=4)  # t=12: both reverted
+    assert node.external_load == pytest.approx(0.0)
+
+
+def test_two_overlapping_cpu_hogs_outer_reverts_first():
+    # Windows: [2, 5) demand 2.0 and [3, 8) demand 1.5 — the *first*
+    # applied fault reverts first (the classic last-revert-wins shape).
+    sim = sim_with([
+        CpuHogFault(start=2, duration=3, node_name="n0", demand=2.0),
+        CpuHogFault(start=3, duration=5, node_name="n0", demand=1.5),
+    ])
+    node = next(n for n in sim.cluster.nodes if n.name == "n0")
+    sim.run(duration=4)  # t=4: both active
+    assert node.external_load == pytest.approx(3.5)
+    sim.run(duration=2)  # t=6: first reverted, second still on
+    assert node.external_load == pytest.approx(1.5)
+    sim.run(duration=4)  # t=10: clean
+    assert node.external_load == pytest.approx(0.0)
+
+
+# --- slowdown (the actual last-revert-wins bug) ---------------------------------
+
+
+def test_overlapping_slowdowns_stack_and_restore():
+    # [2, 10) x4 and [4, 6) x3: while both are active the worker runs at
+    # 12x; after the inner reverts it must be back at 4x, not 1x.
+    sim = sim_with([
+        SlowdownFault(start=2, duration=8, worker_id=0, factor=4.0),
+        SlowdownFault(start=4, duration=2, worker_id=0, factor=3.0),
+    ])
+    w = sim.cluster.workers[0]
+    sim.run(duration=5)  # t=5: both active
+    assert w.slow_factor == pytest.approx(12.0)
+    sim.run(duration=3)  # t=8: inner reverted — regression: used to be 1.0
+    assert w.slow_factor == pytest.approx(4.0)
+    sim.run(duration=4)  # t=12
+    assert w.slow_factor == pytest.approx(1.0)
+
+
+def test_overlapping_slowdowns_outer_reverts_first():
+    sim = sim_with([
+        SlowdownFault(start=2, duration=3, worker_id=0, factor=4.0),
+        SlowdownFault(start=3, duration=6, worker_id=0, factor=3.0),
+    ])
+    w = sim.cluster.workers[0]
+    sim.run(duration=4)
+    assert w.slow_factor == pytest.approx(12.0)
+    sim.run(duration=2)  # t=6: first reverted, second must survive
+    assert w.slow_factor == pytest.approx(3.0)
+    sim.run(duration=4)  # t=10
+    assert w.slow_factor == pytest.approx(1.0)
+
+
+# --- pause ----------------------------------------------------------------------
+
+
+def test_overlapping_pauses_resume_only_after_both_revert():
+    # [2, 8) and [3, 5): the inner revert at t=5 must NOT resume the
+    # worker (regression: it used to).
+    sim = sim_with([
+        PauseFault(start=2, duration=6, worker_id=0),
+        PauseFault(start=3, duration=2, worker_id=0),
+    ])
+    w = sim.cluster.workers[0]
+    sim.run(duration=4)  # t=4: both active
+    assert w.paused
+    sim.run(duration=2)  # t=6: inner reverted, still paused
+    assert w.paused
+    sim.run(duration=3)  # t=9: both reverted
+    assert not w.paused
+
+
+# --- transport chaos ------------------------------------------------------------
+
+
+def test_overlapping_loss_faults_combine_and_restore():
+    sim = sim_with([
+        MessageLossFault(start=1, duration=8, probability=0.1),
+        MessageLossFault(start=2, duration=2, probability=0.5),
+    ])
+    tp = sim.cluster.transport
+    sim.run(duration=3)  # t=3: both active — independent-drop combination
+    assert tp.loss_probability == pytest.approx(1 - 0.9 * 0.5)
+    sim.run(duration=3)  # t=6: only the first remains
+    assert tp.loss_probability == pytest.approx(0.1)
+    sim.run(duration=5)  # t=11: clean
+    assert tp.loss_probability == 0.0
+
+
+def test_overlapping_delay_faults_add_and_restore():
+    sim = sim_with([
+        NetworkDelayFault(start=1, duration=8, extra_delay=0.05),
+        NetworkDelayFault(start=2, duration=2, extra_delay=0.02),
+    ])
+    tp = sim.cluster.transport
+    sim.run(duration=3)
+    assert tp.extra_delay_mean == pytest.approx(0.07)
+    sim.run(duration=3)
+    assert tp.extra_delay_mean == pytest.approx(0.05)
+    sim.run(duration=5)
+    assert tp.extra_delay_mean == 0.0
+
+
+# --- mixed kinds on one worker --------------------------------------------------
+
+
+def test_slowdown_survives_overlapping_crash_cycle():
+    # Crash [3, 5) inside a slowdown [2, 10): the restart must not clear
+    # the slowdown, and the crash flag must not linger past restart.
+    sim = sim_with([
+        SlowdownFault(start=2, duration=8, worker_id=0, factor=5.0),
+        # worker 1 crash keeps the cluster's only spout (worker 0) alive
+        SlowdownFault(start=3, duration=2, worker_id=1, factor=2.0),
+    ])
+    w0, w1 = sim.cluster.workers[0], sim.cluster.workers[1]
+    sim.run(duration=4)
+    assert w0.slow_factor == pytest.approx(5.0)
+    assert w1.slow_factor == pytest.approx(2.0)
+    sim.run(duration=2)
+    assert w1.slow_factor == pytest.approx(1.0)
+    sim.run(duration=5)
+    assert w0.slow_factor == pytest.approx(1.0)
+
+
+def test_worker_hold_release_underflow_raises():
+    sim = sim_with([])
+    w = sim.cluster.workers[0]
+    with pytest.raises(RuntimeError):
+        w.release_pause()
+    with pytest.raises(ValueError):
+        w.release_slowdown(3.0)  # no such hold
