@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Fail if a benchmark run regressed against a pinned baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --bench BENCH_pr3.json \
+        --baseline benchmarks/perf/baseline_smoke.json \
+        [--tolerance 0.25]
+
+Two checks run per benchmark, both with the same ``tolerance``:
+
+* absolute time — ``min(repeats_s)`` (falling back to ``median_s``) must
+  not exceed the baseline's by more than ``tolerance``.  The minimum is
+  the noise-robust statistic under additive load drift (see
+  ``repro.bench.harness``), but separate runs on a shared machine can
+  still drift apart, so this check alone is not enough.
+* paired speedup — for benchmarks with a frozen ``_legacy`` twin, the
+  interleaved current-vs-legacy speedup must not drop below the
+  baseline's by more than ``tolerance``.  Because both sides run
+  interleaved in one process, this ratio is immune to machine-load
+  drift and is the reliable signal on busy CI runners.
+
+Legacy twins are frozen code — they only measure the machine, so they
+are reported but never gate.  Benchmarks present on one side only are
+reported and skipped: adding a benchmark must not break CI, and the gate
+should complain loudly (not crash) if one disappears.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+LEGACY_SUFFIX = "_legacy"
+
+
+def _best_time(result: dict) -> float:
+    repeats = result.get("repeats_s")
+    if repeats:
+        return float(min(repeats))
+    return float(result["median_s"])
+
+
+def compare(bench: dict, baseline: dict, tolerance: float) -> int:
+    if bench.get("schema") != baseline.get("schema"):
+        print(
+            f"schema mismatch: run {bench.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}"
+        )
+        return 2
+    current = bench["results"]
+    pinned = baseline["results"]
+    failures = []
+    for name in sorted(set(current) | set(pinned)):
+        if name not in current:
+            print(f"MISSING   {name}: in baseline but not in this run")
+            continue
+        if name not in pinned:
+            print(f"NEW       {name}: no baseline yet (skipped)")
+            continue
+        cur = _best_time(current[name])
+        base = _best_time(pinned[name])
+        ratio = cur / base if base > 0 else float("inf")
+        gated = not name.endswith(LEGACY_SUFFIX)
+        status = "ok"
+        if gated and cur > base * (1.0 + tolerance):
+            status = "REGRESSED"
+            failures.append(name)
+        elif not gated:
+            status = "info (legacy, not gated)"
+        print(
+            f"{status:26s} {name}: best {cur * 1e3:.2f} ms vs baseline "
+            f"{base * 1e3:.2f} ms ({ratio:.2f}x)"
+        )
+    cur_speedups = bench.get("speedups", {})
+    base_speedups = baseline.get("speedups", {})
+    for name in sorted(set(cur_speedups) & set(base_speedups)):
+        cur = float(cur_speedups[name])
+        base = float(base_speedups[name])
+        status = "ok"
+        if cur < base * (1.0 - tolerance):
+            status = "REGRESSED"
+            failures.append(f"{name} (speedup)")
+        print(
+            f"{status:26s} {name}: speedup {cur:.2f}x vs "
+            f"baseline {base:.2f}x"
+        )
+    if failures:
+        print(
+            f"\n{len(failures)} check(s) regressed beyond "
+            f"{tolerance:.0%}: {', '.join(failures)}"
+        )
+        return 1
+    print(f"\nall gated benchmarks within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True, help="fresh BENCH_*.json")
+    parser.add_argument(
+        "--baseline", required=True, help="pinned baseline BENCH_*.json"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed median_s slowdown fraction (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.bench) as fh:
+        bench = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    return compare(bench, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

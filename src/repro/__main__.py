@@ -228,6 +228,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.harness import main as bench_main
+
+    argv = ["--scale", args.scale, "--warmup", str(args.warmup),
+            "--repeats", str(args.repeats), "--out", args.out]
+    if args.only:
+        argv += ["--only", *args.only]
+    return bench_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -290,6 +300,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the campaign report JSON here")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("bench", help="time the tracked hot paths")
+    p.add_argument("--scale", default="smoke", choices=("smoke", "full"),
+                   help="workload size preset (default: smoke)")
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=5)
+    p.add_argument("--out", default="BENCH_pr3.json",
+                   help="output JSON path")
+    p.add_argument("--only", nargs="*", default=None,
+                   help="subset of benchmark names to run")
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,30 @@
+"""Hot-path performance benchmarks and their frozen legacy baselines.
+
+``python -m repro bench`` (or :func:`repro.bench.harness.main`) times the
+simulator's tracked hot paths — DES event loop, transport send/deliver,
+stats-monitor ingest/extract, DRNN fit and predict — under a
+warmup/repeat/median protocol and writes a schema-versioned
+``BENCH_*.json``.  See ``docs/performance.md`` for the protocol, the JSON
+schema, and the recorded before/after numbers.
+
+The ``legacy_*`` modules are verbatim copies of the pre-optimisation
+implementations; they exist so a single benchmark run self-documents its
+speedup ratios and must not be imported outside this package.
+"""
+
+from repro.bench.harness import (
+    run_benchmarks,
+    time_benchmark,
+    time_benchmark_pair,
+    write_report,
+)
+from repro.bench.hotpaths import BENCHMARKS, SCALES
+
+__all__ = [
+    "BENCHMARKS",
+    "SCALES",
+    "run_benchmarks",
+    "time_benchmark",
+    "time_benchmark_pair",
+    "write_report",
+]

@@ -1,0 +1,220 @@
+"""Wall-clock benchmark harness for the tracked hot paths.
+
+Protocol: every benchmark callable is invoked ``warmup`` times unmeasured
+(JIT-free Python still benefits — allocator pools, branch caches, NumPy
+thread-pool spin-up), then ``repeats`` times measured with
+``time.perf_counter``; the reported statistic is the **median** repeat, the
+standard choice for noisy shared machines (the mean is dragged by
+scheduler hiccups, the min overstates what a user will see).
+
+Output is a schema-versioned JSON document (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created_unix": ..., "scale": "full",
+      "protocol": {"warmup": 1, "repeats": 5, "statistic": "median"},
+      "env": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
+      "results": {
+        "<name>": {"median_s": ..., "repeats_s": [...],
+                    "work_units": ..., "units_per_s": ...},
+        ...
+      },
+      "speedups": {"<name>": <min legacy time / min current time>, ...}
+    }
+
+``speedups`` pairs every ``<name>_legacy`` entry with ``<name>``; the
+legacy twins run the frozen pre-optimisation implementations shipped in
+:mod:`repro.bench`, so one file documents the before/after ratio without
+needing a second checkout.  Pairs are measured with their repeats
+interleaved (load drift hits both sides) and the speedup is the ratio of
+the two per-side minima — noise is additive, so each minimum is the best
+estimate of the noise-free time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.bench.hotpaths import BENCHMARKS, SCALES
+
+SCHEMA = "repro-bench/1"
+LEGACY_SUFFIX = "_legacy"
+
+
+def _result(times, work_units: int) -> Dict[str, object]:
+    median = float(np.median(times))
+    return {
+        "median_s": median,
+        "repeats_s": [round(t, 6) for t in times],
+        "work_units": int(work_units),
+        "units_per_s": round(work_units / median, 1) if median > 0 else None,
+    }
+
+
+def time_benchmark(
+    fn, warmup: int = 1, repeats: int = 5
+) -> Dict[str, object]:
+    """Run one benchmark callable under the warmup/repeat/median protocol."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    work_units = 0
+    for _ in range(warmup):
+        work_units = fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        work_units = fn()
+        times.append(time.perf_counter() - t0)
+    return _result(times, work_units)
+
+
+def time_benchmark_pair(
+    fn_a, fn_b, warmup: int = 1, repeats: int = 5
+):
+    """Time two callables with their repeats interleaved (a, b, a, b, ...).
+
+    Used for current-vs-legacy pairs: on a noisy shared machine, load
+    drift between two back-to-back sequential runs can swamp the effect
+    being measured, while alternating repeats expose both callables to
+    the same drift.  Returns ``(result_a, result_b, ratio)`` where
+    ``ratio`` is ``min(times_b) / min(times_a)``: scheduler noise is
+    strictly additive, so each side's minimum is its best estimate of the
+    noise-free time (the same reasoning behind ``timeit``'s
+    use-the-minimum advice), and their ratio is far more stable across
+    load regimes than any mean- or median-based statistic.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    units_a = units_b = 0
+    for _ in range(warmup):
+        units_a = fn_a()
+        units_b = fn_b()
+    times_a, times_b = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        units_a = fn_a()
+        times_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        units_b = fn_b()
+        times_b.append(time.perf_counter() - t0)
+    ratio = min(times_b) / min(times_a)
+    return _result(times_a, units_a), _result(times_b, units_b), ratio
+
+
+def run_benchmarks(
+    scale: str = "smoke",
+    warmup: int = 1,
+    repeats: int = 5,
+    only: Optional[Iterable[str]] = None,
+) -> Dict[str, object]:
+    """Run the registered hot-path benchmarks; return the report document."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    params = SCALES[scale]
+    selected = set(only) if only is not None else set(BENCHMARKS)
+    unknown = selected - set(BENCHMARKS)
+    if unknown:
+        raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+    results: Dict[str, Dict[str, object]] = {}
+    speedups: Dict[str, float] = {}
+    paired = set()
+    for name, factory in BENCHMARKS.items():
+        if name not in selected or name in paired:
+            continue
+        legacy_name = name + LEGACY_SUFFIX
+        if legacy_name in selected and legacy_name in BENCHMARKS:
+            # Interleave the pair's repeats so machine-load drift hits
+            # both implementations equally and cancels in the ratio.
+            fn = factory(params)
+            legacy_fn = BENCHMARKS[legacy_name](params)
+            results[name], results[legacy_name], ratio = time_benchmark_pair(
+                fn, legacy_fn, warmup=warmup, repeats=repeats
+            )
+            speedups[name] = round(ratio, 3)
+            paired.add(legacy_name)
+        else:
+            fn = factory(params)
+            results[name] = time_benchmark(fn, warmup=warmup, repeats=repeats)
+    # Fallback for runs where --only picked a legacy twin without pairing.
+    for name, res in results.items():
+        legacy = results.get(name + LEGACY_SUFFIX)
+        if legacy is not None and name not in speedups:
+            speedups[name] = round(
+                float(legacy["median_s"]) / float(res["median_s"]), 3
+            )
+    return {
+        "schema": SCHEMA,
+        "created_unix": int(time.time()),
+        "scale": scale,
+        "protocol": {
+            "warmup": warmup,
+            "repeats": repeats,
+            "statistic": "median",
+            "legacy_pairing": "interleaved",
+            "speedup_statistic": "min(legacy) / min(current), interleaved",
+        },
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    """CLI entry point (also reachable as ``python -m repro bench``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="hot-path wall-clock benchmarks"
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="smoke",
+        help="workload size preset (default: smoke)",
+    )
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out", default="BENCH_pr3.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of benchmark names to run",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(
+        scale=args.scale,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        only=args.only,
+    )
+    write_report(report, args.out)
+    for name, res in report["results"].items():
+        print(
+            f"{name:34s} {res['median_s']*1e3:10.2f} ms"
+            f"  ({res['units_per_s']} units/s)"
+        )
+    for name, ratio in report["speedups"].items():
+        print(f"{name:34s} speedup vs legacy: {ratio}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

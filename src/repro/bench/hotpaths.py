@@ -1,0 +1,282 @@
+"""The tracked hot-path workloads.
+
+Each benchmark is a zero-argument callable (built for a given scale) whose
+single invocation performs a fixed amount of work and returns the number
+of *work units* completed (events, tuples, intervals, samples), so the
+harness can derive a throughput next to the raw wall-clock median.
+
+Two of the paths — the DES event loop and the stats monitor — also have a
+``*_legacy`` twin running the frozen pre-optimisation implementation
+(:mod:`repro.bench.legacy_kernel`, :mod:`repro.bench.legacy_monitor`), so
+every emitted ``BENCH_*.json`` carries its own before/after speedup.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Tuple as Tup
+
+import numpy as np
+
+from repro.bench.legacy_kernel import LegacyEnvironment
+from repro.bench.legacy_monitor import LegacyStatsMonitor
+from repro.core.monitor import StatsMonitor
+from repro.des.environment import Environment
+from repro.des.stores import Store
+from repro.models.drnn import DRNNRegressor
+from repro.storm.executor import Transport
+from repro.storm.metrics import (
+    MultilevelSnapshot,
+    NodeStats,
+    TopologyStats,
+    WorkerStats,
+)
+from repro.storm.topology import TopologyConfig
+from repro.storm.tuples import Tuple
+
+#: Per-benchmark workload sizes.  ``smoke`` keeps a full harness run in
+#: CI-friendly seconds; ``full`` is the scale quoted in docs/performance.md
+#: (the monitor runs at 16 workers x 2000 intervals there).
+SCALES: Dict[str, Dict[str, int]] = {
+    "smoke": {
+        "kernel_procs": 20,
+        "kernel_chain": 200,
+        "transport_tuples": 2_000,
+        "monitor_workers": 16,
+        "monitor_intervals": 200,
+        "drnn_samples": 48,
+        "drnn_window": 8,
+        "drnn_epochs": 2,
+        "drnn_hidden": 12,
+        "predict_samples": 128,
+    },
+    "full": {
+        "kernel_procs": 50,
+        "kernel_chain": 2_000,
+        "transport_tuples": 20_000,
+        "monitor_workers": 16,
+        "monitor_intervals": 2_000,
+        "drnn_samples": 192,
+        "drnn_window": 12,
+        "drnn_epochs": 6,
+        "drnn_hidden": 16,
+        "predict_samples": 512,
+    },
+}
+
+
+# -- DES event loop ----------------------------------------------------------------
+
+
+def _kernel_workload(env, n_procs: int, chain: int) -> int:
+    """Timeout chains + event ping-pong: the simulator's two wakeup kinds."""
+
+    def ticker(i):
+        for _ in range(chain):
+            yield env.timeout(0.001 * (1 + i % 3))
+
+    def ping(ev_in, ev_out):
+        for _ in range(chain // 2):
+            yield ev_in[0]
+            ev_in[0] = env.event()
+            ev_out[0].succeed()
+
+    for i in range(n_procs):
+        env.process(ticker(i))
+    a, b = [env.event()], [env.event()]
+    env.process(ping(a, b))
+    env.process(ping(b, a))
+    a[0].succeed()
+    env.run()
+    return n_procs * chain + chain
+
+
+def make_des_event_loop(scale: Dict[str, int]) -> Callable[[], int]:
+    return lambda: _kernel_workload(
+        Environment(), scale["kernel_procs"], scale["kernel_chain"]
+    )
+
+
+def make_des_event_loop_legacy(scale: Dict[str, int]) -> Callable[[], int]:
+    return lambda: _kernel_workload(
+        LegacyEnvironment(), scale["kernel_procs"], scale["kernel_chain"]
+    )
+
+
+# -- transport send/deliver --------------------------------------------------------
+
+
+def _fake_worker(name: str, node) -> SimpleNamespace:
+    return SimpleNamespace(name=name, node=node, crashed=False)
+
+
+def make_transport_send_deliver(scale: Dict[str, int]) -> Callable[[], int]:
+    n_tuples = scale["transport_tuples"]
+
+    def run() -> int:
+        env = Environment()
+        config = TopologyConfig()
+        transport = Transport(
+            env, config, ledger=None, rng=np.random.default_rng(0)
+        )
+        node_a, node_b = SimpleNamespace(name="a"), SimpleNamespace(name="b")
+        w0 = _fake_worker("w0", node_a)
+        w1 = _fake_worker("w1", node_a)  # same node, different worker
+        w2 = _fake_worker("w2", node_b)  # cross node
+        workers = [w0, w1, w2]
+        for task in range(3):
+            transport.register(task, Store(env), workers[task])
+        tup = Tuple(
+            values=("x", 1),
+            stream="default",
+            source_component="src",
+            source_task=0,
+        )
+        single, batch = n_tuples // 2, n_tuples // 2
+        for i in range(single):
+            transport.send(w0, i % 3, tup)
+        for _ in range(batch // 2):
+            transport.send_batch(w0, [(1, tup), (2, tup)])
+        env.run()
+        return n_tuples
+
+    return run
+
+
+# -- stats monitor -----------------------------------------------------------------
+
+
+def make_monitor_fixture(
+    n_workers: int, n_intervals: int, seed: int = 0
+) -> Tup[SimpleNamespace, List[MultilevelSnapshot]]:
+    """A fake 4-workers-per-node cluster plus a synthetic snapshot stream."""
+    nodes: Dict[str, SimpleNamespace] = {}
+    workers = []
+    for wid in range(n_workers):
+        name = f"node{wid // 4}"
+        node = nodes.setdefault(name, SimpleNamespace(name=name))
+        workers.append(SimpleNamespace(worker_id=wid, node=node))
+    cluster = SimpleNamespace(workers=workers)
+
+    rng = np.random.default_rng(seed)
+    snapshots = []
+    for k in range(n_intervals):
+        wstats = {}
+        for wid in range(n_workers):
+            executed = int(rng.integers(0, 40))
+            wstats[wid] = WorkerStats(
+                worker_id=wid,
+                node_name=f"node{wid // 4}",
+                executed=executed,
+                emitted=int(rng.integers(0, 40)),
+                avg_process_latency=float(rng.uniform(0.001, 0.05)),
+                avg_service_time=float(rng.uniform(0.001, 0.02)),
+                queue_len=int(rng.integers(0, 10)),
+                backlog=int(rng.integers(0, 20)),
+                cpu_share=float(rng.uniform(0.0, 1.0)),
+            )
+        nstats = {
+            name: NodeStats(name=name, cores=4, utilization=float(rng.uniform(0, 1)))
+            for name in nodes
+        }
+        snapshots.append(
+            MultilevelSnapshot(
+                time=float(k),
+                topology=TopologyStats(
+                    emit_rate=float(rng.uniform(50, 200)),
+                    in_flight=int(rng.integers(0, 100)),
+                ),
+                nodes=nstats,
+                workers=wstats,
+            )
+        )
+    return cluster, snapshots
+
+
+def _monitor_workload(monitor, snapshots, window: int = 16) -> int:
+    """Ingest the stream, probing the control-loop readers as it goes."""
+    probe_every = max(1, len(snapshots) // 50)
+    for k, snap in enumerate(snapshots):
+        monitor.observe(snap)
+        if k % probe_every == 0:
+            monitor.latest_backlogs()
+            monitor.latest_latencies()
+            for wid in monitor.worker_ids:
+                monitor.latest_window(wid, window)
+    for wid in monitor.worker_ids:
+        monitor.feature_matrix(wid)
+        monitor.target_series(wid)
+    return monitor.n_intervals
+
+
+def make_monitor_observe_extract(scale: Dict[str, int]) -> Callable[[], int]:
+    cluster, snapshots = make_monitor_fixture(
+        scale["monitor_workers"], scale["monitor_intervals"]
+    )
+    return lambda: _monitor_workload(StatsMonitor(cluster), snapshots)
+
+
+def make_monitor_observe_extract_legacy(scale: Dict[str, int]) -> Callable[[], int]:
+    cluster, snapshots = make_monitor_fixture(
+        scale["monitor_workers"], scale["monitor_intervals"]
+    )
+    return lambda: _monitor_workload(LegacyStatsMonitor(cluster), snapshots)
+
+
+# -- DRNN --------------------------------------------------------------------------
+
+
+def _drnn_data(scale: Dict[str, int], n: int) -> Tup[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(n, scale["drnn_window"], 13))
+    y = rng.normal(size=n)
+    return X, y
+
+
+def make_drnn_fit(scale: Dict[str, int]) -> Callable[[], int]:
+    X, y = _drnn_data(scale, scale["drnn_samples"])
+
+    def run() -> int:
+        model = DRNNRegressor(
+            input_dim=13,
+            hidden_sizes=(scale["drnn_hidden"], scale["drnn_hidden"]),
+            epochs=scale["drnn_epochs"],
+            patience=0,  # fixed epoch count: identical work every repeat
+            seed=0,
+        )
+        model.fit(X, y)
+        return scale["drnn_samples"] * scale["drnn_epochs"]
+
+    return run
+
+
+def make_drnn_predict(scale: Dict[str, int]) -> Callable[[], int]:
+    X, y = _drnn_data(scale, scale["drnn_samples"])
+    model = DRNNRegressor(
+        input_dim=13,
+        hidden_sizes=(scale["drnn_hidden"], scale["drnn_hidden"]),
+        epochs=1,
+        patience=0,
+        seed=0,
+    )
+    model.fit(X, y)
+    Xp, _ = _drnn_data(scale, scale["predict_samples"])
+
+    def run() -> int:
+        model.predict(Xp)
+        return scale["predict_samples"]
+
+    return run
+
+
+#: name -> factory; ``*_legacy`` entries are paired with their base name by
+#: the harness to derive speedup ratios.
+BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
+    "des_event_loop": make_des_event_loop,
+    "des_event_loop_legacy": make_des_event_loop_legacy,
+    "transport_send_deliver": make_transport_send_deliver,
+    "monitor_observe_extract": make_monitor_observe_extract,
+    "monitor_observe_extract_legacy": make_monitor_observe_extract_legacy,
+    "drnn_fit": make_drnn_fit,
+    "drnn_predict": make_drnn_predict,
+}

@@ -1,0 +1,292 @@
+"""Frozen pre-optimisation copy of the DES kernel (the PR 3 baseline).
+
+This module preserves, verbatim, the event/process/environment
+implementation the repository shipped *before* the hot-path performance
+pass (per-event ``step()`` dispatch, ``schedule()``-routed timeouts,
+profiler-checked resume indirection).  The perf harness runs the same
+workload on this kernel and on :mod:`repro.des` and reports the ratio,
+so every ``BENCH_*.json`` carries its own before/after evidence instead
+of relying on numbers measured on someone else's machine.
+
+Nothing outside :mod:`repro.bench` may import this module; it is not a
+public API and intentionally duplicates code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from time import perf_counter
+from typing import Any, Callable, Generator, Iterable, Optional, Union
+
+#: Scheduling priorities: lower values fire earlier at equal times.
+URGENT = 0
+NORMAL = 1
+LAST = 2
+
+
+class StopSimulation(Exception):
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`LegacyEnvironment.step` when no events remain."""
+
+
+class LegacyEvent:
+    """Pre-PR ``Event``: triggering always routes through ``schedule()``."""
+
+    __slots__ = ("env", "callbacks", "_ok", "_value", "_exc", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "LegacyEnvironment") -> None:
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._ok: bool = True
+        self._value: Any = LegacyEvent._PENDING
+        self._exc: Optional[BaseException] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not LegacyEvent._PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is LegacyEvent._PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        if not self._ok:
+            assert self._exc is not None
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "LegacyEvent":
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "LegacyEvent":
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._ok = False
+        self._exc = exc
+        self._value = None
+        self.env.schedule(self, priority=priority)
+        return self
+
+
+class LegacyTimeout(LegacyEvent):
+    """Pre-PR ``Timeout``: construction pays one full ``schedule()`` call."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self, env: "LegacyEnvironment", delay: float, value: Any = None
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class LegacyProcess(LegacyEvent):
+    """Pre-PR ``Process``: profiler-checked ``_resume`` -> ``_advance``."""
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(
+        self,
+        env: "LegacyEnvironment",
+        generator: Generator[LegacyEvent, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._gen = generator
+        self._target: Optional[LegacyEvent] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        init = LegacyEvent(env)
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        init.succeed(None, priority=URGENT)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, event: Optional[LegacyEvent]) -> None:
+        profiler = self.env._profiler
+        if profiler is None:
+            self._advance(event)
+            return
+        t0 = perf_counter()
+        try:
+            self._advance(event)
+        finally:
+            profiler.note_resume(self.name, perf_counter() - t0)
+
+    def _advance(self, event: Optional[LegacyEvent]) -> None:
+        env = self.env
+        env._active_proc = self
+        self._target = None
+        while True:
+            try:
+                if event is None or event._ok:
+                    next_ev = self._gen.send(
+                        None if event is None else event._value
+                    )
+                else:
+                    event._defused = True
+                    assert event._exc is not None
+                    next_ev = self._gen.throw(event._exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self, priority=URGENT)
+                break
+            except BaseException as exc:  # noqa: BLE001 - crash path
+                self._ok = False
+                self._exc = exc
+                self._value = None
+                env.schedule(self, priority=URGENT)
+                break
+            if not isinstance(next_ev, LegacyEvent):
+                env._active_proc = None
+                raise RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_ev!r}"
+                )
+            if next_ev.callbacks is not None:
+                next_ev.callbacks.append(self._resume)
+                self._target = next_ev
+                break
+            event = next_ev
+        env._active_proc = None
+
+
+class LegacyEnvironment:
+    """Pre-PR ``Environment``: ``run()`` dispatches via ``step()`` per event."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = 0
+        self._active_proc: Optional[LegacyProcess] = None
+        self._profiler = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def event(self) -> LegacyEvent:
+        return LegacyEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> LegacyTimeout:
+        return LegacyTimeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[LegacyEvent, Any, Any],
+        name: Optional[str] = None,
+    ) -> LegacyProcess:
+        return LegacyProcess(self, generator, name=name)
+
+    def schedule(
+        self, event: LegacyEvent, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event)
+        )
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        if self._profiler is not None:
+            self._profiler.note_event(len(self._queue))
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            assert event._exc is not None
+            raise event._exc
+
+    def run(self, until: Union[None, float, LegacyEvent] = None) -> Any:
+        stop: Optional[LegacyEvent] = None
+        if until is not None:
+            if isinstance(until, LegacyEvent):
+                stop = until
+                if stop.processed:
+                    return stop.value
+                stop.callbacks.append(self._stop_callback)  # type: ignore[union-attr]
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} lies in the past (now={self._now})"
+                    )
+                stop = LegacyEvent(self)
+                stop._ok = True
+                stop._value = StopSimulation
+                stop.callbacks.append(self._stop_callback)  # type: ignore[union-attr]
+                self.schedule(stop, delay=at - self._now, priority=LAST)
+        try:
+            while True:
+                self.step()
+        except StopSimulation as sig:
+            return sig.value
+        except EmptySchedule:
+            if isinstance(until, LegacyEvent) and not until.processed:
+                raise RuntimeError(
+                    "run() ran out of events before `until` event fired"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: LegacyEvent) -> None:
+        if event._ok:
+            value = None if event._value is StopSimulation else event._value
+            raise StopSimulation(value)
+        event._defused = True
+        assert event._exc is not None
+        raise event._exc
+
+
+Callback = Callable[[LegacyEvent], None]

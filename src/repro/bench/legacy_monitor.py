@@ -1,0 +1,154 @@
+"""Frozen pre-optimisation copy of :class:`repro.core.monitor.StatsMonitor`.
+
+This is the PR 3 baseline implementation — per-snapshot Python rows kept
+in lists of ``(d,)`` arrays, ``np.vstack`` on every extraction, per-peer
+re-summation of the co-location features, and a ``feature_names.index``
+lookup inside the per-worker backlog loop.  The perf harness runs the
+same snapshot stream through this class and through the ring-buffered
+rewrite, so the monitor speedup is measurable from a single
+``BENCH_*.json``.
+
+Nothing outside :mod:`repro.bench` may import this module; it is not a
+public API and intentionally duplicates code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.monitor import (
+    INTERFERENCE_FEATURES,
+    OWN_FEATURES,
+    TOPOLOGY_FEATURES,
+)
+from repro.storm.metrics import MultilevelSnapshot
+
+
+class LegacyStatsMonitor:
+    """Rolling per-worker feature/target history (pre-PR list storage)."""
+
+    def __init__(
+        self,
+        cluster,
+        include_interference: bool = True,
+        target_feature: str = "avg_service_time",
+    ) -> None:
+        if target_feature not in ("avg_service_time", "avg_process_latency"):
+            raise ValueError(f"unsupported target_feature {target_feature!r}")
+        self.cluster = cluster
+        self.include_interference = include_interference
+        self.target_feature = target_feature
+        self.feature_names: Tuple[str, ...] = OWN_FEATURES + (
+            INTERFERENCE_FEATURES if include_interference else ()
+        ) + TOPOLOGY_FEATURES
+        self._features: Dict[int, List[np.ndarray]] = {
+            w.worker_id: [] for w in cluster.workers
+        }
+        self._targets: Dict[int, List[float]] = {
+            w.worker_id: [] for w in cluster.workers
+        }
+        self._times: List[float] = []
+        self._worker_node = {w.worker_id: w.node.name for w in cluster.workers}
+        self._node_workers: Dict[str, List[int]] = {}
+        for w in cluster.workers:
+            self._node_workers.setdefault(w.node.name, []).append(w.worker_id)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def observe(self, snapshot: MultilevelSnapshot) -> None:
+        self._times.append(snapshot.time)
+        for wid, ws in snapshot.workers.items():
+            row = [
+                float(ws.executed),
+                float(ws.emitted),
+                ws.avg_process_latency,
+                ws.avg_service_time,
+                float(ws.queue_len),
+                float(ws.backlog),
+                ws.cpu_share,
+            ]
+            if self.include_interference:
+                node = self._worker_node[wid]
+                ns = snapshot.nodes[node]
+                peers = [p for p in self._node_workers[node] if p != wid]
+                row.extend(
+                    [
+                        ns.utilization,
+                        sum(snapshot.workers[p].cpu_share for p in peers),
+                        float(sum(snapshot.workers[p].executed for p in peers)),
+                        float(sum(snapshot.workers[p].backlog for p in peers)),
+                    ]
+                )
+            row.extend(
+                [snapshot.topology.emit_rate, float(snapshot.topology.in_flight)]
+            )
+            self._features[wid].append(np.array(row))
+            prev = self._targets[wid][-1] if self._targets[wid] else 0.0
+            value = getattr(ws, self.target_feature)
+            target = value if ws.executed > 0 else prev
+            self._targets[wid].append(target)
+
+    def observe_all(self, snapshots) -> None:
+        for s in snapshots:
+            self.observe(s)
+
+    # -- extraction --------------------------------------------------------------
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self._times)
+
+    @property
+    def worker_ids(self) -> List[int]:
+        return sorted(self._features)
+
+    def feature_matrix(self, worker_id: int) -> np.ndarray:
+        rows = self._features[worker_id]
+        if not rows:
+            return np.zeros((0, len(self.feature_names)))
+        return np.vstack(rows)
+
+    def target_series(self, worker_id: int) -> np.ndarray:
+        return np.array(self._targets[worker_id])
+
+    def latest_window(self, worker_id: int, window: int) -> Optional[np.ndarray]:
+        rows = self._features[worker_id]
+        if len(rows) < window:
+            return None
+        return np.vstack(rows[-window:])
+
+    def latest_backlogs(self) -> Dict[int, float]:
+        out = {}
+        for wid in self.worker_ids:
+            rows = self._features[wid]
+            out[wid] = rows[-1][self.feature_names.index("backlog")] if rows else 0.0
+        return out
+
+    def latest_latencies(self) -> Dict[int, float]:
+        return {
+            wid: (self._targets[wid][-1] if self._targets[wid] else 0.0)
+            for wid in self.worker_ids
+        }
+
+    def pooled_training_data(
+        self, window: int, horizon: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.models.preprocessing import make_supervised_windows
+
+        xs, ys = [], []
+        for wid in self.worker_ids:
+            F = self.feature_matrix(wid)
+            t = self.target_series(wid)
+            if F.shape[0] < window + horizon:
+                continue
+            X, y = make_supervised_windows(F, t, window=window, horizon=horizon)
+            xs.append(X)
+            ys.append(y)
+        if not xs:
+            raise ValueError(
+                f"not enough history ({self.n_intervals} intervals) for "
+                f"window={window}"
+            )
+        return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)

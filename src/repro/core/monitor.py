@@ -25,7 +25,23 @@ The prediction *target* is configurable:
 Intervals where a worker executed nothing (e.g. it is paused) carry the
 last value forward — a stalled worker's "infinite" latency is not
 representable, so stall detection is handled by the detector's backlog
-guard instead (see :mod:`repro.core.detector`).
+guard instead (see :mod:`repro.core.detector`).  Intervals *before* a
+worker's first real observation have no value to carry and are excluded
+from :meth:`StatsMonitor.pooled_training_data` (a worker that has never
+executed contributes no training rows); the reported series still cover
+every interval so per-worker histories stay aligned.
+
+Storage
+-------
+Histories live in one time-major contiguous ``(capacity, W, d)`` array
+grown geometrically (capacity doubles when full): a snapshot is a single
+contiguous block written once per interval, and :meth:`feature_matrix`,
+:meth:`latest_window` and :meth:`target_series` are O(1) constant-stride
+views instead of per-call ``np.vstack`` over thousands of row arrays.  The co-location
+features are computed from per-node running totals (``node total − own``)
+rather than re-summing every peer for every worker, making
+:meth:`observe` linear in the worker count.  Extraction methods return
+read-only views into the live buffers; copy before mutating.
 """
 
 from __future__ import annotations
@@ -60,6 +76,9 @@ INTERFERENCE_FEATURES = (
 #: Topology-level features.
 TOPOLOGY_FEATURES = ("emit_rate", "in_flight")
 
+#: Initial ring capacity (intervals); doubles on overflow.
+_INITIAL_CAPACITY = 64
+
 
 class StatsMonitor:
     """Rolling per-worker feature/target history built from snapshots."""
@@ -80,55 +99,167 @@ class StatsMonitor:
         self.feature_names: Tuple[str, ...] = OWN_FEATURES + (
             INTERFERENCE_FEATURES if include_interference else ()
         ) + TOPOLOGY_FEATURES
-        self._features: Dict[int, List[np.ndarray]] = {
-            w.worker_id: [] for w in cluster.workers
+        #: column index per feature name (cached once; hot readers must not
+        #: pay a tuple scan per worker per call).
+        self._col: Dict[str, int] = {
+            name: i for i, name in enumerate(self.feature_names)
         }
-        self._targets: Dict[int, List[float]] = {
-            w.worker_id: [] for w in cluster.workers
+        self._backlog_col = self._col["backlog"]
+        self._worker_ids: List[int] = sorted(
+            w.worker_id for w in cluster.workers
+        )
+        self._wid_row: Dict[int, int] = {
+            wid: i for i, wid in enumerate(self._worker_ids)
         }
-        self._times: List[float] = []
         self._worker_node = {
             w.worker_id: w.node.name for w in cluster.workers
         }
         self._node_workers: Dict[str, List[int]] = {}
         for w in cluster.workers:
             self._node_workers.setdefault(w.node.name, []).append(w.worker_id)
+        #: node name per storage row, in row order (for the fix-up pass).
+        self._row_nodes: List[str] = [
+            self._worker_node[wid] for wid in self._worker_ids
+        ]
+        n_workers = len(self._worker_ids)
+        d = len(self.feature_names)
+        self._cap = _INITIAL_CAPACITY
+        self._n = 0
+        # Time-major layout: one snapshot is a contiguous (W, d) block, so
+        # the once-per-interval ingest is a single flat contiguous write;
+        # per-worker histories are constant-stride views along axis 0.
+        self._F = np.empty((self._cap, n_workers, d), dtype=np.float64)
+        self._y = np.empty((self._cap, n_workers), dtype=np.float64)
+        self._t = np.empty(self._cap, dtype=np.float64)
+        #: last target value per row, kept as Python floats so the
+        #: carry-forward path never round-trips through NumPy scalars.
+        self._last_y: List[float] = [0.0] * n_workers
+        #: per worker row: interval index of the first snapshot in which the
+        #: worker actually executed something, or -1 while it never has.
+        self._first_real = np.full(n_workers, -1, dtype=np.int64)
 
     # -- ingestion ---------------------------------------------------------------
 
+    def _grow(self) -> None:
+        """Double the interval capacity, preserving the filled prefix."""
+        new_cap = self._cap * 2
+        _, n_workers, d = self._F.shape
+        F = np.empty((new_cap, n_workers, d), dtype=np.float64)
+        y = np.empty((new_cap, n_workers), dtype=np.float64)
+        t = np.empty(new_cap, dtype=np.float64)
+        n = self._n
+        F[:n] = self._F[:n]
+        y[:n] = self._y[:n]
+        t[:n] = self._t[:n]
+        self._F, self._y, self._t, self._cap = F, y, t, new_cap
+
     def observe(self, snapshot: MultilevelSnapshot) -> None:
-        """Append one metrics snapshot to every worker's history."""
-        self._times.append(snapshot.time)
-        for wid, ws in snapshot.workers.items():
-            row = [
-                float(ws.executed),
-                float(ws.emitted),
-                ws.avg_process_latency,
-                ws.avg_service_time,
-                float(ws.queue_len),
-                float(ws.backlog),
-                ws.cpu_share,
-            ]
-            if self.include_interference:
-                node = self._worker_node[wid]
-                ns = snapshot.nodes[node]
-                peers = [p for p in self._node_workers[node] if p != wid]
-                row.extend(
-                    [
-                        ns.utilization,
-                        sum(snapshot.workers[p].cpu_share for p in peers),
-                        float(sum(snapshot.workers[p].executed for p in peers)),
-                        float(sum(snapshot.workers[p].backlog for p in peers)),
-                    ]
+        """Append one metrics snapshot to every worker's history.
+
+        The snapshot must cover every registered worker (the metrics
+        collector always does); a missing worker raises ``KeyError``.
+        """
+        n = self._n
+        if n == self._cap:
+            self._grow()
+        self._t[n] = snapshot.time
+        first_real = self._first_real
+        target_feature = self.target_feature
+        workers = snapshot.workers
+        topo = snapshot.topology
+        emit_rate = topo.emit_rate
+        in_flight = float(topo.in_flight)
+        last = self._last_y
+        flat: List[float] = []
+        targets: List[float] = []
+        r = 0
+        if self.include_interference:
+            # Pass 1 reads each worker's stats exactly once, accumulating
+            # per-node totals and stashing the worker's own cpu/executed/
+            # backlog in the co-location slots.  Pass 2 replaces those
+            # slots with ``node total − own`` — O(W) per snapshot instead
+            # of re-summing every peer for every worker.  The whole
+            # snapshot is staged as ONE flat Python list and written with
+            # a single contiguous assignment.
+            node_totals: Dict[str, list] = {
+                name: [0.0, 0, 0] for name in self._node_workers
+            }
+            row_nodes = self._row_nodes
+            for wid in self._worker_ids:
+                ws = workers[wid]
+                executed = ws.executed
+                backlog = ws.backlog
+                cpu = ws.cpu_share
+                tot = node_totals[row_nodes[r]]
+                tot[0] += cpu
+                tot[1] += executed
+                tot[2] += backlog
+                flat += (
+                    executed,
+                    ws.emitted,
+                    ws.avg_process_latency,
+                    ws.avg_service_time,
+                    ws.queue_len,
+                    backlog,
+                    cpu,
+                    0.0,  # node utilization (pass 2)
+                    cpu,  # own values, replaced by total - own in pass 2
+                    executed,
+                    backlog,
+                    emit_rate,
+                    in_flight,
                 )
-            row.extend(
-                [snapshot.topology.emit_rate, float(snapshot.topology.in_flight)]
-            )
-            self._features[wid].append(np.array(row))
-            prev = self._targets[wid][-1] if self._targets[wid] else 0.0
-            value = getattr(ws, self.target_feature)
-            target = value if ws.executed > 0 else prev
-            self._targets[wid].append(target)
+                if executed > 0:
+                    targets.append(getattr(ws, target_feature))
+                    if first_real[r] < 0:
+                        first_real[r] = n
+                else:
+                    # Carry the last value forward; before any real
+                    # observation the series is padded with 0.0 (these
+                    # padded intervals never become training rows, see
+                    # :meth:`pooled_training_data`).
+                    targets.append(last[r])
+                r += 1
+            nodes = snapshot.nodes
+            utilization = {
+                name: nodes[name].utilization for name in node_totals
+            }
+            base = 7  # offset of node_utilization within each row
+            for r in range(len(targets)):
+                node = row_nodes[r]
+                tot = node_totals[node]
+                flat[base] = utilization[node]
+                flat[base + 1] = tot[0] - flat[base + 1]
+                flat[base + 2] = tot[1] - flat[base + 2]
+                flat[base + 3] = tot[2] - flat[base + 3]
+                base += 13
+        else:
+            for wid in self._worker_ids:
+                ws = workers[wid]
+                executed = ws.executed
+                flat += (
+                    executed,
+                    ws.emitted,
+                    ws.avg_process_latency,
+                    ws.avg_service_time,
+                    ws.queue_len,
+                    ws.backlog,
+                    ws.cpu_share,
+                    emit_rate,
+                    in_flight,
+                )
+                if executed > 0:
+                    targets.append(getattr(ws, target_feature))
+                    if first_real[r] < 0:
+                        first_real[r] = n
+                else:
+                    targets.append(last[r])
+                r += 1
+        if targets:
+            self._F[n].reshape(-1)[:] = flat
+            self._y[n] = targets
+            self._last_y = targets
+        self._n = n + 1
 
     def observe_all(self, snapshots) -> None:
         for s in snapshots:
@@ -138,41 +269,56 @@ class StatsMonitor:
 
     @property
     def n_intervals(self) -> int:
-        return len(self._times)
+        return self._n
 
     @property
     def worker_ids(self) -> List[int]:
-        return sorted(self._features)
+        return list(self._worker_ids)
+
+    @staticmethod
+    def _readonly(view: np.ndarray) -> np.ndarray:
+        view.flags.writeable = False
+        return view
 
     def feature_matrix(self, worker_id: int) -> np.ndarray:
-        """``(T, d)`` feature history for one worker."""
-        rows = self._features[worker_id]
-        if not rows:
-            return np.zeros((0, len(self.feature_names)))
-        return np.vstack(rows)
+        """``(T, d)`` feature history for one worker (read-only view)."""
+        return self._readonly(self._F[: self._n, self._wid_row[worker_id]])
 
     def target_series(self, worker_id: int) -> np.ndarray:
-        return np.array(self._targets[worker_id])
+        """``(T,)`` target history for one worker (read-only view)."""
+        return self._readonly(self._y[: self._n, self._wid_row[worker_id]])
+
+    def first_real_interval(self, worker_id: int) -> Optional[int]:
+        """Index of the worker's first interval with ``executed > 0``."""
+        idx = int(self._first_real[self._wid_row[worker_id]])
+        return None if idx < 0 else idx
 
     def latest_window(self, worker_id: int, window: int) -> Optional[np.ndarray]:
         """Most recent ``(window, d)`` feature block, or None if too short."""
-        rows = self._features[worker_id]
-        if len(rows) < window:
+        n = self._n
+        if n < window:
             return None
-        return np.vstack(rows[-window:])
+        return self._readonly(
+            self._F[n - window : n, self._wid_row[worker_id]]
+        )
 
     def latest_backlogs(self) -> Dict[int, float]:
         """Instantaneous queue backlog per worker (for the stall guard)."""
-        out = {}
-        for wid in self.worker_ids:
-            rows = self._features[wid]
-            out[wid] = rows[-1][self.feature_names.index("backlog")] if rows else 0.0
-        return out
+        n = self._n
+        if n == 0:
+            return {wid: 0.0 for wid in self._worker_ids}
+        col = self._F[n - 1, :, self._backlog_col]
+        return {
+            wid: float(col[r]) for wid, r in self._wid_row.items()
+        }
 
     def latest_latencies(self) -> Dict[int, float]:
+        n = self._n
+        if n == 0:
+            return {wid: 0.0 for wid in self._worker_ids}
+        col = self._y[n - 1]
         return {
-            wid: (self._targets[wid][-1] if self._targets[wid] else 0.0)
-            for wid in self.worker_ids
+            wid: float(col[r]) for wid, r in self._wid_row.items()
         }
 
     def pooled_training_data(
@@ -182,14 +328,22 @@ class StatsMonitor:
 
         The paper trains one model over all workers (it must generalise
         across placements); pooling also multiplies the training set by
-        the worker count.
+        the worker count.  Each worker's history enters at its first real
+        observation: leading intervals where the worker had executed
+        nothing carry a padded 0.0 target that would otherwise teach the
+        model a fictitious zero-latency regime.
         """
         from repro.models.preprocessing import make_supervised_windows
 
+        n = self._n
         xs, ys = [], []
-        for wid in self.worker_ids:
-            F = self.feature_matrix(wid)
-            t = self.target_series(wid)
+        for wid in self._worker_ids:
+            r = self._wid_row[wid]
+            start = int(self._first_real[r])
+            if start < 0:
+                continue  # never executed: nothing real to learn from
+            F = self._F[start:n, r]
+            t = self._y[start:n, r]
             if F.shape[0] < window + horizon:
                 continue
             X, y = make_supervised_windows(F, t, window=window, horizon=horizon)
@@ -204,7 +358,7 @@ class StatsMonitor:
 
     def __repr__(self) -> str:
         return (
-            f"<StatsMonitor workers={len(self._features)}"
+            f"<StatsMonitor workers={len(self._worker_ids)}"
             f" intervals={self.n_intervals}"
             f" features={len(self.feature_names)}>"
         )

@@ -47,17 +47,42 @@ class PerformancePredictor:
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "PerformancePredictor":
         """Fit on pooled supervised windows (see
-        :meth:`StatsMonitor.pooled_training_data`)."""
+        :meth:`StatsMonitor.pooled_training_data`).
+
+        The scalers' statistics are estimated on the *training* portion
+        only.  Models that hold out a chronological validation tail for
+        early stopping (the DRNN's ``val_fraction``/``patience``) would
+        otherwise see validation data leak into the normalisation — the
+        tail's mean/variance influences the scaled inputs the model is
+        validated on, overstating early-stopping quality.
+        """
         if self.model is None:
             return self
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         n, T, d = X.shape
-        Xs = self.scaler_x.fit_transform(X.reshape(n * T, d)).reshape(n, T, d)
-        ys = self.scaler_y.fit_transform(y)
+        n_train = n - self._holdout_size(n)
+        self.scaler_x.fit(X[:n_train].reshape(n_train * T, d))
+        self.scaler_y.fit(y[:n_train])
+        Xs = self.scaler_x.transform(X.reshape(n * T, d)).reshape(n, T, d)
+        ys = self.scaler_y.transform(y)
         self.model.fit(Xs, ys)
         self.fitted = True
         return self
+
+    def _holdout_size(self, n: int) -> int:
+        """Rows the model will hold out as a chronological validation tail.
+
+        Mirrors :meth:`repro.models.drnn.DRNNRegressor.fit`'s split so the
+        scalers are fit on exactly the rows the model trains on.  Models
+        without ``val_fraction``/``patience`` attributes hold out nothing.
+        """
+        val_fraction = float(getattr(self.model, "val_fraction", 0.0))
+        patience = int(getattr(self.model, "patience", 0))
+        n_val = max(1, int(n * val_fraction)) if patience > 0 else 0
+        if n_val and n - n_val < 2:
+            n_val = 0
+        return n_val
 
     def fit_from_monitor(self, monitor: "StatsMonitor") -> "PerformancePredictor":
         X, y = monitor.pooled_training_data(self.window)

@@ -10,6 +10,7 @@ a fixed seed).
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import TYPE_CHECKING, Any, Generator, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +50,11 @@ class Environment:
         #: optional kernel profiler (see :mod:`repro.obs.profiler`); the
         #: event loop pays one ``is not None`` check per event when unset.
         self._profiler: Optional["KernelProfiler"] = None
+        #: free list of recycled Timeout objects (slot reuse): the run loop
+        #: returns a just-processed Timeout here when the refcount proves no
+        #: one else holds it, and :meth:`timeout` reinitialises it in place
+        #: instead of allocating.  Bounded so a burst cannot pin memory.
+        self._timeout_pool: list = []
 
     # -- clock ----------------------------------------------------------------
 
@@ -80,7 +86,26 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires after ``delay`` simulation time."""
+        """Create an event that fires after ``delay`` simulation time.
+
+        Reuses a recycled :class:`Timeout` from the free list when one is
+        available (see ``_timeout_pool``): the object and its callbacks
+        list are reinitialised in place, skipping both allocations on the
+        simulator's hottest creation site.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            ev = pool.pop()
+            ev.callbacks = ev._value  # the cleared list stashed at recycle
+            ev._value = value
+            ev.delay = delay
+            self._seq += 1
+            heapq.heappush(
+                self._queue, (self._now + delay, NORMAL, self._seq, ev)
+            )
+            return ev
         return Timeout(self, delay, value)
 
     def process(
@@ -143,6 +168,13 @@ class Environment:
           time; the clock is left exactly at ``until``.
         * ``until`` is an :class:`Event` — run until that event is processed
           and return its value.
+
+        The unprofiled dispatch loop is inlined here (no per-event
+        :meth:`step` call): it pops, advances the clock, and runs the
+        callbacks with everything bound locally.  Semantics are identical
+        to stepping — same pop order, same crash-visible re-raise — and
+        the stepping loop remains in use whenever a profiler is attached
+        (it is the profiler's per-event hook point).
         """
         stop: Optional[Event] = None
         if until is not None:
@@ -165,8 +197,39 @@ class Environment:
                 # processed before the clock stops.
                 self.schedule(stop, delay=at - self._now, priority=LAST)
         try:
-            while True:
-                self.step()
+            if self._profiler is not None:
+                while True:
+                    self.step()
+            queue = self._queue
+            pop = heapq.heappop
+            pool = self._timeout_pool
+            timeout_cls = Timeout
+            while queue:
+                self._now, _, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if len(callbacks) == 1:
+                    # A single waiter (one process per timeout/wakeup) is the
+                    # overwhelmingly common shape — skip the iterator.
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._exc
+                # Slot reuse: a plain Timeout whose refcount proves this
+                # loop holds the only reference (2 = the local + the
+                # getrefcount argument) is dead — recycle the object and
+                # its (cleared) callbacks list for the next `timeout()`.
+                if (
+                    event.__class__ is timeout_cls
+                    and len(pool) < 128
+                    and getrefcount(event) == 2
+                ):
+                    callbacks.clear()
+                    event._value = callbacks
+                    pool.append(event)
+            raise EmptySchedule()
         except StopSimulation as sig:
             return sig.value
         except EmptySchedule:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.des.events import URGENT, Event, Interrupt
+from repro.des.events import URGENT, Event, Interrupt, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
@@ -25,7 +25,7 @@ class Process(Event):
     the generator's return value, or fails with its uncaught exception.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "name", "_resume_cb")
 
     def __init__(
         self,
@@ -41,10 +41,14 @@ class Process(Event):
         #: process has not started or has terminated).
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        #: the one bound-method object subscribed to target events — bound
+        #: once here so each suspension appends the same object instead of
+        #: materialising a fresh bound method per wakeup.
+        self._resume_cb = self._resume
         # Kick off the process at the current simulation time via an
         # initialisation event so that process creation order is preserved.
         init = Event(env)
-        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        init.callbacks.append(self._resume_cb)  # type: ignore[union-attr]
         init.succeed(None, priority=URGENT)
         self._target = init
 
@@ -91,7 +95,7 @@ class Process(Event):
         if target is not None:
             if target.callbacks is not None:
                 try:
-                    target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume_cb)
                 except ValueError:  # pragma: no cover - defensive
                     pass
             if target.triggered:
@@ -108,30 +112,27 @@ class Process(Event):
         self._resume(event)
 
     def _resume(self, event: Optional[Event]) -> None:
-        """Advance the generator, attributing wall time when profiled."""
-        profiler = self.env._profiler
-        if profiler is None:
-            self._advance(event)
-            return
-        t0 = perf_counter()
-        try:
-            self._advance(event)
-        finally:
-            profiler.note_resume(self.name, perf_counter() - t0)
-
-    def _advance(self, event: Optional[Event]) -> None:
         """Advance the generator with ``event``'s outcome.
 
-        Iterates instead of recursing so a chain of already-processed events
-        cannot blow the Python stack.
+        This is the kernel's hottest callback (once per process wakeup),
+        so the advance loop lives directly in the callback — no
+        ``_resume -> _advance`` indirection — with the generator's
+        ``send`` bound once per resumption.  Iterates instead of recursing
+        so a chain of already-processed events cannot blow the Python
+        stack.  Wall time is attributed when a profiler is attached.
         """
         env = self.env
+        profiler = env._profiler
+        t0 = perf_counter() if profiler is not None else 0.0
         env._active_proc = self
         self._target = None
+        send = self._gen.send
         while True:
             try:
-                if event is None or event._ok:
-                    next_ev = self._gen.send(None if event is None else event._value)
+                if event is not None and event._ok:
+                    next_ev = send(event._value)
+                elif event is None:
+                    next_ev = send(None)
                 else:
                     # Propagate failure into the generator.
                     event._defused = True
@@ -148,19 +149,24 @@ class Process(Event):
                 self._value = None
                 env.schedule(self, priority=URGENT)
                 break
-            if not isinstance(next_ev, Event):
+            # Class-identity test first: the overwhelming majority of yields
+            # are plain Timeouts, and a pointer compare beats the mro walk.
+            if next_ev.__class__ is not Timeout and not isinstance(next_ev, Event):
                 env._active_proc = None
                 raise RuntimeError(
                     f"process {self.name!r} yielded a non-event: {next_ev!r}"
                 )
-            if next_ev.callbacks is not None:
+            callbacks = next_ev.callbacks
+            if callbacks is not None:
                 # Not yet processed: subscribe and suspend.
-                next_ev.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_ev
                 break
             # Already processed: consume immediately and keep going.
             event = next_ev
         env._active_proc = None
+        if profiler is not None:
+            profiler.note_resume(self.name, perf_counter() - t0)
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else "dead"

@@ -24,9 +24,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    # Numerically stable piecewise sigmoid.
-    out = np.empty_like(x)
+def _sigmoid(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    # Numerically stable piecewise sigmoid.  ``out`` may alias ``x``: the
+    # positive/negative masks are disjoint and fancy indexing copies the
+    # operands before the writes land.
+    if out is None:
+        out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
@@ -34,59 +37,104 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
+class _BufferCache:
+    """Reusable work arrays keyed by shape, so BPTT does not reallocate
+    its state/gate tensors on every batch of every epoch.
+
+    Buffers are returned uninitialised (``np.empty``); callers must fully
+    overwrite them.  The cache holds one buffer set per distinct batch
+    shape — training touches only a handful (full batch, trailing partial
+    batch, validation tail), so the footprint stays bounded.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[tuple, Tuple[np.ndarray, ...]] = {}
+
+    def get(self, key: tuple, *specs: Tuple[tuple, np.dtype]) -> Tuple[np.ndarray, ...]:
+        bufs = self._store.get(key)
+        if bufs is None:
+            bufs = tuple(np.empty(shape, dtype=dtype) for shape, dtype in specs)
+            self._store[key] = bufs
+        return bufs
+
+
 class LSTMLayer:
     """One LSTM layer processing full sequences with exact BPTT."""
 
     def __init__(
-        self, input_dim: int, hidden_dim: int, rng: np.random.Generator, name: str
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        name: str,
+        dtype: np.dtype = np.float64,
     ) -> None:
         if input_dim < 1 or hidden_dim < 1:
             raise ValueError("dimensions must be positive")
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
         self.name = name
+        self.dtype = np.dtype(dtype)
         h = hidden_dim
         sx = np.sqrt(6.0 / (input_dim + 4 * h))
         sh = np.sqrt(6.0 / (h + 4 * h))
         self.params: Dict[str, np.ndarray] = {
-            f"{name}/Wx": rng.uniform(-sx, sx, size=(input_dim, 4 * h)),
-            f"{name}/Wh": rng.uniform(-sh, sh, size=(h, 4 * h)),
-            f"{name}/b": np.zeros(4 * h),
+            f"{name}/Wx": rng.uniform(-sx, sx, size=(input_dim, 4 * h)).astype(
+                self.dtype, copy=False
+            ),
+            f"{name}/Wh": rng.uniform(-sh, sh, size=(h, 4 * h)).astype(
+                self.dtype, copy=False
+            ),
+            f"{name}/b": np.zeros(4 * h, dtype=self.dtype),
         }
         # Forget-gate bias at 1: standard trick to keep early memory open.
         self.params[f"{name}/b"][h : 2 * h] = 1.0
         self._cache: Optional[tuple] = None
+        self._buffers = _BufferCache()
 
     def forward(self, X: np.ndarray) -> np.ndarray:
-        """``(n, T, d) -> (n, T, h)`` hidden states."""
+        """``(n, T, d) -> (n, T, h)`` hidden states.
+
+        State/gate tensors come from the layer's buffer cache and are
+        fully overwritten each call; the time loop writes gate
+        activations and states straight into their slots (no per-step
+        temporaries beyond the elementwise products).
+        """
         n, T, d = X.shape
         h = self.hidden_dim
+        dt = self.dtype
         Wx = self.params[f"{self.name}/Wx"]
         Wh = self.params[f"{self.name}/Wh"]
         b = self.params[f"{self.name}/b"]
-        H = np.zeros((n, T, h))
-        C = np.zeros((n, T, h))
-        gates = np.zeros((n, T, 4 * h))
-        h_prev = np.zeros((n, h))
-        c_prev = np.zeros((n, h))
+        H, C, gates, XWx, zero = self._buffers.get(
+            ("fwd", n, T),
+            ((n, T, h), dt),
+            ((n, T, h), dt),
+            ((n, T, 4 * h), dt),
+            ((n, T, 4 * h), dt),
+            ((n, h), dt),
+        )
+        zero[:] = 0.0  # read-only initial state (kept zero every call)
+        h_prev = zero
+        c_prev = zero
         # One fused input GEMM for the whole sequence (hoists the big
         # matmul out of the time loop).
-        XWx = X.reshape(n * T, d) @ Wx
-        XWx = XWx.reshape(n, T, 4 * h)
+        np.matmul(X.reshape(n * T, d), Wx, out=XWx.reshape(n * T, 4 * h))
         for t in range(T):
-            z = XWx[:, t] + h_prev @ Wh + b
-            i = _sigmoid(z[:, :h])
-            f = _sigmoid(z[:, h : 2 * h])
-            g = np.tanh(z[:, 2 * h : 3 * h])
-            o = _sigmoid(z[:, 3 * h :])
-            c = f * c_prev + i * g
-            hh = o * np.tanh(c)
-            gates[:, t, :h] = i
-            gates[:, t, h : 2 * h] = f
-            gates[:, t, 2 * h : 3 * h] = g
-            gates[:, t, 3 * h :] = o
-            C[:, t] = c
-            H[:, t] = hh
+            z = gates[:, t]
+            np.matmul(h_prev, Wh, out=z)
+            z += XWx[:, t]
+            z += b
+            i = _sigmoid(z[:, :h], out=z[:, :h])
+            f = _sigmoid(z[:, h : 2 * h], out=z[:, h : 2 * h])
+            g = np.tanh(z[:, 2 * h : 3 * h], out=z[:, 2 * h : 3 * h])
+            o = _sigmoid(z[:, 3 * h :], out=z[:, 3 * h :])
+            c = C[:, t]
+            np.multiply(f, c_prev, out=c)
+            c += i * g
+            hh = H[:, t]
+            np.tanh(c, out=hh)
+            hh *= o
             h_prev, c_prev = hh, c
         self._cache = (X, H, C, gates)
         return H
@@ -98,22 +146,31 @@ class LSTMLayer:
         X, H, C, gates = self._cache
         n, T, d = X.shape
         h = self.hidden_dim
+        dt = self.dtype
         Wx = self.params[f"{self.name}/Wx"]
         Wh = self.params[f"{self.name}/Wh"]
         dWx = np.zeros_like(Wx)
         dWh = np.zeros_like(Wh)
-        db = np.zeros(4 * h)
-        dX = np.zeros_like(X)
-        dh_next = np.zeros((n, h))
-        dc_next = np.zeros((n, h))
+        db = np.zeros(4 * h, dtype=dt)
+        dX, dz, dh_buf, zero = self._buffers.get(
+            ("bwd", n, T),
+            ((n, T, d), dt),
+            ((n, 4 * h), dt),
+            ((n, h), dt),
+            ((n, h), dt),
+        )
+        zero[:] = 0.0
+        dh_buf[:] = 0.0
+        dh_next = dh_buf
+        dc_next = zero  # zero only for the first (last-timestep) iteration
         for t in range(T - 1, -1, -1):
             i = gates[:, t, :h]
             f = gates[:, t, h : 2 * h]
             g = gates[:, t, 2 * h : 3 * h]
             o = gates[:, t, 3 * h :]
             c = C[:, t]
-            c_prev = C[:, t - 1] if t > 0 else np.zeros((n, h))
-            h_prev = H[:, t - 1] if t > 0 else np.zeros((n, h))
+            c_prev = C[:, t - 1] if t > 0 else zero
+            h_prev = H[:, t - 1] if t > 0 else zero
             tanh_c = np.tanh(c)
             dh = dH[:, t] + dh_next
             do = dh * tanh_c
@@ -122,20 +179,16 @@ class LSTMLayer:
             df = dc * c_prev
             dg = dc * i
             dc_next = dc * f
-            dz = np.concatenate(
-                [
-                    di * i * (1.0 - i),
-                    df * f * (1.0 - f),
-                    dg * (1.0 - g**2),
-                    do * o * (1.0 - o),
-                ],
-                axis=1,
-            )
+            np.multiply(di * i, 1.0 - i, out=dz[:, :h])
+            np.multiply(df * f, 1.0 - f, out=dz[:, h : 2 * h])
+            np.multiply(dg, 1.0 - g**2, out=dz[:, 2 * h : 3 * h])
+            np.multiply(do * o, 1.0 - o, out=dz[:, 3 * h :])
             dWx += X[:, t].T @ dz
             dWh += h_prev.T @ dz
             db += dz.sum(axis=0)
-            dX[:, t] = dz @ Wx.T
-            dh_next = dz @ Wh.T
+            np.matmul(dz, Wx.T, out=dX[:, t])
+            np.matmul(dz, Wh.T, out=dh_buf)
+            dh_next = dh_buf
         grads = {
             f"{self.name}/Wx": dWx,
             f"{self.name}/Wh": dWh,
@@ -153,34 +206,52 @@ class GRULayer:
     """
 
     def __init__(
-        self, input_dim: int, hidden_dim: int, rng: np.random.Generator, name: str
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        name: str,
+        dtype: np.dtype = np.float64,
     ) -> None:
         if input_dim < 1 or hidden_dim < 1:
             raise ValueError("dimensions must be positive")
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
         self.name = name
+        self.dtype = np.dtype(dtype)
         h = hidden_dim
         sx = np.sqrt(6.0 / (input_dim + 3 * h))
         sh = np.sqrt(6.0 / (h + 3 * h))
         self.params: Dict[str, np.ndarray] = {
-            f"{name}/Wx": rng.uniform(-sx, sx, size=(input_dim, 3 * h)),
-            f"{name}/Wh": rng.uniform(-sh, sh, size=(h, 3 * h)),
-            f"{name}/b": np.zeros(3 * h),
+            f"{name}/Wx": rng.uniform(-sx, sx, size=(input_dim, 3 * h)).astype(
+                self.dtype, copy=False
+            ),
+            f"{name}/Wh": rng.uniform(-sh, sh, size=(h, 3 * h)).astype(
+                self.dtype, copy=False
+            ),
+            f"{name}/b": np.zeros(3 * h, dtype=self.dtype),
         }
         self._cache: Optional[tuple] = None
+        self._buffers = _BufferCache()
 
     def forward(self, X: np.ndarray) -> np.ndarray:
         """``(n, T, d) -> (n, T, h)`` hidden states."""
         n, T, d = X.shape
         h = self.hidden_dim
+        dt = self.dtype
         Wx = self.params[f"{self.name}/Wx"]
         Wh = self.params[f"{self.name}/Wh"]
         b = self.params[f"{self.name}/b"]
-        H = np.zeros((n, T, h))
-        gates = np.zeros((n, T, 3 * h))  # r, z, c (candidate)
-        h_prev = np.zeros((n, h))
-        XWx = (X.reshape(n * T, d) @ Wx).reshape(n, T, 3 * h)
+        H, gates, XWx, zero = self._buffers.get(
+            ("fwd", n, T),
+            ((n, T, h), dt),
+            ((n, T, 3 * h), dt),  # r, z, c (candidate)
+            ((n, T, 3 * h), dt),
+            ((n, h), dt),
+        )
+        zero[:] = 0.0
+        h_prev = zero
+        np.matmul(X.reshape(n * T, d), Wx, out=XWx.reshape(n * T, 3 * h))
         for t in range(T):
             hWh = h_prev @ Wh
             r = _sigmoid(XWx[:, t, :h] + hWh[:, :h] + b[:h])
@@ -188,11 +259,12 @@ class GRULayer:
             c = np.tanh(
                 XWx[:, t, 2 * h :] + r * hWh[:, 2 * h :] + b[2 * h :]
             )
-            hh = (1.0 - z) * h_prev + z * c
+            hh = H[:, t]
+            np.multiply(1.0 - z, h_prev, out=hh)
+            hh += z * c
             gates[:, t, :h] = r
             gates[:, t, h : 2 * h] = z
             gates[:, t, 2 * h :] = c
-            H[:, t] = hh
             h_prev = hh
         self._cache = (X, H, gates)
         return H
@@ -203,18 +275,27 @@ class GRULayer:
         X, H, gates = self._cache
         n, T, d = X.shape
         h = self.hidden_dim
+        dt = self.dtype
         Wx = self.params[f"{self.name}/Wx"]
         Wh = self.params[f"{self.name}/Wh"]
         dWx = np.zeros_like(Wx)
         dWh = np.zeros_like(Wh)
-        db = np.zeros(3 * h)
-        dX = np.zeros_like(X)
-        dh_next = np.zeros((n, h))
+        db = np.zeros(3 * h, dtype=dt)
+        dX, dzcat, dh_buf, zero = self._buffers.get(
+            ("bwd", n, T),
+            ((n, T, d), dt),
+            ((n, 3 * h), dt),
+            ((n, h), dt),
+            ((n, h), dt),
+        )
+        zero[:] = 0.0
+        dh_buf[:] = 0.0
+        dh_next = dh_buf
         for t in range(T - 1, -1, -1):
             r = gates[:, t, :h]
             z = gates[:, t, h : 2 * h]
             c = gates[:, t, 2 * h :]
-            h_prev = H[:, t - 1] if t > 0 else np.zeros((n, h))
+            h_prev = H[:, t - 1] if t > 0 else zero
             hWh_c = h_prev @ Wh[:, 2 * h :]
             dh = dH[:, t] + dh_next
             dz = dh * (c - h_prev)
@@ -224,10 +305,12 @@ class GRULayer:
             dr = d_zc * hWh_c
             d_zr = dr * r * (1.0 - r)
             d_zz = dz * z * (1.0 - z)
-            dzcat = np.concatenate([d_zr, d_zz, d_zc], axis=1)
+            dzcat[:, :h] = d_zr
+            dzcat[:, h : 2 * h] = d_zz
+            dzcat[:, 2 * h :] = d_zc
             dWx += X[:, t].T @ dzcat
             db += dzcat.sum(axis=0)
-            dX[:, t] = dzcat @ Wx.T
+            np.matmul(dzcat, Wx.T, out=dX[:, t])
             # Wh gradient: r/z columns see h_prev directly; the candidate
             # column's pre-activation is r ⊙ (h_prev @ Wh_c) — the reset
             # gate scales per *output* unit, so it folds into d_zc.
@@ -253,13 +336,20 @@ class Dense:
     """Affine layer ``y = X @ W + b`` (the regression head)."""
 
     def __init__(
-        self, input_dim: int, output_dim: int, rng: np.random.Generator, name: str
+        self,
+        input_dim: int,
+        output_dim: int,
+        rng: np.random.Generator,
+        name: str,
+        dtype: np.dtype = np.float64,
     ) -> None:
         s = np.sqrt(6.0 / (input_dim + output_dim))
         self.name = name
         self.params = {
-            f"{name}/W": rng.uniform(-s, s, size=(input_dim, output_dim)),
-            f"{name}/b": np.zeros(output_dim),
+            f"{name}/W": rng.uniform(-s, s, size=(input_dim, output_dim)).astype(
+                np.dtype(dtype), copy=False
+            ),
+            f"{name}/b": np.zeros(output_dim, dtype=np.dtype(dtype)),
         }
         self._cache: Optional[np.ndarray] = None
 
@@ -353,6 +443,12 @@ class DRNNRegressor:
     cell:
         Recurrent cell type: ``"lstm"`` (default, the paper's) or
         ``"gru"`` (lighter alternative from the same DRNN family).
+    dtype:
+        ``"float64"`` (default, exact BPTT reference precision) or
+        ``"float32"`` — halves the working set and speeds up the GEMMs
+        at a small accuracy cost.  Initial weights are drawn in float64
+        and rounded, so two models differing only in dtype start from
+        the same point.
     """
 
     def __init__(
@@ -368,12 +464,18 @@ class DRNNRegressor:
         val_fraction: float = 0.15,
         seed: int = 0,
         cell: str = "lstm",
+        dtype: str = "float64",
     ) -> None:
         if not hidden_sizes:
             raise ValueError("need at least one recurrent layer")
         if cell not in ("lstm", "gru"):
             raise ValueError(f"cell must be 'lstm' or 'gru', got {cell!r}")
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
         self.cell = cell
+        self.dtype = np.dtype(dtype)
         self.input_dim = input_dim
         self.hidden_sizes = tuple(hidden_sizes)
         self.lr = lr
@@ -388,9 +490,11 @@ class DRNNRegressor:
         self.layers: List = []
         dim = input_dim
         for li, h in enumerate(self.hidden_sizes):
-            self.layers.append(layer_cls(dim, h, self.rng, name=f"{cell}{li}"))
+            self.layers.append(
+                layer_cls(dim, h, self.rng, name=f"{cell}{li}", dtype=self.dtype)
+            )
             dim = h
-        self.head = Dense(dim, 1, self.rng, name="head")
+        self.head = Dense(dim, 1, self.rng, name="head", dtype=self.dtype)
         self.params: Dict[str, np.ndarray] = {}
         for layer in self.layers:
             self.params.update(layer.params)
@@ -401,7 +505,7 @@ class DRNNRegressor:
 
     def forward(self, X: np.ndarray) -> np.ndarray:
         """``(n, T, d) -> (n,)`` predictions."""
-        X = np.asarray(X, dtype=float)
+        X = np.asarray(X, dtype=self.dtype)
         if X.ndim != 3 or X.shape[2] != self.input_dim:
             raise ValueError(
                 f"expected (n, T, {self.input_dim}), got {X.shape}"
@@ -417,7 +521,7 @@ class DRNNRegressor:
         self, X: np.ndarray, y: np.ndarray
     ) -> Tuple[float, Dict[str, np.ndarray]]:
         """MSE loss (+ L2) and exact gradients for one batch."""
-        y = np.asarray(y, dtype=float).ravel()
+        y = np.asarray(y, dtype=self.dtype).ravel()
         pred = self.forward(X)
         n = y.shape[0]
         err = pred - y
@@ -426,7 +530,7 @@ class DRNNRegressor:
         d_last, grads = self.head.backward(d_pred[:, None])
         # Only the final timestep of the top layer receives head gradient.
         T = X.shape[1]
-        dH = np.zeros((n, T, self.hidden_sizes[-1]))
+        dH = np.zeros((n, T, self.hidden_sizes[-1]), dtype=self.dtype)
         dH[:, -1, :] = d_last
         for layer in reversed(self.layers):
             dH, layer_grads = layer.backward(dH)
@@ -442,8 +546,8 @@ class DRNNRegressor:
     # -- training -------------------------------------------------------------------
 
     def fit(self, X: np.ndarray, y: np.ndarray, verbose: bool = False) -> "DRNNRegressor":
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float).ravel()
+        X = np.asarray(X, dtype=self.dtype)
+        y = np.asarray(y, dtype=self.dtype).ravel()
         if X.shape[0] != y.shape[0]:
             raise ValueError("X/y length mismatch")
         if X.shape[0] < 4:
@@ -509,6 +613,7 @@ class DRNNRegressor:
                 len(self.hidden_sizes),
                 *self.hidden_sizes,
                 0 if self.cell == "lstm" else 1,
+                0 if self.dtype == np.float64 else 1,
             ],
             dtype=np.int64,
         )
@@ -526,7 +631,12 @@ class DRNNRegressor:
             cell = "lstm"
             if len(meta) > 2 + n_layers and int(meta[2 + n_layers]) == 1:
                 cell = "gru"
-            model = cls(input_dim=input_dim, hidden_sizes=hidden, cell=cell)
+            dtype = "float64"
+            if len(meta) > 3 + n_layers and int(meta[3 + n_layers]) == 1:
+                dtype = "float32"
+            model = cls(
+                input_dim=input_dim, hidden_sizes=hidden, cell=cell, dtype=dtype
+            )
             for key in model.params:
                 if key not in data:
                     raise ValueError(f"checkpoint is missing parameter {key!r}")

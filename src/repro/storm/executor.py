@@ -227,6 +227,88 @@ class Transport:
 
         call_later(env, delay, deliver)
 
+    def send_batch(
+        self, src_worker: "Worker", sends: List[Tup[int, Tuple]]
+    ) -> None:
+        """Deliver several tuples emitted back-to-back, batching events.
+
+        ``sends`` is an ordered list of ``(dst_task, tup)`` pairs produced
+        by one emission (one :meth:`BaseExecutor.route_emission` call).
+        All surviving transfers with the same placement latency share a
+        single delivery event instead of one event each, cutting the
+        per-event allocation of multi-consumer emissions.
+
+        Order preservation: the sends were scheduled back-to-back (their
+        sequence numbers are consecutive, so no foreign event can sort
+        between them at equal ``(time, priority)``), hence delivering a
+        same-delay group in list order from one event is observably
+        identical to delivering each from its own event.  Loss and jitter
+        draws happen here, per tuple, in list order — the same RNG draw
+        sequence as per-tuple :meth:`send`.
+        """
+        env = self.env
+        shed = self.config.overflow_policy == "shed"
+        tr = self.tracer
+        groups: Dict[float, List[Tup[int, Tuple]]] = {}
+        for dst_task, tup in sends:
+            self.sent_count += 1
+            dst_worker = self.placement[dst_task]
+            delay = self.latency(src_worker, dst_task)
+            inter_worker = dst_worker is not src_worker
+            if inter_worker and self.loss_probability > 0.0:
+                if self.rng.random() < self.loss_probability:
+                    self.lost_count += 1
+                    if tr is not None:
+                        tr.record(
+                            env.now, TUPLE_LOSS, dst_task=dst_task,
+                            edge=tup.edge_id, roots=tup.roots, reason="loss",
+                        )
+                    continue
+            if inter_worker and self.extra_delay_mean > 0.0:
+                delay += float(self.rng.exponential(self.extra_delay_mean))
+            if tr is not None:
+                tr.record(
+                    env.now,
+                    TUPLE_TRANSFER,
+                    src_task=tup.source_task,
+                    dst_task=dst_task,
+                    edge=tup.edge_id,
+                    roots=tup.roots,
+                    delay=delay,
+                )
+            groups.setdefault(delay, []).append((dst_task, tup))
+        for delay, batch in groups.items():  # insertion = first-send order
+            call_later(
+                env, delay, lambda b=batch: self._deliver_batch(b, shed)
+            )
+
+    def _deliver_batch(self, batch: List[Tup[int, Tuple]], shed: bool) -> None:
+        """Arrival of one same-delay delivery group, in emission order."""
+        env = self.env
+        tr = self.tracer
+        for dst_task, tup in batch:
+            if self.placement[dst_task].crashed:
+                self.lost_count += 1
+                if tr is not None:
+                    tr.record(
+                        env.now, TUPLE_LOSS, dst_task=dst_task,
+                        edge=tup.edge_id, roots=tup.roots, reason="crash",
+                    )
+                continue
+            queue = self.queues[dst_task]
+            if shed and queue.is_full:
+                self.dropped_count += 1
+                if tr is not None:
+                    tr.record(
+                        env.now, TUPLE_SHED, dst_task=dst_task,
+                        edge=tup.edge_id, roots=tup.roots,
+                    )
+                if self.ledger is not None:
+                    for root in tup.roots:
+                        self.ledger.fail(root, reason="shed")
+                continue
+            queue.put(Envelope(tup, env.now))
+
 
 class BaseExecutor:
     """State and counters shared by spout and bolt executors."""
@@ -301,6 +383,7 @@ class BaseExecutor:
             return []  # declared but nobody subscribed: tuple evaporates
         fields = self.declared_outputs.get(stream, ())
         edges: List[int] = []
+        sends: List[Tup[int, Tuple]] = []
         for _consumer_id, grouping in consumers:
             if isinstance(grouping, DirectGrouping):
                 if direct_task is None:
@@ -335,8 +418,14 @@ class BaseExecutor:
                 )
                 for root in roots:
                     self.ledger.emit(root, edge)
-                self.transport.send(self.worker, dst, out)
+                sends.append((dst, out))
                 self.emitted_count += 1
+        # Multi-target emissions share delivery events (see send_batch);
+        # the single-target hot path keeps the direct send.
+        if len(sends) == 1:
+            self.transport.send(self.worker, sends[0][0], sends[0][1])
+        elif sends:
+            self.transport.send_batch(self.worker, sends)
         return edges
 
     def purge_queue(self, ledger: Optional["AckLedger"] = None) -> int:

@@ -1,0 +1,110 @@
+"""Smoke tests for the hot-path benchmark harness and its report schema."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    LEGACY_SUFFIX,
+    SCHEMA,
+    main,
+    run_benchmarks,
+    time_benchmark,
+    time_benchmark_pair,
+    write_report,
+)
+from repro.bench.hotpaths import BENCHMARKS, SCALES
+
+RESULT_KEYS = {"median_s", "repeats_s", "work_units", "units_per_s"}
+
+
+def test_time_benchmark_protocol():
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return 42
+
+    res = time_benchmark(fn, warmup=2, repeats=3)
+    assert len(calls) == 5  # warmup + repeats
+    assert set(res) == RESULT_KEYS
+    assert res["work_units"] == 42
+    assert len(res["repeats_s"]) == 3
+    assert res["median_s"] >= 0.0
+    with pytest.raises(ValueError):
+        time_benchmark(fn, repeats=0)
+
+
+def test_time_benchmark_pair_interleaves_and_returns_min_ratio():
+    order = []
+
+    def work(tag, loops):
+        order.append(tag)
+        return sum(range(loops)) and 1
+
+    res_a, res_b, ratio = time_benchmark_pair(
+        lambda: work("a", 50_000),
+        lambda: work("b", 100_000),
+        warmup=1,
+        repeats=3,
+    )
+    # warmup pair + 3 interleaved measured pairs, strictly alternating
+    assert order == ["a", "b"] * 4
+    assert set(res_a) == RESULT_KEYS and set(res_b) == RESULT_KEYS
+    # ratio is min(b)/min(a) over the raw (unrounded) repeat times
+    assert ratio == pytest.approx(
+        min(res_b["repeats_s"]) / min(res_a["repeats_s"]), rel=0.05
+    )
+    assert ratio > 1.0  # b does twice a's work
+
+
+def test_run_benchmarks_monitor_pair_smoke(tmp_path):
+    report = run_benchmarks(
+        scale="smoke",
+        warmup=1,
+        repeats=2,
+        only=["monitor_observe_extract", "monitor_observe_extract_legacy"],
+    )
+    assert report["schema"] == SCHEMA
+    assert report["scale"] == "smoke"
+    assert report["protocol"]["repeats"] == 2
+    assert set(report["results"]) == {
+        "monitor_observe_extract",
+        "monitor_observe_extract_legacy",
+    }
+    for res in report["results"].values():
+        assert res["median_s"] > 0.0
+        assert res["work_units"] == SCALES["smoke"]["monitor_intervals"]
+    assert "monitor_observe_extract" in report["speedups"]
+    assert report["speedups"]["monitor_observe_extract"] > 0.0
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    assert json.loads(out.read_text())["schema"] == SCHEMA
+
+
+def test_run_benchmarks_rejects_unknown_inputs():
+    with pytest.raises(ValueError, match="scale"):
+        run_benchmarks(scale="galactic")
+    with pytest.raises(ValueError, match="unknown benchmarks"):
+        run_benchmarks(scale="smoke", only=["nope"])
+
+
+def test_legacy_names_pair_with_current_benchmarks():
+    legacy = {n for n in BENCHMARKS if n.endswith(LEGACY_SUFFIX)}
+    assert legacy  # the harness must ship its frozen baselines
+    for name in legacy:
+        assert name[: -len(LEGACY_SUFFIX)] in BENCHMARKS
+
+
+def test_cli_writes_report(tmp_path):
+    out = tmp_path / "BENCH_test.json"
+    rc = main(
+        [
+            "--scale", "smoke", "--repeats", "1", "--out", str(out),
+            "--only", "des_event_loop", "des_event_loop_legacy",
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == SCHEMA
+    assert "des_event_loop" in doc["speedups"]

@@ -1,0 +1,73 @@
+"""Tests for scripts/check_bench_regression.py (loaded by path)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).parents[2] / "scripts" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _doc(results, speedups=None, schema="repro-bench/1"):
+    return {"schema": schema, "results": results, "speedups": speedups or {}}
+
+
+def _res(times):
+    return {"median_s": sorted(times)[len(times) // 2], "repeats_s": times}
+
+
+def test_identical_runs_pass():
+    doc = _doc(
+        {"a": _res([0.010, 0.011, 0.012]), "a_legacy": _res([0.02, 0.02, 0.02])},
+        {"a": 2.0},
+    )
+    assert gate.compare(doc, doc, tolerance=0.25) == 0
+
+
+def test_min_based_gate_ignores_noisy_outlier_repeats():
+    base = _doc({"a": _res([0.010, 0.010, 0.010])})
+    # One clean repeat among load-inflated ones: min is still at baseline.
+    cur = _doc({"a": _res([0.030, 0.010, 0.025])})
+    assert gate.compare(cur, base, tolerance=0.25) == 0
+
+
+def test_absolute_regression_fails():
+    base = _doc({"a": _res([0.010, 0.010, 0.010])})
+    cur = _doc({"a": _res([0.014, 0.015, 0.016])})
+    assert gate.compare(cur, base, tolerance=0.25) == 1
+
+
+def test_legacy_twin_never_gates():
+    base = _doc({"a_legacy": _res([0.010])})
+    cur = _doc({"a_legacy": _res([0.050])})
+    assert gate.compare(cur, base, tolerance=0.25) == 0
+
+
+def test_speedup_drop_fails_even_when_absolute_times_pass():
+    base = _doc({"a": _res([0.010])}, {"a": 3.0})
+    cur = _doc({"a": _res([0.010])}, {"a": 1.5})
+    assert gate.compare(cur, base, tolerance=0.25) == 1
+
+
+def test_missing_and_new_benchmarks_are_reported_not_fatal(capsys):
+    base = _doc({"gone": _res([0.010])})
+    cur = _doc({"fresh": _res([0.010])})
+    assert gate.compare(cur, base, tolerance=0.25) == 0
+    out = capsys.readouterr().out
+    assert "MISSING" in out and "NEW" in out
+
+
+def test_schema_mismatch_is_its_own_exit_code():
+    assert gate.compare(_doc({}), _doc({}, schema="other/9"), 0.25) == 2
+
+
+def test_main_reads_files(tmp_path):
+    doc = _doc({"a": _res([0.010])}, {"a": 2.0})
+    bench = tmp_path / "bench.json"
+    baseline = tmp_path / "baseline.json"
+    bench.write_text(json.dumps(doc))
+    baseline.write_text(json.dumps(doc))
+    rc = gate.main(["--bench", str(bench), "--baseline", str(baseline)])
+    assert rc == 0

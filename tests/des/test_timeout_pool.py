@@ -1,0 +1,84 @@
+"""Tests for the DES kernel's Timeout slot-reuse free list.
+
+The run loop recycles a just-processed Timeout only when its refcount
+proves nothing else holds it; `Environment.timeout` then reinitialises the
+object in place.  These tests pin the safety properties: held references
+are never recycled, recycled objects are indistinguishable from fresh
+ones, and the pool stays bounded.
+"""
+
+import pytest
+
+from repro.des import Environment
+
+
+def test_unreferenced_timeouts_are_recycled():
+    env = Environment()
+
+    def ticker():
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.process(ticker())
+    assert env._timeout_pool == []
+    env.run()
+    assert len(env._timeout_pool) >= 1
+
+
+def test_held_timeout_is_never_recycled():
+    env = Environment()
+    held = []
+
+    def proc():
+        t = env.timeout(1.0, value="x")
+        held.append(t)
+        yield t
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    t = held[0]
+    assert all(p is not t for p in env._timeout_pool)
+    assert t.value == "x"  # outcome intact after the run
+    assert t.processed
+
+
+def test_recycled_timeouts_pass_values_and_fire_on_time():
+    env = Environment()
+    log = []
+
+    def proc():
+        for i in range(6):
+            v = yield env.timeout(0.5, value=i)
+            log.append((env.now, v))
+
+    env.process(proc())
+    env.run()
+    assert log == [(0.5 * (i + 1), i) for i in range(6)]
+
+
+def test_pooled_timeout_rejects_negative_delay():
+    env = Environment()
+
+    def ticker():
+        for _ in range(3):
+            yield env.timeout(1.0)
+
+    env.process(ticker())
+    env.run()
+    assert env._timeout_pool  # reinit path is the one under test
+    with pytest.raises(ValueError, match="negative delay"):
+        env.timeout(-0.1)
+
+
+def test_pool_stays_bounded():
+    env = Environment()
+
+    def ticker():
+        for _ in range(500):
+            yield env.timeout(0.001)
+
+    for i in range(4):
+        env.process(ticker())
+    env.run()
+    assert len(env._timeout_pool) <= 128

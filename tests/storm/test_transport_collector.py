@@ -75,6 +75,72 @@ def test_call_later_zero_delay():
     assert hits == [0.0]
 
 
+# --- batched sends ----------------------------------------------------------------
+
+
+def test_send_batch_matches_individual_sends():
+    tuples = [Tuple(values=(i,)) for i in range(6)]
+    dests = [10, 11, 12, 11, 12, 10]
+
+    env_a, ta, (w0a, _, _) = make_transport()
+    for dst, tup in zip(dests, tuples):
+        ta.send(w0a, dst, tup)
+    env_a.run(until=1.0)
+
+    env_b, tb, (w0b, _, _) = make_transport()
+    tb.send_batch(w0b, list(zip(dests, tuples)))
+    env_b.run(until=1.0)
+
+    assert tb.sent_count == ta.sent_count == 6
+    for task in (10, 11, 12):
+        assert [e.tup[0] for e in tb.queues[task].items] == [
+            e.tup[0] for e in ta.queues[task].items
+        ]
+        assert [e.enqueue_time for e in tb.queues[task].items] == [
+            e.enqueue_time for e in ta.queues[task].items
+        ]
+
+
+def test_send_batch_groups_by_latency_but_keeps_order():
+    env, t, (w0, _, _) = make_transport()
+    t.send_batch(w0, [(11, Tuple(values=(i,))) for i in range(4)])
+    env.run(until=1.0)
+    assert [e.tup[0] for e in t.queues[11].items] == [0, 1, 2, 3]
+    # same-node destinations arrive after the intra-node latency tier
+    assert all(
+        e.enqueue_time == pytest.approx(1e-4) for e in t.queues[11].items
+    )
+
+
+def test_send_batch_draws_loss_per_tuple():
+    import numpy as np
+
+    env, t, (w0, _, _) = make_transport()
+    t.rng = np.random.default_rng(0)
+    t.loss_probability = 1.0
+    # Cross-worker transfers are all lost; the same-worker one survives
+    # (loss only applies between workers).
+    t.send_batch(
+        w0, [(12, Tuple(values=(0,))), (10, Tuple(values=(1,))),
+             (11, Tuple(values=(2,)))]
+    )
+    env.run(until=1.0)
+    assert t.lost_count == 2
+    assert t.sent_count == 3
+    assert [e.tup[0] for e in t.queues[10].items] == [1]
+    assert t.queues[11].level == 0 and t.queues[12].level == 0
+
+
+def test_send_batch_skips_crashed_destination():
+    env, t, (w0, _w1, w2) = make_transport()
+    w2.crashed = True
+    t.send_batch(w0, [(12, Tuple(values=(0,))), (11, Tuple(values=(1,)))])
+    env.run(until=1.0)
+    assert t.lost_count == 1
+    assert [e.tup[0] for e in t.queues[11].items] == [1]
+    assert t.queues[12].level == 0
+
+
 # --- collector --------------------------------------------------------------------
 
 
