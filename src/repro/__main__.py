@@ -19,6 +19,10 @@ Commands
     Run a seeded chaos campaign (worker crashes, message loss, delay
     jitter) and print per-run degradation / recovery-time / tuple
     accounting; ``--out`` writes the full campaign report as JSON.
+``report``
+    Run one instrumented scenario (metrics + tracing + SLO engine) and
+    write a self-contained run report — byte-stable JSON, optionally an
+    HTML page and a Prometheus text dump.
 
 Every command accepts ``--seed`` and prints deterministic results.
 """
@@ -228,6 +232,61 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reliability import run_reliability_scenario
+    from repro.obs import (
+        AvailabilitySLO,
+        LatencySLO,
+        ObservabilityConfig,
+        RecoverySLO,
+        SLOPolicy,
+        write_report_html,
+        write_report_json,
+    )
+
+    policy = SLOPolicy(
+        rules=(
+            LatencySLO(name="p99-latency", quantile=0.99,
+                       bound=args.latency_bound),
+            AvailabilitySLO(name="availability",
+                            min_ratio=args.min_availability),
+            RecoverySLO(name="recovery", objective=args.rto),
+        ),
+    )
+    control = None if args.arm == "baseline" else args.arm
+    res = run_reliability_scenario(
+        app=args.app,
+        control=control,
+        k_misbehaving=args.k,
+        base_rate=args.rate,
+        duration=args.duration,
+        fault_start=args.duration / 3,
+        fault_duration=args.duration / 2,
+        seed=args.seed,
+        observability=ObservabilityConfig(trace=True, metrics=True),
+        slo=policy,
+    )
+    label = f"{args.app}/{res.label}/seed={args.seed}"
+    report = res.result.run_report(label=label)
+    write_report_json(report, args.out)
+    print(f"wrote run report to {args.out}")
+    if args.html:
+        write_report_html(report, args.html)
+        print(f"wrote HTML report to {args.html}")
+    if args.prometheus:
+        assert res.sim is not None and res.sim.obs.metrics is not None
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(res.sim.obs.metrics.render_prometheus())
+        print(f"wrote Prometheus exposition to {args.prometheus}")
+    assert res.sim is not None and res.sim.obs.slo is not None
+    episodes = res.sim.obs.slo.episodes()
+    print(f"arm {res.label}: acked={res.result.acked}"
+          f" failed={res.result.failed}"
+          f" slo_breaches={len(episodes)}"
+          f" recovered={sum(1 for e in episodes if e.recovered)}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.harness import main as bench_main
 
@@ -300,6 +359,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the campaign report JSON here")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "report", help="instrumented run -> byte-stable JSON/HTML report"
+    )
+    common(p, 180.0)
+    p.add_argument("--arm", default="reactive",
+                   choices=("baseline", "reactive", "drnn"))
+    p.add_argument("--k", type=int, default=1, help="misbehaving workers")
+    p.add_argument("--latency-bound", type=float, default=1.0,
+                   help="p99 complete-latency SLO bound, seconds")
+    p.add_argument("--min-availability", type=float, default=0.95,
+                   help="windowed acked/(acked+failed) SLO floor")
+    p.add_argument("--rto", type=float, default=60.0,
+                   help="recovery-time objective after a fault, seconds")
+    p.add_argument("--out", metavar="PATH", default="report.json",
+                   help="JSON report path")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="also render the report as a single HTML page")
+    p.add_argument("--prometheus", metavar="PATH", default=None,
+                   help="also dump the metrics registry in Prometheus text")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("bench", help="time the tracked hot paths")
     p.add_argument("--scale", default="smoke", choices=("smoke", "full"),

@@ -33,6 +33,7 @@ emits a structured ``control.*`` event with its inputs and outputs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -51,6 +52,7 @@ from repro.obs.tracer import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import Counter, LogHistogram
     from repro.obs.tracer import Tracer
     from repro.storm.runner import StormSimulation
 
@@ -140,6 +142,12 @@ class PredictiveController:
         self._task_worker: Dict[int, int] = {}
         self._seen_snapshots = 0
         self._tracer: Optional["Tracer"] = None
+        # registry instruments (resolved at _bind; None ⇒ metrics disabled)
+        self._m_decisions: Optional["Counter"] = None
+        self._m_skips: Optional["Counter"] = None
+        self._m_applies: Optional["Counter"] = None
+        self._m_reroutes: Optional["Counter"] = None
+        self._m_step_wall: Optional["LogHistogram"] = None
         self._proc = None
         if sim is not None:
             sim.attach(self)
@@ -176,6 +184,17 @@ class PredictiveController:
             for task_id, ex in sim.cluster.executors.items()
         }
         self._tracer = sim.obs.tracer
+        registry = sim.obs.metrics
+        if registry is not None:
+            self._m_decisions = registry.counter("controller.decisions")
+            self._m_skips = registry.counter("controller.skips")
+            self._m_applies = registry.counter("controller.applies")
+            self._m_reroutes = registry.counter("controller.reroutes")
+            # wall-clock decision latency: real host time, so excluded
+            # from deterministic report output
+            self._m_step_wall = registry.histogram(
+                "controller.step_seconds", deterministic=False
+            )
         self.sim = sim
         self._proc = sim.env.process(self._loop(), name="predictive-controller")
 
@@ -193,7 +212,12 @@ class PredictiveController:
         env = self._require_attached().env
         while True:
             yield env.timeout(self.config.control_interval)
-            self._step()
+            if self._m_step_wall is not None:
+                t0 = time.perf_counter()
+                self._step()
+                self._m_step_wall.add(time.perf_counter() - t0)
+            else:
+                self._step()
 
     def _step(self) -> None:
         sim = self._require_attached()
@@ -217,9 +241,12 @@ class PredictiveController:
         if self.monitor.n_intervals < self.config.window:
             if crashed:
                 self._plan_and_apply(now, {}, set(), crashed)
-            elif tr is not None:
-                tr.record(now, CONTROL_SKIP, reason="warmup",
-                          n_intervals=self.monitor.n_intervals)
+            else:
+                if self._m_skips is not None:
+                    self._m_skips.inc()
+                if tr is not None:
+                    tr.record(now, CONTROL_SKIP, reason="warmup",
+                              n_intervals=self.monitor.n_intervals)
             return
         if (
             self.online_fit_after is not None
@@ -230,8 +257,11 @@ class PredictiveController:
         if not self.predictor.fitted:
             if crashed:
                 self._plan_and_apply(now, {}, set(), crashed)
-            elif tr is not None:
-                tr.record(now, CONTROL_SKIP, reason="predictor-not-fitted")
+            else:
+                if self._m_skips is not None:
+                    self._m_skips.inc()
+                if tr is not None:
+                    tr.record(now, CONTROL_SKIP, reason="predictor-not-fitted")
             return
         predictions = self.predictor.predict_workers(self.monitor)
         backlogs = self.monitor.latest_backlogs()
@@ -260,6 +290,8 @@ class PredictiveController:
         """
         sim = self._require_attached()
         tr = self._tracer
+        if self._m_decisions is not None:
+            self._m_decisions.inc()
         avoid = set(flagged) | crashed
         action = ControlAction(
             time=now,
@@ -298,6 +330,10 @@ class PredictiveController:
             )
             sim.cluster.set_split_ratios(source, consumer, ratios, stream)
             action.ratios[edge] = ratios
+            if self._m_applies is not None:
+                self._m_applies.inc()
+                if not np.array_equal(np.asarray(ratios, dtype=float), prev):
+                    self._m_reroutes.inc()
             if tr is not None:
                 tr.record(
                     now, CONTROL_APPLY, edge=edge,

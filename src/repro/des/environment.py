@@ -68,6 +68,18 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active_proc
 
+    # -- introspection (pull-gauge surfaces for repro.obs.metrics) -----------------
+
+    @property
+    def scheduled_count(self) -> int:
+        """Events ever scheduled (monotonic; proxy for kernel work done)."""
+        return self._seq
+
+    @property
+    def queue_depth(self) -> int:
+        """Events currently pending in the heap."""
+        return len(self._queue)
+
     # -- profiling -----------------------------------------------------------------
 
     @property

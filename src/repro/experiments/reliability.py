@@ -41,6 +41,7 @@ from repro.storm.faults import Fault
 from repro.storm.runner import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.slo import SLOPolicy
     from repro.storm.runner import StormSimulation
 
 
@@ -247,8 +248,14 @@ def run_reliability_scenario(
     window: int = 6,
     observability: ObservabilityLike = None,
     fault_kind: str = "slowdown",
+    slo: Optional["SLOPolicy"] = None,
 ) -> ReliabilityResult:
-    """Run one arm of the misbehaving-worker experiment."""
+    """Run one arm of the misbehaving-worker experiment.
+
+    ``slo`` (an :class:`~repro.obs.SLOPolicy`) enables online objective
+    evaluation for the arm — breach/recover episodes land on
+    ``result.sim.obs.slo`` and in ``result.result.summary()``.
+    """
     if control not in (None, "reactive", "drnn"):
         raise ValueError(f"unknown control arm {control!r}")
     grouping = "shuffle" if control is None else "dynamic"
@@ -266,6 +273,8 @@ def run_reliability_scenario(
         .faults(faults)
         .observability(observability)
     )
+    if slo is not None:
+        builder.slo(slo)
     controller = None
     if control is not None:
         if control == "drnn" and predictor is None:

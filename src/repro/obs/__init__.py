@@ -1,6 +1,6 @@
 """repro.obs — structured observability for the simulator stack.
 
-Three capabilities, all off by default and zero-cost when disabled:
+Five capabilities, all off by default and zero-cost when disabled:
 
 * **Tracing** (:mod:`~repro.obs.tracer`) — a ring-buffered structured
   event tracer.  The storm layer emits tuple-lifecycle spans
@@ -8,9 +8,19 @@ Three capabilities, all off by default and zero-cost when disabled:
   layer emits decision records (sample/predict/detect/plan/apply with
   inputs and chosen ratios), and the fault injector emits ground-truth
   apply/revert markers.
+* **Streaming metrics** (:mod:`~repro.obs.metrics`) — a pull-based
+  registry of counters, gauges, and mergeable log-bucket histograms
+  threaded through the storm layer, the DES kernel, and the controller
+  loop; constant memory, deterministic quantiles, Prometheus-style
+  text exposition.
+* **SLO evaluation** (:mod:`~repro.obs.slo`) — declarative objectives
+  (latency quantile bound, availability ratio, recovery-time objective)
+  continuously evaluated during the run, emitting ``slo.breach`` /
+  ``slo.recover`` trace events.  Enabling SLOs implies metrics.
 * **Metrics export** (:mod:`~repro.obs.export`) — serialise
   :class:`~repro.storm.metrics.MultilevelSnapshot` streams and traces to
-  JSONL/CSV for offline analysis, plus an ASCII live summary.
+  JSONL/CSV for offline analysis, plus an ASCII live summary; and
+  :mod:`~repro.obs.report` — one byte-stable JSON/HTML artifact per run.
 * **Profiling** (:mod:`~repro.obs.profiler`) — DES kernel hooks:
   event-loop counters, heap depth, events/sec, and per-process
   wall-time attribution, so simulator hot paths are measurable.
@@ -18,10 +28,12 @@ Three capabilities, all off by default and zero-cost when disabled:
 Enable through the run API::
 
     sim = (SimulationBuilder(topology)
-           .observability(trace=True, profile=True)
+           .observability(trace=True, profile=True, metrics=True)
+           .slo(AvailabilitySLO(name="avail", min_ratio=0.95))
            .build())
     sim.run(duration=120)
     events = sim.obs.tracer.events("tuple.ack")
+    print(sim.obs.metrics.render_prometheus())
     print(sim.obs.profiler.report())
 
 The hot-path contract: when a capability is disabled its handle is
@@ -34,7 +46,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.obs.metrics import Counter, Gauge, LogHistogram, MetricsRegistry
 from repro.obs.profiler import KernelProfiler
+from repro.obs.slo import (
+    SLO_BREACH,
+    SLO_RECOVER,
+    AvailabilitySLO,
+    LatencySLO,
+    RecoverySLO,
+    SLOEngine,
+    SLOPolicy,
+    SLORule,
+)
 from repro.obs.tracer import (
     CONTROL_APPLY,
     CONTROL_DECISION,
@@ -74,18 +97,25 @@ class ObservabilityConfig:
 
     ``trace`` buys tuple-lifecycle/controller/fault events into a ring
     buffer of ``trace_capacity`` events (oldest dropped first);
-    ``profile`` attaches a :class:`KernelProfiler` to the DES kernel.
+    ``profile`` attaches a :class:`KernelProfiler` to the DES kernel;
+    ``metrics`` attaches a :class:`MetricsRegistry` to every instrumented
+    site; ``slo`` (an :class:`SLOPolicy`) runs the online SLO engine —
+    and implies ``metrics``, which its windowed latency rules read.
     """
 
     trace: bool = False
     profile: bool = False
     trace_capacity: int = 1 << 16
+    metrics: bool = False
+    slo: Optional[SLOPolicy] = None
 
     def validate(self) -> None:
         if self.trace_capacity <= 0:
             raise ValueError(
                 f"trace_capacity must be positive, got {self.trace_capacity}"
             )
+        if self.slo is not None:
+            self.slo.validate()
 
 
 class Observability:
@@ -104,6 +134,8 @@ class Observability:
             self.config = config.config
             self.tracer = config.tracer
             self.profiler = config.profiler
+            self.metrics = config.metrics
+            self.slo = config.slo
             return
         self.config = config or ObservabilityConfig()
         self.config.validate()
@@ -115,28 +147,61 @@ class Observability:
         self.profiler: Optional[KernelProfiler] = (
             KernelProfiler() if self.config.profile else None
         )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry()
+            if self.config.metrics or self.config.slo is not None
+            else None
+        )
+        #: the live SLO engine, wired by the runner once env+ledger exist
+        self.slo: Optional[SLOEngine] = None
 
     @property
     def enabled(self) -> bool:
-        return self.tracer is not None or self.profiler is not None
+        return (
+            self.tracer is not None
+            or self.profiler is not None
+            or self.metrics is not None
+        )
 
     def __repr__(self) -> str:
         return (
             f"<Observability trace={self.tracer is not None}"
-            f" profile={self.profiler is not None}>"
+            f" profile={self.profiler is not None}"
+            f" metrics={self.metrics is not None}"
+            f" slo={self.slo is not None}>"
         )
 
 
+from repro.obs.report import (
+    build_report,
+    report_to_html,
+    report_to_json,
+    write_report_html,
+    write_report_json,
+)
+
 __all__ = [
+    "AvailabilitySLO",
     "CONTROL_APPLY",
     "CONTROL_DECISION",
     "CONTROL_SAMPLE",
     "CONTROL_SKIP",
+    "Counter",
     "FAULT_APPLY",
     "FAULT_REVERT",
+    "Gauge",
     "KernelProfiler",
+    "LatencySLO",
+    "LogHistogram",
+    "MetricsRegistry",
     "Observability",
     "ObservabilityConfig",
+    "RecoverySLO",
+    "SLO_BREACH",
+    "SLO_RECOVER",
+    "SLOEngine",
+    "SLOPolicy",
+    "SLORule",
     "TUPLE_ACK",
     "TUPLE_CLOSE_KINDS",
     "TUPLE_DROP",
@@ -150,12 +215,17 @@ __all__ = [
     "TUPLE_TRANSFER",
     "TraceEvent",
     "Tracer",
+    "build_report",
     "group_tuple_spans",
     "load_snapshots_jsonl",
     "load_trace_jsonl",
     "render_live_summary",
+    "report_to_html",
+    "report_to_json",
     "snapshots_to_csv",
     "snapshots_to_jsonl",
     "summary_to_json",
     "trace_to_jsonl",
+    "write_report_html",
+    "write_report_json",
 ]

@@ -1,0 +1,208 @@
+"""Self-contained run reports: one JSON/HTML artifact per simulation run.
+
+Every entry point (demo, reliability, chaos, bench, ``python -m repro
+report``) can reduce a finished run to the same artifact: the segment
+summary, the deterministic slice of the metrics registry, the SLO
+engine's episode log, trace accounting, and the deterministic kernel
+profile.  The JSON form is **byte-stable**: keys are sorted, floats are
+emitted by ``repr`` (reproducible under a fixed seed), and every
+wall-clock-derived value is excluded (nondeterministic metrics are
+filtered by the registry, and only the profiler's deterministic counters
+are included), so running the same seed twice produces identical bytes —
+CI diffs the artifact exactly like the golden chaos campaign.
+
+The HTML form is a dependency-free single file (inline CSS, no scripts)
+rendering the same data as tables for humans.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storm.runner import SimulationResult
+
+REPORT_SCHEMA = "repro-report/1"
+
+
+def build_report(
+    result: "SimulationResult", label: str = ""
+) -> Dict[str, Any]:
+    """Reduce one :class:`SimulationResult` segment to a report dict.
+
+    Sections appear only when the matching observability capability was
+    enabled for the run: ``metrics`` needs the registry, ``slo`` the SLO
+    engine, ``trace`` the tracer, ``profile`` the kernel profiler.  A run
+    with observability fully disabled still reports its summary.
+    """
+    report: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "label": label,
+        "run": dict(result.summary()),
+    }
+    obs = result.obs
+    if obs is None:
+        return report
+    if obs.metrics is not None:
+        report["metrics"] = obs.metrics.to_dict()
+    if obs.slo is not None:
+        report["slo"] = obs.slo.results()
+    if obs.tracer is not None:
+        report["trace"] = {
+            "retained": len(obs.tracer),
+            "dropped": obs.tracer.dropped,
+            "kind_counts": dict(sorted(obs.tracer.kind_counts().items())),
+        }
+    if obs.profiler is not None:
+        # Deterministic counters only — events/sec and wall attribution
+        # depend on the host machine and would break byte-stability.
+        prof = obs.profiler
+        report["profile"] = {
+            "events_processed": prof.events_processed,
+            "max_heap_depth": prof.max_heap_depth,
+            "mean_heap_depth": prof.mean_heap_depth,
+        }
+    return report
+
+
+def report_to_json(report: Dict[str, Any]) -> str:
+    """Canonical byte-stable JSON text of a report."""
+    return json.dumps(
+        report, indent=2, sort_keys=True, separators=(",", ": ")
+    ) + "\n"
+
+
+def write_report_json(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(report_to_json(report))
+
+
+# -- HTML rendering ---------------------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 64rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; font-size: 0.85rem; }
+th, td { border: 1px solid #ccd; padding: 0.25rem 0.6rem; text-align: left; }
+th { background: #eef; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.breach { color: #a22; font-weight: 600; }
+.ok { color: #282; }
+""".strip()
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def _kv_table(rows: Dict[str, Any]) -> List[str]:
+    out = ["<table><tr><th>key</th><th>value</th></tr>"]
+    for k in sorted(rows):
+        out.append(
+            f"<tr><td>{_html.escape(str(k))}</td>"
+            f"<td class=num>{_html.escape(_fmt(rows[k]))}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def report_to_html(report: Dict[str, Any]) -> str:
+    """Render a report as one self-contained HTML page (no scripts)."""
+    title = report.get("label") or "simulation run report"
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+        f"<p>schema <code>{_html.escape(report.get('schema', ''))}</code></p>",
+        "<h2>Run summary</h2>",
+    ]
+    parts.extend(_kv_table(report.get("run", {})))
+
+    slo = report.get("slo")
+    if slo is not None:
+        parts.append("<h2>SLO objectives</h2>")
+        parts.append(
+            "<table><tr><th>rule</th><th>spec</th><th>breaches</th>"
+            "<th>recovered</th><th>state</th></tr>"
+        )
+        for rule in slo.get("rules", []):
+            spec = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(rule["spec"].items())
+            )
+            state = (
+                "<span class=breach>BREACHED</span>"
+                if rule["currently_breached"]
+                else "<span class=ok>ok</span>"
+            )
+            parts.append(
+                f"<tr><td>{_html.escape(rule['name'])}</td>"
+                f"<td>{_html.escape(spec)}</td>"
+                f"<td class=num>{rule['breaches']}</td>"
+                f"<td class=num>{rule['recovered_breaches']}</td>"
+                f"<td>{state}</td></tr>"
+            )
+        parts.append("</table>")
+        episodes = [e for r in slo.get("rules", []) for e in r["episodes"]]
+        if episodes:
+            parts.append("<h2>Breach episodes</h2>")
+            parts.append(
+                "<table><tr><th>rule</th><th>breach t</th>"
+                "<th>recover t</th><th>value at breach</th></tr>"
+            )
+            for e in sorted(episodes, key=lambda e: e["breach_time"]):
+                rec = _fmt(e["recover_time"]) if e["recovered"] else "—"
+                parts.append(
+                    f"<tr><td>{_html.escape(e['rule'])}</td>"
+                    f"<td class=num>{_fmt(e['breach_time'])}</td>"
+                    f"<td class=num>{rec}</td>"
+                    f"<td class=num>{_fmt(e['breach_value'])}</td></tr>"
+                )
+            parts.append("</table>")
+
+    metrics = report.get("metrics")
+    if metrics is not None:
+        parts.append("<h2>Metrics</h2>")
+        parts.append("<table><tr><th>metric</th><th>value</th></tr>")
+        for name in sorted(metrics):
+            val = metrics[name]
+            if isinstance(val, dict):  # histogram digest
+                val = ", ".join(
+                    f"{k}={_fmt(v)}" for k, v in sorted(val.items())
+                )
+            parts.append(
+                f"<tr><td>{_html.escape(name)}</td>"
+                f"<td class=num>{_html.escape(_fmt(val))}</td></tr>"
+            )
+        parts.append("</table>")
+
+    trace = report.get("trace")
+    if trace is not None:
+        parts.append("<h2>Trace accounting</h2>")
+        flat = {
+            "retained": trace["retained"],
+            "dropped": trace["dropped"],
+        }
+        flat.update(
+            {f"kind {k}": v for k, v in trace["kind_counts"].items()}
+        )
+        parts.extend(_kv_table(flat))
+
+    profile = report.get("profile")
+    if profile is not None:
+        parts.append("<h2>Kernel profile (deterministic counters)</h2>")
+        parts.extend(_kv_table(profile))
+
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_report_html(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(report_to_html(report))

@@ -1,0 +1,409 @@
+"""Online SLO engine: declarative objectives evaluated during the run.
+
+The paper's reliability claim — "minor performance degradation with
+misbehaving workers" — is an *objective*, so this module makes it one:
+a set of declarative :class:`SLORule` objects continuously evaluated by
+an :class:`SLOEngine` process inside the simulation.  Each rule is a
+small state machine:
+
+* when it is violated for ``breach_after`` consecutive evaluations, the
+  engine opens a breach episode and emits one ``slo.breach`` trace event;
+* when it then holds for ``clear_after`` consecutive evaluations, the
+  episode closes with one ``slo.recover`` event (its ``downtime`` field
+  is the episode length in simulation seconds).
+
+Three built-in objectives cover the evaluation scenarios:
+
+* :class:`LatencySLO` — a bound on a windowed complete-latency quantile
+  (estimated from the registry's mergeable log-bucket histogram, so the
+  window is a cheap cumulative-histogram diff);
+* :class:`AvailabilitySLO` — acked / (acked + failed) over the window;
+* :class:`RecoverySLO` — a recovery-time objective: after a fault is
+  injected (the :class:`~repro.storm.faults.FaultInjector` notifies the
+  engine), windowed throughput must regain ``fraction`` of the pre-fault
+  baseline within ``objective`` seconds.
+
+The engine needs the metrics registry (for the latency histogram), so
+enabling SLOs implies enabling metrics; both follow the observability
+layer's ``is not None`` zero-cost contract when disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import COMPLETE_LATENCY_METRIC, LogHistogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+    from repro.storm.acker import AckLedger
+
+SLO_BREACH = "slo.breach"
+SLO_RECOVER = "slo.recover"
+
+
+@dataclass
+class WindowStats:
+    """What one evaluation tick sees: deltas over the trailing window."""
+
+    time: float
+    window_seconds: float
+    acked: int
+    failed: int
+    throughput: float  # acked / window_seconds
+    #: windowed complete-latency histogram (None when metrics are off)
+    latency: Optional[LogHistogram]
+    #: pre-fault baseline throughput (NaN until a fault has been applied)
+    baseline_throughput: float
+    #: simulation time of the most recent ``fault.apply`` (None before any)
+    last_fault_time: Optional[float]
+    #: number of faults currently applied and not reverted
+    faults_active: int
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """Base declarative objective.  ``name`` identifies it in events."""
+
+    name: str
+
+    def evaluate(self, w: WindowStats) -> Optional[bool]:
+        """``True`` = objective met, ``False`` = violated, ``None`` = no data."""
+        raise NotImplementedError
+
+    def measured(self, w: WindowStats) -> float:
+        """The observable the rule compares (for event payloads)."""
+        raise NotImplementedError
+
+    def threshold(self) -> float:
+        """The bound the observable is compared against."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": type(self).__name__}
+        out.update(asdict(self))
+        return out
+
+
+@dataclass(frozen=True)
+class LatencySLO(SLORule):
+    """Windowed complete-latency quantile must stay at or below ``bound``."""
+
+    quantile: float = 0.99
+    bound: float = 0.5  # seconds
+
+    def evaluate(self, w: WindowStats) -> Optional[bool]:
+        if w.latency is None or w.latency.count == 0:
+            return None
+        return w.latency.quantile(self.quantile) <= self.bound
+
+    def measured(self, w: WindowStats) -> float:
+        if w.latency is None or w.latency.count == 0:
+            return float("nan")
+        return w.latency.quantile(self.quantile)
+
+    def threshold(self) -> float:
+        return self.bound
+
+
+@dataclass(frozen=True)
+class AvailabilitySLO(SLORule):
+    """acked / (acked + failed) over the window must reach ``min_ratio``."""
+
+    min_ratio: float = 0.95
+
+    def evaluate(self, w: WindowStats) -> Optional[bool]:
+        completed = w.acked + w.failed
+        if completed == 0:
+            return None
+        return w.acked / completed >= self.min_ratio
+
+    def measured(self, w: WindowStats) -> float:
+        completed = w.acked + w.failed
+        return w.acked / completed if completed else float("nan")
+
+    def threshold(self) -> float:
+        return self.min_ratio
+
+
+@dataclass(frozen=True)
+class RecoverySLO(SLORule):
+    """Throughput must regain ``fraction`` of the pre-fault baseline
+    within ``objective`` seconds of the most recent fault injection."""
+
+    objective: float = 60.0
+    fraction: float = 0.9
+
+    def _target(self, w: WindowStats) -> float:
+        return self.fraction * w.baseline_throughput
+
+    def evaluate(self, w: WindowStats) -> Optional[bool]:
+        if w.last_fault_time is None:
+            return True  # nothing to recover from yet
+        if w.baseline_throughput != w.baseline_throughput:  # NaN guard
+            return None
+        if w.throughput >= self._target(w):
+            return True
+        # Below target: only a violation once the recovery budget is spent.
+        return w.time - w.last_fault_time <= self.objective
+
+    def measured(self, w: WindowStats) -> float:
+        return w.throughput
+
+    def threshold(self) -> float:
+        return self.fraction
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The rules plus the engine's evaluation cadence."""
+
+    rules: Tuple[SLORule, ...]
+    #: seconds between evaluations (and granularity of the window)
+    eval_interval: float = 5.0
+    #: evaluation ticks the trailing window spans
+    window_intervals: int = 6
+    #: consecutive violating evaluations before a breach opens
+    breach_after: int = 1
+    #: consecutive healthy evaluations before a breach clears
+    clear_after: int = 2
+
+    def validate(self) -> None:
+        if not self.rules:
+            raise ValueError("SLO policy needs at least one rule")
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO rule names in {names}")
+        if self.eval_interval <= 0:
+            raise ValueError("eval_interval must be positive")
+        if self.window_intervals <= 0:
+            raise ValueError("window_intervals must be positive")
+        if self.breach_after <= 0 or self.clear_after <= 0:
+            raise ValueError("breach_after/clear_after must be positive")
+
+
+@dataclass
+class SLOEpisode:
+    """One breach episode of one rule."""
+
+    rule: str
+    breach_time: float
+    recover_time: float = float("nan")
+    #: the measured value when the breach opened
+    breach_value: float = float("nan")
+
+    @property
+    def recovered(self) -> bool:
+        return self.recover_time == self.recover_time  # not NaN
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "breach_time": self.breach_time,
+            "recover_time": self.recover_time,
+            "breach_value": self.breach_value,
+            "recovered": self.recovered,
+        }
+
+
+class _RuleState:
+    __slots__ = ("breached", "bad_streak", "ok_streak", "episodes")
+
+    def __init__(self) -> None:
+        self.breached = False
+        self.bad_streak = 0
+        self.ok_streak = 0
+        self.episodes: List[SLOEpisode] = []
+
+
+class SLOEngine:
+    """Evaluates an :class:`SLOPolicy` against one running simulation.
+
+    Wired by the runner: it owns a DES process ticking every
+    ``policy.eval_interval`` sim-seconds, reads cumulative counts from
+    the ack ledger and the complete-latency histogram from the metrics
+    registry, and emits ``slo.breach`` / ``slo.recover`` trace events
+    (when a tracer is attached) plus an in-memory episode log that is
+    always available to reports and tests.
+    """
+
+    def __init__(
+        self,
+        policy: SLOPolicy,
+        env: "Environment",
+        ledger: "AckLedger",
+        registry: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        policy.validate()
+        self.policy = policy
+        self.env = env
+        self.ledger = ledger
+        self.registry = registry
+        self.tracer = tracer
+        self._states: Dict[str, _RuleState] = {
+            r.name: _RuleState() for r in policy.rules
+        }
+        # trailing window of cumulative samples: (time, acked, failed, hist)
+        self._samples: Deque[Tuple[float, int, int, Optional[LogHistogram]]] = (
+            deque(maxlen=policy.window_intervals + 1)
+        )
+        self._samples.append((env.now, 0, 0, self._hist_copy()))
+        # fault-awareness state (fed by the FaultInjector)
+        self.last_fault_time: Optional[float] = None
+        self.faults_active = 0
+        self.baseline_throughput = float("nan")
+        self._proc = env.process(self._loop(), name="slo-engine")
+
+    # -- fault notifications (called synchronously by the injector) -----------------
+
+    def note_fault_apply(self, now: float) -> None:
+        """A fault was injected; freeze the pre-fault throughput baseline."""
+        if self.faults_active == 0 and self.last_fault_time is None:
+            stats = self._window()
+            self.baseline_throughput = stats.throughput
+        self.faults_active += 1
+        self.last_fault_time = now
+
+    def note_fault_revert(self, now: float) -> None:
+        del now
+        self.faults_active = max(0, self.faults_active - 1)
+
+    # -- windowing ------------------------------------------------------------------
+
+    def _hist_copy(self) -> Optional[LogHistogram]:
+        if self.registry is None:
+            return None
+        hist = self.registry.get(COMPLETE_LATENCY_METRIC)
+        return hist.copy() if hist is not None else None
+
+    def _window(self) -> WindowStats:
+        """Deltas between the newest and oldest retained samples."""
+        t0, acked0, failed0, hist0 = self._samples[0]
+        now = self.env.now
+        acked = self.ledger.acked_count - acked0
+        failed = self.ledger.failed_count - failed0
+        seconds = max(now - t0, 1e-9)
+        latency: Optional[LogHistogram] = None
+        if hist0 is not None and self.registry is not None:
+            current = self.registry.get(COMPLETE_LATENCY_METRIC)
+            if current is not None:
+                latency = current.diff(hist0)
+        return WindowStats(
+            time=now,
+            window_seconds=seconds,
+            acked=acked,
+            failed=failed,
+            throughput=acked / seconds,
+            latency=latency,
+            baseline_throughput=self.baseline_throughput,
+            last_fault_time=self.last_fault_time,
+            faults_active=self.faults_active,
+        )
+
+    # -- the evaluation loop --------------------------------------------------------
+
+    def _loop(self):
+        interval = self.policy.eval_interval
+        while True:
+            yield self.env.timeout(interval)
+            self.evaluate_once()
+
+    def evaluate_once(self) -> WindowStats:
+        """One evaluation tick (public so tests can drive it directly)."""
+        w = self._window()
+        for rule in self.policy.rules:
+            self._advance(rule, w)
+        self._samples.append((
+            self.env.now,
+            self.ledger.acked_count,
+            self.ledger.failed_count,
+            self._hist_copy(),
+        ))
+        return w
+
+    def _advance(self, rule: SLORule, w: WindowStats) -> None:
+        state = self._states[rule.name]
+        verdict = rule.evaluate(w)
+        if verdict is None:
+            return  # no data: hold state and streaks
+        if verdict:
+            state.ok_streak += 1
+            state.bad_streak = 0
+            if state.breached and state.ok_streak >= self.policy.clear_after:
+                state.breached = False
+                episode = state.episodes[-1]
+                episode.recover_time = w.time
+                if self.tracer is not None:
+                    self.tracer.record(
+                        w.time, SLO_RECOVER, rule=rule.name,
+                        value=rule.measured(w), threshold=rule.threshold(),
+                        downtime=w.time - episode.breach_time,
+                    )
+        else:
+            state.bad_streak += 1
+            state.ok_streak = 0
+            if not state.breached and state.bad_streak >= self.policy.breach_after:
+                state.breached = True
+                state.episodes.append(SLOEpisode(
+                    rule=rule.name,
+                    breach_time=w.time,
+                    breach_value=rule.measured(w),
+                ))
+                if self.tracer is not None:
+                    self.tracer.record(
+                        w.time, SLO_BREACH, rule=rule.name,
+                        value=rule.measured(w), threshold=rule.threshold(),
+                    )
+
+    # -- results --------------------------------------------------------------------
+
+    def episodes(self, rule: Optional[str] = None) -> List[SLOEpisode]:
+        """All breach episodes, optionally of one rule, in breach order."""
+        out: List[SLOEpisode] = []
+        for r in self.policy.rules:
+            if rule is not None and r.name != rule:
+                continue
+            out.extend(self._states[r.name].episodes)
+        out.sort(key=lambda e: e.breach_time)
+        return out
+
+    def breached(self, rule: str) -> bool:
+        """Whether ``rule`` is currently in a breach episode."""
+        return self._states[rule].breached
+
+    def results(self) -> Dict[str, Any]:
+        """JSON-able digest for the run report."""
+        rules = []
+        for r in self.policy.rules:
+            state = self._states[r.name]
+            episodes = [e.to_dict() for e in state.episodes]
+            rules.append({
+                "name": r.name,
+                "spec": r.describe(),
+                "breaches": len(state.episodes),
+                "recovered_breaches": sum(
+                    1 for e in state.episodes if e.recovered
+                ),
+                "currently_breached": state.breached,
+                "episodes": episodes,
+            })
+        return {
+            "eval_interval": self.policy.eval_interval,
+            "window_intervals": self.policy.window_intervals,
+            "breach_after": self.policy.breach_after,
+            "clear_after": self.policy.clear_after,
+            "baseline_throughput": self.baseline_throughput,
+            "rules": rules,
+        }
+
+    def __repr__(self) -> str:
+        n_breached = sum(1 for s in self._states.values() if s.breached)
+        return (
+            f"<SLOEngine rules={len(self.policy.rules)}"
+            f" breached={n_breached}>"
+        )

@@ -32,6 +32,8 @@ Event taxonomy (the ``kind`` strings below):
                     ``control.apply`` per actuated edge (with ratios)
 ``fault.apply``     fault injector applied a fault (ground truth)
 ``fault.revert``    fault injector reverted a fault
+``slo.breach``      SLO engine opened a breach episode for one rule
+``slo.recover``     the breach episode closed (``downtime`` seconds)
 ==================  =====================================================
 """
 
@@ -118,18 +120,35 @@ class Tracer:
         """Events lost to ring-buffer overwrite."""
         return self._total - len(self._buf)
 
-    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
-        """All retained events, optionally filtered by exact ``kind``.
+    def events(
+        self,
+        kind: Optional[str] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> List[TraceEvent]:
+        """Retained events, optionally filtered by ``kind`` and time window.
 
         A ``kind`` ending in ``.`` or ``.*`` matches the whole prefix
-        (``"tuple.*"`` returns every tuple-lifecycle event).
+        (``"tuple.*"`` returns every tuple-lifecycle event).  ``t0``/``t1``
+        bound the event time to the half-open window ``[t0, t1)``; either
+        side may be omitted.  Windowing composes with the ring buffer:
+        events already overwritten are gone regardless of the window
+        (check :attr:`dropped` when an old window comes back empty).
         """
         if kind is None:
-            return list(self._buf)
-        if kind.endswith("*"):
+            match = None
+        elif kind.endswith("*"):
             prefix = kind[:-1]
-            return [e for e in self._buf if e.kind.startswith(prefix)]
-        return [e for e in self._buf if e.kind == kind]
+            match = lambda k: k.startswith(prefix)  # noqa: E731
+        else:
+            match = lambda k: k == kind  # noqa: E731
+        return [
+            e
+            for e in self._buf
+            if (match is None or match(e.kind))
+            and (t0 is None or e.time >= t0)
+            and (t1 is None or e.time < t1)
+        ]
 
     def clear(self) -> None:
         """Drop retained events and reset the counters."""

@@ -18,10 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
+from repro.obs.metrics import COMPLETE_LATENCY_METRIC
 from repro.obs.tracer import TUPLE_ACK, TUPLE_FAIL
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.metrics import Counter, LogHistogram, MetricsRegistry
     from repro.obs.tracer import Tracer
 
 
@@ -68,11 +70,13 @@ class AckLedger:
         message_timeout: float,
         sweep_interval: float = 1.0,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.env = env
         self.message_timeout = message_timeout
         self.sweep_interval = sweep_interval
         self.tracer = tracer
+        self.metrics = metrics
         self._trees: Dict[int, _TreeState] = {}
         self._on_ack: Dict[int, Callable] = {}  # spout_task -> callback
         self._on_fail: Dict[int, Callable] = {}
@@ -83,6 +87,15 @@ class AckLedger:
         self.latency_sum = 0.0
         #: failures by cause: "failed" | "timeout" | "shed" | "crash" | ...
         self.failure_reasons: Dict[str, int] = {}
+        # registry instruments (None when metrics are disabled); fail
+        # counters are per reason and reasons arrive dynamically, so they
+        # resolve lazily through _m_failed
+        self._m_acked: Optional["Counter"] = None
+        self._m_latency: Optional["LogHistogram"] = None
+        self._m_failed: Dict[str, "Counter"] = {}
+        if metrics is not None:
+            self._m_acked = metrics.counter("tuple.acked")
+            self._m_latency = metrics.histogram(COMPLETE_LATENCY_METRIC)
         self._proc = env.process(self._sweeper(), name="ack-sweeper")
 
     # -- registration -------------------------------------------------------------
@@ -132,6 +145,9 @@ class AckLedger:
             latency = self.env.now - tree.start_time
             self.acked_count += 1
             self.latency_sum += latency
+            if self._m_acked is not None:
+                self._m_acked.inc()
+                self._m_latency.add(latency)
             if self.tracer is not None:
                 self.tracer.record(
                     self.env.now, TUPLE_ACK, root=root_id,
@@ -163,6 +179,12 @@ class AckLedger:
     ) -> None:
         self.failed_count += 1
         self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
+        if self.metrics is not None:
+            c = self._m_failed.get(reason)
+            if c is None:
+                c = self.metrics.counter("tuple.failed", reason=reason)
+                self._m_failed[reason] = c
+            c.inc()
         if self.tracer is not None:
             self.tracer.record(
                 self.env.now, TUPLE_FAIL, root=root_id,

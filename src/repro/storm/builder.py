@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import ControllerConfig
     from repro.core.controller import PredictiveController
     from repro.core.predictor import PerformancePredictor
+    from repro.obs.slo import SLOPolicy, SLORule
     from repro.storm.chaos import ChaosSpec
 
 
@@ -60,6 +61,7 @@ class SimulationBuilder:
             ObservabilityConfig, Observability, None
         ] = None
         self._chaos: Optional[Tuple["ChaosSpec", Optional[int], float]] = None
+        self._slo: Optional["SLOPolicy"] = None
         self._built: Optional[StormSimulation] = None
 
     # -- cluster & run options ----------------------------------------------------
@@ -165,8 +167,9 @@ class SimulationBuilder:
         trace: bool = False,
         profile: bool = False,
         trace_capacity: int = 1 << 16,
+        metrics: bool = False,
     ) -> "SimulationBuilder":
-        """Enable tracing/profiling (see :mod:`repro.obs`).
+        """Enable tracing/profiling/metrics (see :mod:`repro.obs`).
 
         Either pass a prepared :class:`ObservabilityConfig` (flags are
         then ignored) or use the keyword flags directly.
@@ -175,8 +178,44 @@ class SimulationBuilder:
             self._observability = config
         else:
             self._observability = ObservabilityConfig(
-                trace=trace, profile=profile, trace_capacity=trace_capacity
+                trace=trace, profile=profile, trace_capacity=trace_capacity,
+                metrics=metrics,
             )
+        return self
+
+    def slo(
+        self,
+        *rules: Union["SLORule", "SLOPolicy"],
+        eval_interval: float = 5.0,
+        window_intervals: int = 6,
+        breach_after: int = 1,
+        clear_after: int = 2,
+    ) -> "SimulationBuilder":
+        """Evaluate service-level objectives online during the run.
+
+        Pass either one prepared :class:`~repro.obs.SLOPolicy` (loop
+        options are then ignored) or the rules directly and the builder
+        assembles the policy.  Enabling SLOs implies metrics — the
+        engine's windowed latency rules read the registry's
+        complete-latency histogram.
+        """
+        from repro.obs.slo import SLOPolicy, SLORule
+
+        if len(rules) == 1 and isinstance(rules[0], SLOPolicy):
+            policy = rules[0]
+        else:
+            for r in rules:
+                if not isinstance(r, SLORule):
+                    raise TypeError(f"expected an SLORule, got {r!r}")
+            policy = SLOPolicy(
+                rules=tuple(rules),
+                eval_interval=eval_interval,
+                window_intervals=window_intervals,
+                breach_after=breach_after,
+                clear_after=clear_after,
+            )
+        policy.validate()
+        self._slo = policy
         return self
 
     # -- materialisation -----------------------------------------------------------
@@ -205,13 +244,25 @@ class SimulationBuilder:
                     rng,
                 )
             )
+        observability = self._observability
+        if self._slo is not None:
+            import dataclasses
+
+            if isinstance(observability, Observability):
+                raise ValueError(
+                    ".slo() composes with an ObservabilityConfig or the "
+                    "flag form of .observability(), not with a live "
+                    "Observability instance"
+                )
+            cfg = observability or ObservabilityConfig()
+            observability = dataclasses.replace(cfg, slo=self._slo)
         sim = StormSimulation(
             self._topology,
             nodes=self._nodes,
             seed=self._seed,
             metrics_interval=self._metrics_interval,
             faults=tuple(faults),
-            observability=self._observability,
+            observability=observability,
         )
         if self._controllers:
             from repro.core.controller import PredictiveController

@@ -245,6 +245,10 @@ class ChaosRunReport:
     failure_reasons: Dict[str, int]
     #: emitted == acked + failed + in_flight (tuple conservation)
     conserved: bool
+    #: full run report (repro.obs.report) when the run had metrics on;
+    #: ``None`` otherwise, and then absent from :meth:`to_dict` — golden
+    #: campaign files pin the metrics-disabled shape
+    run_report: Optional[Dict[str, object]] = None
 
     def schedule_dict(self) -> List[Dict[str, object]]:
         rows: List[Dict[str, object]] = []
@@ -257,7 +261,7 @@ class ChaosRunReport:
         return rows
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "run_index": self.run_index,
             "seed": self.seed,
             "schedule": self.schedule_dict(),
@@ -279,6 +283,9 @@ class ChaosRunReport:
             "failure_reasons": dict(sorted(self.failure_reasons.items())),
             "conserved": self.conserved,
         }
+        if self.run_report is not None:
+            out["run_report"] = self.run_report
+        return out
 
 
 @dataclass
@@ -388,6 +395,11 @@ def analyze_run(
     conserved = (
         emitted == ledger.acked_count + ledger.failed_count + ledger.in_flight
     )
+    run_report: Optional[Dict[str, object]] = None
+    if sim.obs.metrics is not None:
+        from repro.obs.report import build_report
+
+        run_report = build_report(result, label=f"chaos-run-{run_index}")
     return ChaosRunReport(
         run_index=run_index,
         seed=seed,
@@ -409,6 +421,7 @@ def analyze_run(
         replays=replays,
         failure_reasons=dict(ledger.failure_reasons),
         conserved=conserved,
+        run_report=run_report,
     )
 
 
@@ -433,6 +446,10 @@ class ChaosCampaign:
     trace:
         Attach a tracer to every run (the last run's observability handle
         is kept on ``self.last_obs`` for export).
+    metrics:
+        Attach a metrics registry to every run; each
+        :class:`ChaosRunReport` then carries a full ``run_report``
+        artifact (see :mod:`repro.obs.report`).
     controller_factory:
         Optional zero-argument callable returning a fresh detached
         controller per run (controllers bind to exactly one simulation),
@@ -450,6 +467,7 @@ class ChaosCampaign:
         nodes: Sequence[NodeSpec] = DEFAULT_NODES,
         metrics_interval: float = 1.0,
         trace: bool = False,
+        metrics: bool = False,
         app: str = "",
         controller_factory: Optional[Callable[[], object]] = None,
     ) -> None:
@@ -466,6 +484,7 @@ class ChaosCampaign:
         self.nodes = tuple(nodes)
         self.metrics_interval = float(metrics_interval)
         self.trace = trace
+        self.metrics = metrics
         self.app = app
         self.controller_factory = controller_factory
         self.last_obs: Optional[Observability] = None
@@ -493,8 +512,8 @@ class ChaosCampaign:
             .metrics_interval(self.metrics_interval)
             .faults(schedule)
         )
-        if self.trace:
-            builder.observability(trace=True)
+        if self.trace or self.metrics:
+            builder.observability(trace=self.trace, metrics=self.metrics)
         if self.controller_factory is not None:
             builder.controller(self.controller_factory())
         sim = builder.build()

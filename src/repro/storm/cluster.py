@@ -29,6 +29,7 @@ from repro.storm.worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
     from repro.storm.executor import BaseExecutor
 
@@ -98,6 +99,7 @@ class Cluster:
         seed: int = 0,
         scheduler: Optional[EvenScheduler] = None,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if not node_specs:
             raise ValueError("cluster needs at least one node")
@@ -106,6 +108,7 @@ class Cluster:
             raise ValueError(f"duplicate node names in {names}")
         self.env = env
         self.tracer = tracer
+        self.metrics = metrics
         self.rngs = RngRegistry(seed)
         self.scheduler = scheduler or EvenScheduler()
         self.nodes = [Node(env, s.name, s.cores, s.slots) for s in node_specs]
@@ -130,6 +133,7 @@ class Cluster:
             message_timeout=config.message_timeout,
             sweep_interval=config.ack_sweep_interval,
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.transport = Transport(
             self.env,
@@ -140,6 +144,7 @@ class Cluster:
             # component/executor/grouping streams, and non-chaos runs make
             # no draws from it at all.
             rng=self.rngs.get("transport/chaos"),
+            metrics=self.metrics,
         )
 
         placements = self.scheduler.place_workers(config.num_workers, self.nodes)
@@ -187,6 +192,7 @@ class Cluster:
                     ledger=self.ledger,
                     rng=self.rngs.get(f"executor/{cid}/{task_index}"),
                     tracer=self.tracer,
+                    metrics=self.metrics,
                 )
                 if spec.is_spout:
                     assert isinstance(instance, Spout)

@@ -40,6 +40,7 @@ from repro.storm.tuples import DEFAULT_STREAM, SpoutRecord, Tuple, next_edge_id
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.metrics import Counter, LogHistogram, MetricsRegistry
     from repro.obs.tracer import Tracer
     from repro.storm.acker import AckLedger
     from repro.storm.topology import TopologyConfig
@@ -87,12 +88,14 @@ class Transport:
         ledger: Optional["AckLedger"] = None,
         tracer: Optional["Tracer"] = None,
         rng: Optional[np.random.Generator] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.env = env
         self.config = config
         self.ledger = ledger
         self.tracer = tracer
         self.rng = rng
+        self.metrics = metrics
         self.queues: Dict[int, Store] = {}
         self.placement: Dict[int, "Worker"] = {}
         self.sent_count = 0
@@ -103,6 +106,16 @@ class Transport:
         self._delay_holds: List[float] = []
         self.loss_probability = 0.0
         self.extra_delay_mean = 0.0
+        # metric handles, resolved once (None when metrics are disabled)
+        self._m_sent: Optional["Counter"] = None
+        self._m_shed: Optional["Counter"] = None
+        self._m_lost_loss: Optional["Counter"] = None
+        self._m_lost_crash: Optional["Counter"] = None
+        if metrics is not None:
+            self._m_sent = metrics.counter("transport.sent")
+            self._m_shed = metrics.counter("transport.shed")
+            self._m_lost_loss = metrics.counter("transport.lost", reason="loss")
+            self._m_lost_crash = metrics.counter("transport.lost", reason="crash")
 
     def register(self, task_id: int, queue: Store, worker: "Worker") -> None:
         self.queues[task_id] = queue
@@ -171,11 +184,15 @@ class Transport:
         dst_worker = self.placement[dst_task]
         delay = self.latency(src_worker, dst_task)
         self.sent_count += 1
+        if self._m_sent is not None:
+            self._m_sent.inc()
         inter_worker = dst_worker is not src_worker
         if inter_worker and self.loss_probability > 0.0:
             if self.rng.random() < self.loss_probability:
                 # Lost on the wire: the tree times out and replays.
                 self.lost_count += 1
+                if self._m_lost_loss is not None:
+                    self._m_lost_loss.inc()
                 if self.tracer is not None:
                     self.tracer.record(
                         env.now, TUPLE_LOSS, dst_task=dst_task,
@@ -203,6 +220,8 @@ class Transport:
                 # acker's timeout sweep fails the tree and the spout
                 # replays after the worker (or the routing) recovers.
                 self.lost_count += 1
+                if self._m_lost_crash is not None:
+                    self._m_lost_crash.inc()
                 if tr is not None:
                     tr.record(
                         env.now, TUPLE_LOSS, dst_task=dst_task,
@@ -214,6 +233,8 @@ class Transport:
                 # right away so the spout replays without waiting for the
                 # message timeout.
                 self.dropped_count += 1
+                if self._m_shed is not None:
+                    self._m_shed.inc()
                 if tr is not None:
                     tr.record(
                         env.now, TUPLE_SHED, dst_task=dst_task,
@@ -252,12 +273,16 @@ class Transport:
         groups: Dict[float, List[Tup[int, Tuple]]] = {}
         for dst_task, tup in sends:
             self.sent_count += 1
+            if self._m_sent is not None:
+                self._m_sent.inc()
             dst_worker = self.placement[dst_task]
             delay = self.latency(src_worker, dst_task)
             inter_worker = dst_worker is not src_worker
             if inter_worker and self.loss_probability > 0.0:
                 if self.rng.random() < self.loss_probability:
                     self.lost_count += 1
+                    if self._m_lost_loss is not None:
+                        self._m_lost_loss.inc()
                     if tr is not None:
                         tr.record(
                             env.now, TUPLE_LOSS, dst_task=dst_task,
@@ -289,6 +314,8 @@ class Transport:
         for dst_task, tup in batch:
             if self.placement[dst_task].crashed:
                 self.lost_count += 1
+                if self._m_lost_crash is not None:
+                    self._m_lost_crash.inc()
                 if tr is not None:
                     tr.record(
                         env.now, TUPLE_LOSS, dst_task=dst_task,
@@ -298,6 +325,8 @@ class Transport:
             queue = self.queues[dst_task]
             if shed and queue.is_full:
                 self.dropped_count += 1
+                if self._m_shed is not None:
+                    self._m_shed.inc()
                 if tr is not None:
                     tr.record(
                         env.now, TUPLE_SHED, dst_task=dst_task,
@@ -325,6 +354,7 @@ class BaseExecutor:
         ledger: "AckLedger",
         rng: np.random.Generator,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.env = env
         self.task_id = task_id
@@ -336,6 +366,7 @@ class BaseExecutor:
         self.ledger = ledger
         self.rng = rng
         self.tracer = tracer
+        self.metrics = metrics
         self.queue = Store(env, capacity=config.executor_queue_capacity)
         #: stream -> [(consumer_id, Grouping)]
         self.outbound: Dict[str, List[Tup[str, Grouping]]] = {}
@@ -467,6 +498,15 @@ class SpoutExecutor(BaseExecutor):
         self.replayed_count = 0
         self.trees_opened = 0  # reliable emissions (one ack tree each)
         self._wake: Optional[Event] = None
+        self._m_replays: Optional["Counter"] = None
+        self._m_drops: Optional["Counter"] = None
+        if self.metrics is not None:
+            self._m_replays = self.metrics.counter(
+                "spout.replays", component=self.component_id
+            )
+            self._m_drops = self.metrics.counter(
+                "spout.drops", component=self.component_id
+            )
         self.ledger.register_spout(self.task_id, self._on_ack, self._on_fail)
         self.process = self.env.process(
             self.run(), name=f"spout-{self.component_id}-{self.task_id}"
@@ -493,6 +533,8 @@ class SpoutExecutor(BaseExecutor):
             rec.retries += 1
             self.replay_queue.append(rec)
             self.replayed_count += 1
+            if self._m_replays is not None:
+                self._m_replays.inc()
             if tr is not None:
                 tr.record(
                     self.env.now, TUPLE_REPLAY, msg_id=msg_id,
@@ -500,6 +542,8 @@ class SpoutExecutor(BaseExecutor):
                 )
         else:
             self.dropped_count += 1
+            if self._m_drops is not None:
+                self._m_drops.inc()
             if tr is not None:
                 tr.record(
                     self.env.now, TUPLE_DROP, msg_id=msg_id,
@@ -601,6 +645,20 @@ class BoltExecutor(BaseExecutor):
         self.context = context
         self.collector = OutputCollector()
         self.tick_dropped = 0
+        # per-component instruments (tasks of one component share them)
+        self._m_wait: Optional["LogHistogram"] = None
+        self._m_service: Optional["LogHistogram"] = None
+        self._m_executed: Optional["Counter"] = None
+        if self.metrics is not None:
+            self._m_wait = self.metrics.histogram(
+                "bolt.queue_wait_seconds", component=self.component_id
+            )
+            self._m_service = self.metrics.histogram(
+                "bolt.service_seconds", component=self.component_id
+            )
+            self._m_executed = self.metrics.counter(
+                "bolt.executed", component=self.component_id
+            )
         self.process = self.env.process(
             self.run(), name=f"bolt-{self.component_id}-{self.task_id}"
         )
@@ -693,6 +751,10 @@ class BoltExecutor(BaseExecutor):
             self.busy_time += service
             self.wait_time_sum += wait
             self.service_time_sum += service
+            if self._m_executed is not None:
+                self._m_executed.inc()
+                self._m_wait.add(wait)
+                self._m_service.add(service)
 
     def _ack_tuple(self, tup: Tuple) -> None:
         for root in tup.roots:

@@ -38,6 +38,7 @@ from repro.obs.tracer import FAULT_APPLY, FAULT_REVERT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
+    from repro.obs.slo import SLOEngine
     from repro.obs.tracer import Tracer
     from repro.storm.cluster import Cluster
 
@@ -269,10 +270,12 @@ class FaultInjector:
         cluster: "Cluster",
         faults: Sequence[Fault] = (),
         tracer: Optional["Tracer"] = None,
+        slo: Optional["SLOEngine"] = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
         self.tracer = tracer
+        self.slo = slo
         self.log: List[FaultEvent] = []
         for f in faults:
             f.validate(cluster)
@@ -294,6 +297,8 @@ class FaultInjector:
         record = FaultEvent(fault=fault, applied_at=self.env.now)
         self.log.append(record)
         self._trace(FAULT_APPLY, fault)
+        if self.slo is not None:
+            self.slo.note_fault_apply(self.env.now)
         if isinstance(fault, RampingHogFault):
             yield from self._ramp_driver(fault)
         else:
@@ -301,6 +306,8 @@ class FaultInjector:
         fault.revert(self.cluster)
         record.reverted_at = self.env.now
         self._trace(FAULT_REVERT, fault)
+        if self.slo is not None:
+            self.slo.note_fault_revert(self.env.now)
 
     def _ramp_driver(self, fault: RampingHogFault):
         """Staircase the node's external load along the ramp profile.

@@ -28,13 +28,25 @@ latencies cover only that segment, never the whole history.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.des.environment import Environment
 from repro.obs import Observability, ObservabilityConfig
+from repro.obs.metrics import COMPLETE_LATENCY_METRIC, LogHistogram
+from repro.obs.slo import SLOEngine
 from repro.storm.cluster import Cluster, NodeSpec
 from repro.storm.faults import Fault, FaultInjector
 from repro.storm.metrics import MetricsCollector, MultilevelSnapshot
@@ -83,6 +95,22 @@ class SimulationResult:
     start_time: float = 0.0
     #: tuples dropped in transit by chaos (message loss / crashed worker)
     lost: int = 0
+    #: live observability handles of the owning run (shared by segments)
+    obs: Optional[Observability] = field(
+        default=None, repr=False, compare=False
+    )
+    #: complete-latency histogram restricted to this segment; ``None``
+    #: when metrics were disabled
+    latency_hist: Optional[LogHistogram] = field(
+        default=None, repr=False, compare=False
+    )
+    # memoised sort of complete_latencies for repeated percentile queries
+    _sorted: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sorted_key: Optional[Tuple[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- summary helpers --------------------------------------------------------------
 
@@ -110,11 +138,41 @@ class SimulationResult:
         ]
         return float(np.mean(lats)) if lats else 0.0
 
-    def latency_percentile(self, q: float) -> float:
-        """Percentile (0..1) of per-tuple complete latency."""
-        if self.complete_latencies.size == 0:
+    def latency_percentile(self, q: float, *, approx: bool = False) -> float:
+        """Percentile (0..1) of per-tuple complete latency.
+
+        The exact path sorts the sample once and memoises it, so sweeping
+        many percentiles costs one sort total; the interpolation
+        reproduces ``numpy.quantile``'s default method bit-for-bit.  With
+        ``approx=True`` and metrics enabled, the segment's log-bucket
+        histogram answers instead — O(buckets) with no sort, within one
+        bucket width (relative error ``alpha``) of the exact value.
+        """
+        if approx and self.latency_hist is not None and self.latency_hist.count:
+            return float(self.latency_hist.quantile(q))
+        arr = self.complete_latencies
+        n = int(arr.size)
+        if n == 0:
             return float("nan")
-        return float(np.quantile(self.complete_latencies, q))
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {q}")
+        key = (id(arr), n)
+        if self._sorted_key != key:
+            self._sorted = np.sort(arr)
+            self._sorted_key = key
+        s = self._sorted
+        if n == 1:
+            return float(s[0])
+        pos = q * (n - 1)
+        lo = int(pos)  # pos >= 0, so truncation is floor
+        hi = min(lo + 1, n - 1)
+        t = pos - lo
+        a = s[lo]
+        b = s[hi]
+        d = b - a
+        # numpy lerps from whichever end is nearer to cut rounding error;
+        # mirror it exactly so cached results match np.quantile bitwise
+        return float(b - d * (1.0 - t)) if t >= 0.5 else float(a + d * t)
 
     def throughput_series(self) -> Series:
         return Series(
@@ -131,8 +189,14 @@ class SimulationResult:
         )
 
     def summary(self) -> Dict[str, float]:
-        """Flat scalar summary of this segment (JSON/benchmark-friendly)."""
-        return {
+        """Flat scalar summary of this segment (JSON/benchmark-friendly).
+
+        When the run had observability enabled, the summary also surfaces
+        trace-buffer accounting, deterministic kernel-profiler counters,
+        and SLO breach totals — all gated on the corresponding handle so
+        plain runs keep the exact historical key set.
+        """
+        out: Dict[str, float] = {
             "start_time": self.start_time,
             "duration": self.duration,
             "acked": self.acked,
@@ -145,6 +209,27 @@ class SimulationResult:
             "p50_complete_latency": self.latency_percentile(0.5),
             "p99_complete_latency": self.latency_percentile(0.99),
         }
+        obs = self.obs
+        if obs is not None:
+            if obs.tracer is not None:
+                out["trace_retained"] = len(obs.tracer)
+                out["trace_dropped"] = obs.tracer.dropped
+            if obs.profiler is not None:
+                prof = obs.profiler
+                out["kernel_events"] = prof.events_processed
+                out["kernel_max_heap_depth"] = prof.max_heap_depth
+                out["kernel_mean_heap_depth"] = prof.mean_heap_depth
+            if obs.slo is not None:
+                episodes = obs.slo.episodes()
+                out["slo_breaches"] = len(episodes)
+                out["slo_recovered"] = sum(1 for e in episodes if e.recovered)
+        return out
+
+    def run_report(self, label: str = "") -> Dict[str, Any]:
+        """Self-contained run report (see :func:`repro.obs.build_report`)."""
+        from repro.obs.report import build_report
+
+        return build_report(self, label=label)
 
 
 class StormSimulation:
@@ -174,14 +259,41 @@ class StormSimulation:
         if self.obs.profiler is not None:
             self.env.set_profiler(self.obs.profiler)
         self.cluster = Cluster(
-            self.env, nodes, seed=seed, tracer=self.obs.tracer
+            self.env, nodes, seed=seed, tracer=self.obs.tracer,
+            metrics=self.obs.metrics,
         )
         self.cluster.submit(topology)
+        registry = self.obs.metrics
+        if registry is not None:
+            # kernel/cluster pull gauges: evaluated only at collection
+            # time, so an idle registry costs the run nothing
+            registry.register_pull(
+                "des.events_scheduled", lambda: self.env.scheduled_count
+            )
+            registry.register_pull(
+                "des.queue_depth", lambda: self.env.queue_depth
+            )
+            registry.register_pull(
+                "cluster.crashed_workers",
+                lambda: len(self.cluster.crashed_workers()),
+            )
         self.metrics = MetricsCollector(
             self.env, self.cluster, interval=metrics_interval
         )
+        self.slo: Optional[SLOEngine] = None
+        if self.obs.config.slo is not None:
+            assert registry is not None and self.cluster.ledger is not None
+            self.slo = SLOEngine(
+                self.obs.config.slo,
+                self.env,
+                self.cluster.ledger,
+                registry=registry,
+                tracer=self.obs.tracer,
+            )
+            self.obs.slo = self.slo
         self.fault_injector = FaultInjector(
-            self.env, self.cluster, faults, tracer=self.obs.tracer
+            self.env, self.cluster, faults, tracer=self.obs.tracer,
+            slo=self.slo,
         )
         self.topology = topology
         self.controllers: List["PredictiveController"] = []
@@ -193,6 +305,18 @@ class StormSimulation:
         self._prev_failed = 0
         self._prev_dropped = 0
         self._prev_lost = 0
+        # cumulative complete-latency histogram (None when metrics off);
+        # per-segment views come from diffing against the last snapshot
+        self._latency_hist: Optional[LogHistogram] = (
+            registry.get(COMPLETE_LATENCY_METRIC)
+            if registry is not None
+            else None
+        )
+        self._prev_hist: Optional[LogHistogram] = (
+            self._latency_hist.copy()
+            if self._latency_hist is not None
+            else None
+        )
 
     # -- controller attachment ---------------------------------------------------------
 
@@ -254,6 +378,10 @@ class StormSimulation:
         )
         transport = self.cluster.transport
         lost_total = transport.lost_count if transport is not None else 0
+        latency_hist: Optional[LogHistogram] = None
+        if self._latency_hist is not None:
+            latency_hist = self._latency_hist.diff(self._prev_hist)
+            self._prev_hist = self._latency_hist.copy()
         result = SimulationResult(
             duration=duration,
             snapshots=list(self.metrics.snapshots[self._snapshots_seen :]),
@@ -265,6 +393,8 @@ class StormSimulation:
             cluster=self.cluster,
             start_time=start_time,
             lost=lost_total - self._prev_lost,
+            obs=self.obs,
+            latency_hist=latency_hist,
         )
         self._snapshots_seen = len(self.metrics.snapshots)
         self._prev_acked = ledger.acked_count

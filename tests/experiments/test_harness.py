@@ -150,6 +150,60 @@ def test_reliability_scenario_smoke_reactive():
     assert np.isfinite(res.degradation_pct())
 
 
+def test_reliability_slo_breach_both_arms_recover_only_controlled():
+    """The paper's reliability claim through the SLO lens: the fault
+    breaches the latency objective in BOTH arms, but only the DRNN arm
+    reroutes around the slow worker and closes the episode; the baseline
+    stays breached until the end of the run."""
+    from repro.experiments.reliability import train_calibration_predictor
+    from repro.obs import LatencySLO, ObservabilityConfig, SLOPolicy
+
+    policy = SLOPolicy(
+        rules=(LatencySLO(name="p99", quantile=0.99, bound=1.0),),
+        eval_interval=5.0,
+        window_intervals=6,
+        breach_after=1,
+        clear_after=2,
+    )
+    predictor = train_calibration_predictor(
+        "url_count", 180.0, 3, window=4,
+        calibration_duration=140.0, hidden=(12,), epochs=5,
+    )
+    episodes = {}
+    for arm in (None, "drnn"):
+        res = run_reliability_scenario(
+            app="url_count",
+            control=arm,
+            k_misbehaving=1,
+            base_rate=180.0,
+            duration=240.0,
+            fault_start=60.0,
+            fault_duration=180.0,  # fault window reaches the end of the run
+            slowdown_factor=25.0,
+            seed=3,
+            predictor=predictor if arm else None,
+            control_interval=5.0,
+            window=4,
+            observability=ObservabilityConfig(metrics=True),
+            slo=policy,
+        )
+        engine = res.sim.obs.slo
+        assert engine is not None
+        episodes[res.label] = engine.episodes("p99")
+        summary = res.result.summary()
+        assert summary["slo_breaches"] == len(engine.episodes())
+
+    for label, eps in episodes.items():
+        assert len(eps) == 1, f"{label}: expected one breach episode"
+        assert eps[0].breach_time > 60.0  # after fault injection
+
+    assert not episodes["baseline"][0].recovered
+    assert episodes["drnn"][0].recovered
+    baseline_breach = episodes["baseline"][0].breach_time
+    drnn = episodes["drnn"][0]
+    assert drnn.recover_time - drnn.breach_time < 240.0 - baseline_breach
+
+
 def test_reliability_scenario_smoke_baseline():
     res = run_reliability_scenario(
         app="url_count",

@@ -68,6 +68,38 @@ def test_trace_jsonl_round_trip(tmp_path):
     assert emits and isinstance(emits[0].get("root"), int)
 
 
+def test_trace_jsonl_empty_round_trip(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert trace_to_jsonl([], path) == 0
+    assert path.exists()
+    assert path.read_text() == ""
+    assert load_trace_jsonl(path) == []
+
+
+def test_trace_jsonl_payload_equality(tmp_path):
+    """Every field survives the JSON round-trip, not just time/kind."""
+    from repro.obs import Tracer
+
+    tr = Tracer()
+    tr.record(0.25, "tuple.emit", root=11, task=2)
+    tr.record(0.75, "tuple.transfer", roots=[11], src=2, dst=5)
+    tr.record(1.5, "control.apply", ratios=[0.5, 0.25, 0.25])
+    path = tmp_path / "t.jsonl"
+    trace_to_jsonl(tr.events(), path)
+    loaded = load_trace_jsonl(path)
+    assert len(loaded) == 3
+    for orig, back in zip(tr.events(), loaded):
+        assert back.time == orig.time
+        assert back.kind == orig.kind
+        assert back.fields == orig.fields
+
+
+def test_snapshots_jsonl_empty_round_trip(tmp_path):
+    path = tmp_path / "empty-snaps.jsonl"
+    assert snapshots_to_jsonl([], path) == 0
+    assert load_snapshots_jsonl(path) == []
+
+
 def test_snapshots_jsonl_round_trip(tmp_path):
     sim = small_traced_sim()
     res = sim.run(duration=10)

@@ -1,0 +1,219 @@
+"""Unit + property tests for the pull-based metrics registry.
+
+The load-bearing contract is the histogram quantile guarantee: the
+estimate for any ``q`` lies in the same log bucket as the exact
+order-statistic sample that ``numpy.quantile(..., method="higher")``
+returns, hence within one bucket width (relative error ``alpha``) of
+it.  The hypothesis property pins exactly that.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    COMPLETE_LATENCY_METRIC,
+    DEFAULT_ALPHA,
+    MIN_TRACKABLE,
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+)
+
+
+# -- counters & gauges ------------------------------------------------------------------
+
+
+def test_counter_inc_and_amount():
+    c = Counter("x", {})
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+
+
+def test_gauge_set_and_pull():
+    g = Gauge("g", {})
+    g.set(3.5)
+    assert g.read() == 3.5
+    box = {"v": 1.0}
+    pull = Gauge("p", {}, fn=lambda: box["v"])
+    assert pull.read() == 1.0
+    box["v"] = 9.0
+    assert pull.read() == 9.0  # evaluated at read time, not creation
+
+
+# -- histogram basics -------------------------------------------------------------------
+
+
+def test_histogram_counts_sum_min_max():
+    h = LogHistogram("h")
+    for v in (0.1, 0.2, 0.4, 0.0):
+        h.add(v)
+    assert h.count == 4
+    assert h.zero_count == 1
+    assert h.sum == pytest.approx(0.7)
+    assert h.min == 0.0
+    assert h.max == 0.4
+    assert h.mean == pytest.approx(0.175)
+
+
+def test_histogram_empty_quantile_raises():
+    h = LogHistogram("h")
+    with pytest.raises(ValueError):
+        h.quantile(0.5)
+    with pytest.raises(ValueError):
+        LogHistogram("h2", alpha=0.0)
+
+
+def test_histogram_bad_quantile_rejected():
+    h = LogHistogram("h")
+    h.add(1.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_zero_bucket_quantiles():
+    h = LogHistogram("h")
+    for _ in range(10):
+        h.add(0.0)
+    h.add(5.0)
+    assert h.quantile(0.5) == 0.0
+    lo, hi = h.quantile_bounds(0.5)
+    assert (lo, hi) == (0.0, MIN_TRACKABLE)
+    lo, hi = h.quantile_bounds(1.0)
+    assert lo < 5.0 <= hi
+
+
+def test_histogram_constant_memory():
+    h = LogHistogram("h")
+    rng = np.random.default_rng(0)
+    for v in rng.uniform(0.001, 10.0, size=20_000):
+        h.add(float(v))
+    # dynamic range 1e4 with gamma ~ 1.105 -> ~double-digit bucket count
+    assert len(h.buckets) < 120
+    assert h.count == 20_000
+
+
+def test_histogram_merge_and_copy_independent():
+    a, b = LogHistogram("a"), LogHistogram("b")
+    for v in (0.1, 0.5):
+        a.add(v)
+    for v in (0.2, 0.9, 1.5):
+        b.add(v)
+    c = a.copy()
+    c.merge(b)
+    assert c.count == 5
+    assert c.sum == pytest.approx(a.sum + b.sum)
+    assert a.count == 2  # copy detached the state
+    with pytest.raises(ValueError):
+        a.merge(LogHistogram("other", alpha=0.01))
+
+
+def test_histogram_diff_window_semantics():
+    h = LogHistogram("h")
+    for v in (0.1, 0.2):
+        h.add(v)
+    snap = h.copy()
+    for v in (0.4, 0.8, 1.6):
+        h.add(v)
+    win = h.diff(snap)
+    assert win.count == 3
+    assert win.sum == pytest.approx(0.4 + 0.8 + 1.6)
+    # bucket-derived range encloses the window's samples
+    assert win.min <= 0.4 and win.max >= 1.6
+    with pytest.raises(ValueError):
+        snap.diff(h)  # not a prefix in this direction
+
+
+# -- registry ---------------------------------------------------------------------------
+
+
+def test_registry_get_or_create_and_labels():
+    reg = MetricsRegistry()
+    c1 = reg.counter("tuple.failed", reason="timeout")
+    c2 = reg.counter("tuple.failed", reason="timeout")
+    c3 = reg.counter("tuple.failed", reason="shed")
+    assert c1 is c2 and c1 is not c3
+    assert reg.get("tuple.failed", reason="shed") is c3
+    assert reg.get("tuple.failed", reason="nope") is None
+    assert len(reg.find("tuple.failed")) == 2
+    assert len(reg) == 2
+
+
+def test_registry_kind_conflicts_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_registry_to_dict_deterministic_filter():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(3)
+    reg.histogram("wall.seconds", deterministic=False).add(0.01)
+    reg.register_pull("depth", lambda: 7)
+    d = reg.to_dict()
+    assert d["a"] == 3
+    assert d["depth"] == 7.0
+    assert "wall.seconds" not in d
+    full = reg.to_dict(include_nondeterministic=True)
+    assert "wall.seconds" in full
+
+
+def test_registry_render_prometheus_shapes():
+    reg = MetricsRegistry()
+    reg.counter("tuple.acked").inc(2)
+    reg.histogram(COMPLETE_LATENCY_METRIC).add(0.25)
+    reg.counter("tuple.failed", reason="timeout").inc()
+    text = reg.render_prometheus()
+    assert "# TYPE tuple_acked counter" in text
+    assert "tuple_acked 2" in text
+    assert "# TYPE tuple_complete_latency_seconds summary" in text
+    assert "tuple_complete_latency_seconds_count 1" in text
+    assert 'tuple_failed{reason="timeout"} 1' in text
+    assert text.endswith("\n")
+
+
+# -- the quantile contract (property) ----------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=1e-6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=120,
+    ),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_quantile_within_one_bucket_of_exact(data, q):
+    h = LogHistogram("h")
+    for v in data:
+        h.add(v)
+    exact = float(np.quantile(np.array(data), q, method="higher"))
+    lo, hi = h.quantile_bounds(q)
+    # the exact rank sample lies inside the reported bucket (modulo one
+    # float ulp of log-boundary rounding)
+    assert lo * (1 - 1e-12) <= exact <= hi * (1 + 1e-12)
+    est = h.quantile(q)
+    assert lo <= est <= hi
+    # midpoint of the enclosing bucket -> within alpha relative error
+    assert abs(est - exact) <= DEFAULT_ALPHA * max(est, exact) + 1e-12
+
+
+def test_bucket_bounds_partition_the_positive_axis():
+    h = LogHistogram("h")
+    for idx in range(-5, 6):
+        lo, hi = h.bucket_bounds(idx)
+        assert lo < hi
+        assert h.bucket_bounds(idx + 1)[0] == pytest.approx(hi)
+        # index formula maps the bucket's interior back to it
+        mid = (lo + hi) / 2.0
+        assert math.ceil(math.log(mid) / math.log(h._gamma)) == idx

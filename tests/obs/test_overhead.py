@@ -11,14 +11,20 @@ machines, so this one uses a generous bound.
 import time
 
 from repro.apps import RateProfile, build_url_count_topology
+from repro.core import ControllerConfig, PerformancePredictor
 from repro.storm import SimulationBuilder
 
 
-def build_sim(trace: bool):
+def build_sim(trace: bool, metrics: bool = False, controller: bool = False):
     topo = build_url_count_topology(profile=RateProfile(base=150.0))
     builder = SimulationBuilder(topo).seed(2)
-    if trace:
-        builder.observability(trace=True)
+    if trace or metrics:
+        builder.observability(trace=trace, metrics=metrics)
+    if controller:
+        builder.controller(
+            PerformancePredictor(None, window=3),
+            ControllerConfig(control_interval=5.0, window=3),
+        )
     return builder.build()
 
 
@@ -43,6 +49,43 @@ def test_enabled_observability_threads_one_shared_tracer():
     assert sim.cluster.transport.tracer is tr
     for ex in sim.cluster.executors.values():
         assert ex.tracer is tr
+
+
+def test_disabled_metrics_threads_none_everywhere():
+    sim = build_sim(trace=False, metrics=False, controller=True)
+    assert sim.obs.metrics is None
+    assert sim.cluster.metrics is None
+    assert sim.cluster.ledger.metrics is None
+    assert sim.cluster.ledger._m_acked is None
+    assert sim.cluster.ledger._m_latency is None
+    assert sim.cluster.transport.metrics is None
+    assert sim.cluster.transport._m_sent is None
+    for ex in sim.cluster.executors.values():
+        assert ex.metrics is None
+    ctrl = sim.controller
+    assert ctrl is not None
+    sim.run(duration=6)  # _bind ran; handles must stay None
+    assert ctrl._m_decisions is None
+    assert ctrl._m_applies is None
+    assert ctrl._m_step_wall is None
+
+
+def test_enabled_metrics_threads_one_shared_registry():
+    sim = build_sim(trace=False, metrics=True, controller=True)
+    reg = sim.obs.metrics
+    assert reg is not None
+    assert sim.cluster.metrics is reg
+    assert sim.cluster.ledger.metrics is reg
+    assert sim.cluster.transport.metrics is reg
+    for ex in sim.cluster.executors.values():
+        assert ex.metrics is reg
+    assert sim.cluster.ledger._m_acked is reg.get("tuple.acked")
+    result = sim.run(duration=20)
+    assert sim.controller._m_decisions is reg.get("controller.decisions")
+    # the instruments agree with the simulation's own accounting
+    assert reg.get("tuple.acked").value == result.acked
+    assert reg.get("tuple.complete_latency_seconds").count == result.acked
+    assert reg.get("des.events_scheduled").read() > 0
 
 
 def test_disabled_tracer_wall_time_overhead_is_small():

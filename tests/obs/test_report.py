@@ -1,0 +1,126 @@
+"""Run-report artifact tests: section gating, byte-stability, HTML."""
+
+import json
+
+from repro.obs import (
+    AvailabilitySLO,
+    LatencySLO,
+    build_report,
+    report_to_html,
+    report_to_json,
+    write_report_html,
+    write_report_json,
+)
+from repro.storm import NodeSpec, SimulationBuilder, SlowdownFault, TopologyBuilder, TopologyConfig
+from tests.storm.helpers import CounterSpout, SinkBolt
+
+
+def build_sim(seed=0, *, trace=False, metrics=False, profile=False,
+              slo=False, faults=()):
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=120.0))
+    b.set_bolt("sink", SinkBolt(), parallelism=4).shuffle_grouping("src")
+    topo = b.build("report-app", TopologyConfig(num_workers=4))
+    builder = (
+        SimulationBuilder(topo)
+        .nodes(NodeSpec("a", cores=4, slots=2), NodeSpec("b", cores=4, slots=2))
+        .seed(seed)
+        .faults(list(faults))
+        .observability(trace=trace, metrics=metrics, profile=profile)
+    )
+    if slo:
+        builder.slo(
+            LatencySLO(name="p99", quantile=0.99, bound=1.0),
+            AvailabilitySLO(name="avail", min_ratio=0.9),
+        )
+    return builder.build()
+
+
+def test_report_sections_gate_on_capabilities():
+    plain = build_sim().run(duration=10)
+    rep = build_report(plain, label="plain")
+    assert rep["label"] == "plain"
+    assert rep["run"]["acked"] == plain.acked
+    for absent in ("metrics", "slo", "trace", "profile"):
+        assert absent not in rep
+
+    sim = build_sim(trace=True, metrics=True, profile=True, slo=True)
+    result = sim.run(duration=20)
+    rep = build_report(result)
+    assert rep["metrics"]["tuple.acked"] == result.acked
+    assert rep["trace"]["retained"] > 0
+    assert rep["trace"]["kind_counts"]["tuple.ack"] == result.acked
+    assert rep["profile"]["events_processed"] > 0
+    assert {r["name"] for r in rep["slo"]["rules"]} == {"p99", "avail"}
+    # wall-clock values must never leak into the artifact
+    assert "events_per_sec" not in rep["profile"]
+    assert "wall_elapsed" not in rep["profile"]
+
+
+def test_report_json_byte_stable_across_identical_runs(tmp_path):
+    def one(path):
+        sim = build_sim(
+            seed=7, trace=True, metrics=True, slo=True,
+            faults=[SlowdownFault(start=5, duration=8, worker_id=1, factor=6)],
+        )
+        result = sim.run(duration=25)
+        write_report_json(result.run_report(label="pinned"), path)
+
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    one(p1)
+    one(p2)
+    assert p1.read_bytes() == p2.read_bytes()
+    loaded = json.loads(p1.read_text())
+    assert loaded["schema"] == "repro-report/1"
+
+
+def test_report_json_is_canonical_text():
+    result = build_sim(metrics=True).run(duration=5)
+    rep = build_report(result)
+    text = report_to_json(rep)
+    assert text.endswith("\n")
+    assert json.loads(text) == rep
+    # sorted keys: re-serialising the parsed form reproduces the bytes
+    assert report_to_json(json.loads(text)) == text
+
+
+def test_report_html_renders_all_sections(tmp_path):
+    sim = build_sim(trace=True, metrics=True, profile=True, slo=True)
+    result = sim.run(duration=20)
+    rep = build_report(result, label="html-run")
+    html = report_to_html(rep)
+    for needle in (
+        "<!DOCTYPE html>", "html-run", "Run summary", "SLO objectives",
+        "Metrics", "Trace accounting", "Kernel profile",
+    ):
+        assert needle in html
+    assert "<script" not in html  # self-contained, no scripts
+    path = tmp_path / "report.html"
+    write_report_html(rep, path)
+    assert path.read_text() == html
+
+
+def test_chaos_run_report_attachment():
+    """Campaign runs carry the artifact only when metrics are enabled."""
+    from repro.storm import ChaosCampaign, ChaosSpec
+
+    def factory():
+        b = TopologyBuilder()
+        b.set_spout("src", CounterSpout(rate=120.0))
+        b.set_bolt("sink", SinkBolt(), parallelism=4).shuffle_grouping("src")
+        return b.build("chaos-app", TopologyConfig(num_workers=4))
+
+    spec = ChaosSpec(crashes=1)
+    plain = ChaosCampaign(factory, spec, seed=3, runs=1, horizon=60.0).run_one(0)
+    assert plain.run_report is None
+    assert "run_report" not in plain.to_dict()
+
+    instrumented = ChaosCampaign(
+        factory, spec, seed=3, runs=1, horizon=60.0, metrics=True
+    ).run_one(0)
+    assert instrumented.run_report is not None
+    d = instrumented.to_dict()
+    assert d["run_report"]["run"]["acked"] == instrumented.acked
+    # instrumentation must not change the simulated physics
+    assert instrumented.acked == plain.acked
+    assert instrumented.failed == plain.failed

@@ -1,0 +1,222 @@
+"""Unit tests for the online SLO engine (rules, state machine, wiring)."""
+
+import math
+
+import pytest
+
+from repro.des.environment import Environment
+from repro.obs import (
+    SLO_BREACH,
+    SLO_RECOVER,
+    AvailabilitySLO,
+    LatencySLO,
+    RecoverySLO,
+    SLOEngine,
+    SLOPolicy,
+    Tracer,
+)
+from repro.obs.metrics import COMPLETE_LATENCY_METRIC, LogHistogram, MetricsRegistry
+from repro.obs.slo import WindowStats
+
+
+def window(
+    time=100.0,
+    seconds=30.0,
+    acked=0,
+    failed=0,
+    latency=None,
+    baseline=float("nan"),
+    last_fault=None,
+    faults_active=0,
+):
+    return WindowStats(
+        time=time,
+        window_seconds=seconds,
+        acked=acked,
+        failed=failed,
+        throughput=acked / seconds,
+        latency=latency,
+        baseline_throughput=baseline,
+        last_fault_time=last_fault,
+        faults_active=faults_active,
+    )
+
+
+def latency_window(values, **kw):
+    h = LogHistogram("lat")
+    for v in values:
+        h.add(v)
+    return window(latency=h, **kw)
+
+
+# -- rule semantics ---------------------------------------------------------------------
+
+
+def test_latency_slo_verdicts():
+    rule = LatencySLO(name="p99", quantile=0.99, bound=0.5)
+    assert rule.evaluate(window(latency=None)) is None  # metrics off
+    assert rule.evaluate(latency_window([])) is None  # empty window
+    assert rule.evaluate(latency_window([0.1, 0.2, 0.3])) is True
+    assert rule.evaluate(latency_window([0.1, 0.2, 2.0])) is False
+    assert math.isnan(rule.measured(window(latency=None)))
+    assert rule.threshold() == 0.5
+    assert rule.describe()["kind"] == "LatencySLO"
+
+
+def test_availability_slo_verdicts():
+    rule = AvailabilitySLO(name="avail", min_ratio=0.9)
+    assert rule.evaluate(window()) is None  # nothing completed
+    assert rule.evaluate(window(acked=95, failed=5)) is True
+    assert rule.evaluate(window(acked=80, failed=20)) is False
+    assert rule.measured(window(acked=80, failed=20)) == pytest.approx(0.8)
+
+
+def test_recovery_slo_verdicts():
+    rule = RecoverySLO(name="rto", objective=60.0, fraction=0.9)
+    # met by definition before any fault
+    assert rule.evaluate(window()) is True
+    # fault seen but baseline not yet frozen -> no data
+    assert rule.evaluate(window(last_fault=50.0)) is None
+    # throughput back above fraction * baseline -> met
+    assert rule.evaluate(
+        window(time=200.0, acked=3000, baseline=95.0, last_fault=50.0)
+    ) is True
+    # below target but recovery budget not yet spent -> still met
+    assert rule.evaluate(
+        window(time=100.0, acked=30, baseline=95.0, last_fault=50.0)
+    ) is True
+    # below target past the objective -> violated
+    assert rule.evaluate(
+        window(time=200.0, acked=30, baseline=95.0, last_fault=50.0)
+    ) is False
+
+
+def test_policy_validation():
+    rule = AvailabilitySLO(name="a")
+    with pytest.raises(ValueError):
+        SLOPolicy(rules=()).validate()
+    with pytest.raises(ValueError):
+        SLOPolicy(rules=(rule, AvailabilitySLO(name="a"))).validate()
+    with pytest.raises(ValueError):
+        SLOPolicy(rules=(rule,), eval_interval=0).validate()
+    with pytest.raises(ValueError):
+        SLOPolicy(rules=(rule,), clear_after=0).validate()
+
+
+# -- engine state machine ---------------------------------------------------------------
+
+
+class FakeLedger:
+    def __init__(self):
+        self.acked_count = 0
+        self.failed_count = 0
+
+
+def make_engine(breach_after=2, clear_after=2, tracer=None, registry=None):
+    env = Environment()
+    ledger = FakeLedger()
+    policy = SLOPolicy(
+        rules=(AvailabilitySLO(name="avail", min_ratio=0.9),),
+        eval_interval=5.0,
+        window_intervals=4,
+        breach_after=breach_after,
+        clear_after=clear_after,
+    )
+    engine = SLOEngine(policy, env, ledger, registry=registry, tracer=tracer)
+    return env, ledger, engine
+
+
+def test_engine_breach_after_and_clear_after_streaks():
+    tracer = Tracer()
+    env, ledger, engine = make_engine(breach_after=2, clear_after=2,
+                                      tracer=tracer)
+
+    def tick(acked, failed):
+        ledger.acked_count += acked
+        ledger.failed_count += failed
+        env.run(until=env.now + 5.0)
+
+    tick(100, 0)
+    assert not engine.breached("avail")
+    tick(10, 90)  # first violation: below breach_after, no episode yet
+    assert not engine.breached("avail")
+    tick(10, 90)  # second consecutive violation opens the episode
+    assert engine.breached("avail")
+    assert len(tracer.events(SLO_BREACH)) == 1
+    assert len(engine.episodes("avail")) == 1
+    assert not engine.episodes()[0].recovered
+
+    # window still remembers the bad intervals for a while; run them out
+    # (4 ticks to age out of the window, then clear_after healthy evals)
+    for _ in range(7):
+        tick(100, 0)
+    assert not engine.breached("avail")
+    recovers = tracer.events(SLO_RECOVER)
+    assert len(recovers) == 1
+    episode = engine.episodes()[0]
+    assert episode.recovered
+    assert recovers[0].get("downtime") == pytest.approx(
+        episode.recover_time - episode.breach_time
+    )
+    # one episode, opened and closed exactly once
+    assert len(tracer.events(SLO_BREACH)) == 1
+
+
+def test_engine_no_data_holds_state():
+    env, ledger, engine = make_engine(breach_after=1)
+    env.run(until=20.0)  # several ticks with zero completions
+    assert not engine.breached("avail")
+    assert engine.episodes() == []
+
+
+def test_engine_fault_notes_freeze_baseline_once():
+    env, ledger, engine = make_engine()
+    ledger.acked_count = 500
+    env.run(until=5.0)
+    ledger.acked_count = 1000
+    env.run(until=10.0)
+    engine.note_fault_apply(env.now)
+    first = engine.baseline_throughput
+    assert first > 0
+    engine.note_fault_apply(env.now + 1)  # overlapping fault: keep baseline
+    assert engine.baseline_throughput == first
+    assert engine.faults_active == 2
+    engine.note_fault_revert(env.now + 2)
+    engine.note_fault_revert(env.now + 3)
+    assert engine.faults_active == 0
+
+
+def test_engine_windowed_latency_uses_histogram_diff():
+    registry = MetricsRegistry()
+    hist = registry.histogram(COMPLETE_LATENCY_METRIC)
+    env = Environment()
+    ledger = FakeLedger()
+    policy = SLOPolicy(
+        rules=(LatencySLO(name="p99", quantile=0.5, bound=0.2),),
+        eval_interval=5.0,
+        window_intervals=1,  # window = exactly the last tick
+        breach_after=1,
+        clear_after=1,
+    )
+    engine = SLOEngine(policy, env, ledger, registry=registry)
+    hist.add(1.0)  # slow sample in the first interval
+    env.run(until=5.0)
+    assert engine.breached("p99")
+    for _ in range(10):
+        hist.add(0.05)  # fast samples afterwards; old ones age out
+    env.run(until=10.0)
+    assert not engine.breached("p99")
+
+
+def test_engine_results_shape():
+    env, ledger, engine = make_engine()
+    ledger.acked_count = 10
+    env.run(until=5.0)
+    res = engine.results()
+    assert res["eval_interval"] == 5.0
+    (rule,) = res["rules"]
+    assert rule["name"] == "avail"
+    assert rule["spec"]["kind"] == "AvailabilitySLO"
+    assert rule["breaches"] == 0
+    assert rule["currently_breached"] is False
+    assert rule["episodes"] == []

@@ -45,6 +45,42 @@ def test_ring_buffer_drops_oldest_and_counts():
     assert tr.dropped == 6
 
 
+def test_time_window_half_open():
+    tr = Tracer()
+    for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+        tr.record(t, TUPLE_EMIT, root=int(t))
+    # [t0, t1): left-inclusive, right-exclusive
+    assert [e.time for e in tr.events(t0=1.0, t1=3.0)] == [1.0, 2.0]
+    assert [e.time for e in tr.events(t0=2.0)] == [2.0, 3.0, 4.0]
+    assert [e.time for e in tr.events(t1=2.0)] == [0.0, 1.0]
+    assert tr.events(t0=3.0, t1=3.0) == []
+    assert tr.events(t0=10.0) == []
+
+
+def test_time_window_composes_with_kind_filter():
+    tr = Tracer()
+    tr.record(0.0, TUPLE_EMIT, root=1)
+    tr.record(1.0, TUPLE_ACK, root=1)
+    tr.record(2.0, TUPLE_EMIT, root=2)
+    tr.record(3.0, TUPLE_ACK, root=2)
+    tr.record(4.0, "control.decision")
+    assert [e.get("root") for e in tr.events(TUPLE_ACK, t0=2.0)] == [2]
+    assert len(tr.events("tuple.*", t0=1.0, t1=3.0)) == 2
+    assert tr.events("control.*", t1=4.0) == []
+
+
+def test_time_window_after_ring_wraparound():
+    tr = Tracer(capacity=4)
+    for i in range(10):
+        tr.record(float(i), TUPLE_EMIT, root=i)
+    # times 0..5 were overwritten; a window over them comes back empty
+    assert tr.events(t0=0.0, t1=6.0) == []
+    assert tr.dropped == 6
+    # windows over the retained suffix still work, half-open at both ends
+    assert [e.get("root") for e in tr.events(t0=7.0, t1=9.0)] == [7, 8]
+    assert [e.get("root") for e in tr.events(TUPLE_EMIT, t0=6.0)] == [6, 7, 8, 9]
+
+
 def test_kind_counts_and_clear():
     tr = Tracer()
     tr.record(0.0, TUPLE_EMIT, root=1)

@@ -61,6 +61,50 @@ def test_latency_percentile_bounds():
     assert 0 < p50 <= p99
 
 
+def test_latency_percentile_matches_numpy_and_caches():
+    sim = make_sim()
+    res = sim.run(duration=15)
+    arr = np.asarray(res.complete_latencies, dtype=float)
+    for q in (0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0):
+        assert res.latency_percentile(q) == float(np.quantile(arr, q))
+    # the sorted array is memoised, keyed to the latencies buffer
+    first = res._sorted
+    assert first is not None
+    res.latency_percentile(0.75)
+    assert res._sorted is first
+    with pytest.raises(ValueError):
+        res.latency_percentile(1.5)
+    with pytest.raises(ValueError):
+        res.latency_percentile(-0.1)
+
+
+def test_latency_percentile_approx_uses_histogram():
+    from repro.storm import SimulationBuilder
+
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=100))
+    b.set_bolt("sink", SinkBolt()).shuffle_grouping("src")
+    topo = b.build("r", TopologyConfig(num_workers=1))
+    sim = (
+        SimulationBuilder(topo)
+        .nodes(NodeSpec("n0", cores=2, slots=1))
+        .seed(0)
+        .observability(metrics=True)
+        .build()
+    )
+    res = sim.run(duration=15)
+    assert res.latency_hist is not None
+    assert res.latency_hist.count == res.acked
+    exact = res.latency_percentile(0.99)
+    approx = res.latency_percentile(0.99, approx=True)
+    # bucketed estimate stays within one log-bucket (alpha) of exact
+    assert abs(approx - exact) <= 0.05 * max(approx, exact) + 1e-12
+    # without a histogram the approx flag falls back to the exact path
+    plain = make_sim().run(duration=5)
+    assert plain.latency_hist is None
+    assert plain.latency_percentile(0.5, approx=True) == plain.latency_percentile(0.5)
+
+
 def test_latency_percentile_empty_is_nan():
     sim = make_sim()
     res = sim.run(duration=0.001)
