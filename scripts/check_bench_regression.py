@@ -15,16 +15,24 @@ Two checks run per benchmark, both with the same ``tolerance``:
   the noise-robust statistic under additive load drift (see
   ``repro.bench.harness``), but separate runs on a shared machine can
   still drift apart, so this check alone is not enough.
-* paired speedup — for benchmarks with a frozen ``_legacy`` twin, the
-  interleaved current-vs-legacy speedup must not drop below the
-  baseline's by more than ``tolerance``.  Because both sides run
-  interleaved in one process, this ratio is immune to machine-load
-  drift and is the reliable signal on busy CI runners.
+* paired speedup — for benchmarks with a frozen ``_legacy`` (or
+  same-code ``_serial``) twin, the interleaved current-vs-twin speedup
+  must not drop below the baseline's by more than ``tolerance``.
+  Because both sides run interleaved in one process, this ratio is
+  immune to machine-load drift and is the reliable signal on busy CI
+  runners.
 
 Legacy twins are frozen code — they only measure the machine, so they
 are reported but never gate.  Benchmarks present on one side only are
 reported and skipped: adding a benchmark must not break CI, and the gate
 should complain loudly (not crash) if one disappears.
+
+Parallel benchmarks (schema ``repro-bench/2``) record the worker count
+they ran with in a per-result ``jobs`` field.  Times measured at
+different worker counts are not comparable — a 4-core baseline against a
+1-core CI runner would flag a phantom regression — so any benchmark (or
+paired speedup) whose ``jobs`` differ between run and baseline is
+reported and skipped, both time and speedup checks.
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ import json
 import sys
 
 LEGACY_SUFFIX = "_legacy"
+SERIAL_SUFFIX = "_serial"
+TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX)
 
 
 def _best_time(result: dict) -> float:
@@ -60,6 +70,15 @@ def compare(bench: dict, baseline: dict, tolerance: float) -> int:
         if name not in pinned:
             print(f"NEW       {name}: no baseline yet (skipped)")
             continue
+        cur_jobs = current[name].get("jobs")
+        base_jobs = pinned[name].get("jobs")
+        if cur_jobs != base_jobs:
+            print(
+                f"SKIPPED   {name}: jobs mismatch "
+                f"(run {cur_jobs} vs baseline {base_jobs}) — "
+                "times at different worker counts are not comparable"
+            )
+            continue
         cur = _best_time(current[name])
         base = _best_time(pinned[name])
         ratio = cur / base if base > 0 else float("inf")
@@ -77,6 +96,14 @@ def compare(bench: dict, baseline: dict, tolerance: float) -> int:
     cur_speedups = bench.get("speedups", {})
     base_speedups = baseline.get("speedups", {})
     for name in sorted(set(cur_speedups) & set(base_speedups)):
+        cur_jobs = current.get(name, {}).get("jobs")
+        base_jobs = pinned.get(name, {}).get("jobs")
+        if cur_jobs != base_jobs:
+            print(
+                f"SKIPPED   {name}: speedup at jobs {cur_jobs} vs "
+                f"baseline jobs {base_jobs} — not comparable"
+            )
+            continue
         cur = float(cur_speedups[name])
         base = float(base_speedups[name])
         status = "ok"

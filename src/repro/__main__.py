@@ -19,6 +19,9 @@ Commands
     Run a seeded chaos campaign (worker crashes, message loss, delay
     jitter) and print per-run degradation / recovery-time / tuple
     accounting; ``--out`` writes the full campaign report as JSON.
+    ``--jobs N`` shards the runs across worker processes and
+    ``--cache DIR`` serves repeated runs from disk — both change
+    wall-clock only, never a byte of the report.
 ``report``
     Run one instrumented scenario (metrics + tracing + SLO engine) and
     write a self-contained run report — byte-stable JSON, optionally an
@@ -33,6 +36,40 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _jobs_type(value: str) -> int:
+    """argparse type for ``--jobs``: non-negative int, 0 = all cores.
+
+    Negative values raise :class:`argparse.ArgumentTypeError`, which
+    argparse turns into a usage error (exit code 2) — consistent across
+    every subcommand that fans out.
+    """
+    try:
+        jobs = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid jobs value {value!r}") from exc
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = all cores), got {jobs}"
+        )
+    return jobs
+
+
+def _parallel_flags(p: argparse.ArgumentParser, cache: bool = True) -> None:
+    """Attach the shared ``--jobs`` / ``--cache`` flags to a subcommand."""
+    p.add_argument(
+        "--jobs", type=_jobs_type, default=1, metavar="N",
+        help="worker processes for independent runs "
+             "(default 1 = in-process serial, 0 = all cores); "
+             "results are byte-identical at any value",
+    )
+    if cache:
+        p.add_argument(
+            "--cache", metavar="DIR", default=None,
+            help="content-addressed result cache directory "
+                 "(reruns with identical config/seed are served from disk)",
+        )
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -146,6 +183,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         drnn_epochs=args.epochs,
         seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
     )
     print(
         format_table(
@@ -171,6 +210,7 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         fault_duration=args.duration / 2,
         seed=args.seed,
         observability=_make_observability(args),
+        cache=args.cache,
     )
     print(f"arm         : {res.label}")
     print(f"healthy thr : {res.throughput_healthy():.1f} t/s")
@@ -202,6 +242,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         horizon=args.duration,
         base_rate=args.rate,
         control=control,
+        jobs=args.jobs,
+        cache=args.cache,
     )
     print(f"app          : {args.app}  arm: {args.arm}")
     print(f"campaign     : seed={args.seed} runs={args.runs}"
@@ -265,6 +307,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         observability=ObservabilityConfig(trace=True, metrics=True),
         slo=policy,
+        cache=args.cache,
     )
     label = f"{args.app}/{res.label}/seed={args.seed}"
     report = res.result.run_report(label=label)
@@ -294,6 +337,8 @@ def _cmd_bench(args) -> int:
             "--repeats", str(args.repeats), "--out", args.out]
     if args.only:
         argv += ["--only", *args.only]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
     return bench_main(argv)
 
 
@@ -336,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=8)
     p.add_argument("--horizon", type=int, default=5)
     p.add_argument("--epochs", type=int, default=60)
+    _parallel_flags(p)
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser("reliability", help="one misbehaving-worker scenario")
@@ -343,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arm", default="reactive",
                    choices=("baseline", "reactive", "drnn"))
     p.add_argument("--k", type=int, default=1, help="misbehaving workers")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="result cache directory (reuses the DRNN arm's "
+                        "calibration predictor across runs)")
     obs_flags(p)
     p.set_defaults(func=_cmd_reliability)
 
@@ -358,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slowdowns", type=int, default=0)
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the campaign report JSON here")
+    _parallel_flags(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
@@ -379,6 +429,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also render the report as a single HTML page")
     p.add_argument("--prometheus", metavar="PATH", default=None,
                    help="also dump the metrics registry in Prometheus text")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="result cache directory (reuses the DRNN arm's "
+                        "calibration predictor across runs)")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("bench", help="time the tracked hot paths")
@@ -386,10 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload size preset (default: smoke)")
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--repeats", type=int, default=5)
-    p.add_argument("--out", default="BENCH_pr3.json",
+    p.add_argument("--out", default="BENCH_pr5.json",
                    help="output JSON path")
     p.add_argument("--only", nargs="*", default=None,
                    help="subset of benchmark names to run")
+    p.add_argument("--jobs", type=_jobs_type, default=None, metavar="N",
+                   help="worker count for parallel benchmarks "
+                        "(0 = all cores; default: per-benchmark choice)")
     p.set_defaults(func=_cmd_bench)
     return parser
 

@@ -7,28 +7,38 @@ thread-pool spin-up), then ``repeats`` times measured with
 standard choice for noisy shared machines (the mean is dragged by
 scheduler hiccups, the min overstates what a user will see).
 
-Output is a schema-versioned JSON document (``repro-bench/1``)::
+Output is a schema-versioned JSON document (``repro-bench/2``)::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
       "created_unix": ..., "scale": "full",
       "protocol": {"warmup": 1, "repeats": 5, "statistic": "median"},
-      "env": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
+      "env": {"python": ..., "numpy": ..., "platform": ...,
+              "cpu_count": ..., "jobs": ...},
       "results": {
         "<name>": {"median_s": ..., "repeats_s": [...],
-                    "work_units": ..., "units_per_s": ...},
+                    "work_units": ..., "units_per_s": ...,
+                    "jobs": ..., "shard_seconds": [...]},   # parallel paths
         ...
       },
-      "speedups": {"<name>": <min legacy time / min current time>, ...}
+      "speedups": {"<name>": <min twin time / min current time>, ...}
     }
 
-``speedups`` pairs every ``<name>_legacy`` entry with ``<name>``; the
-legacy twins run the frozen pre-optimisation implementations shipped in
-:mod:`repro.bench`, so one file documents the before/after ratio without
-needing a second checkout.  Pairs are measured with their repeats
-interleaved (load drift hits both sides) and the speedup is the ratio of
-the two per-side minima — noise is additive, so each minimum is the best
-estimate of the noise-free time.
+``speedups`` pairs every ``<name>_legacy`` / ``<name>_serial`` entry
+with ``<name>``: ``_legacy`` twins run the frozen pre-optimisation
+implementations shipped in :mod:`repro.bench`, ``_serial`` twins run the
+same workload with parallelism disabled (``jobs=1``), so one file
+documents both kinds of before/after ratio without needing a second
+checkout.  Pairs are measured with their repeats interleaved (load drift
+hits both sides) and the speedup is the ratio of the two per-side minima
+— noise is additive, so each minimum is the best estimate of the
+noise-free time.
+
+Parallel benchmarks additionally record the worker count (``jobs``) and
+the last repeat's per-shard wall-clock seconds; results measured at
+different ``jobs`` are not comparable, and the regression gate
+(``scripts/check_bench_regression.py``) skips any pair whose ``jobs``
+differ (schema ``repro-bench/2``).
 """
 
 from __future__ import annotations
@@ -38,24 +48,55 @@ import os
 import platform
 import sys
 import time
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.bench.hotpaths import BENCHMARKS, SCALES
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
 LEGACY_SUFFIX = "_legacy"
+SERIAL_SUFFIX = "_serial"
+#: suffixes that pair a twin benchmark with its base name for speedups
+TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX)
 
 
-def _result(times, work_units: int) -> Dict[str, object]:
+def _twin_of(name: str) -> Optional[str]:
+    """Base benchmark name if ``name`` is a twin, else ``None``."""
+    for suffix in TWIN_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return None
+
+
+def _units_of(ret) -> Tuple[int, Dict[str, object]]:
+    """Split a benchmark's return into (work units, extra result fields).
+
+    Plain benchmarks return an int; parallel ones return a dict with
+    ``units`` plus accounting (``jobs``, ``shard_seconds``) that is
+    copied into the result record.
+    """
+    if isinstance(ret, dict):
+        extras = {k: v for k, v in ret.items() if k != "units"}
+        if "shard_seconds" in extras:
+            extras["shard_seconds"] = [
+                round(float(s), 6) for s in extras["shard_seconds"]
+            ]
+        return int(ret["units"]), extras
+    return int(ret), {}
+
+
+def _result(times, ret) -> Dict[str, object]:
     median = float(np.median(times))
-    return {
+    work_units, extras = _units_of(ret)
+    out = {
         "median_s": median,
         "repeats_s": [round(t, 6) for t in times],
         "work_units": int(work_units),
         "units_per_s": round(work_units / median, 1) if median > 0 else None,
     }
+    out.update(extras)
+    return out
 
 
 def time_benchmark(
@@ -64,15 +105,15 @@ def time_benchmark(
     """Run one benchmark callable under the warmup/repeat/median protocol."""
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    work_units = 0
+    ret = 0
     for _ in range(warmup):
-        work_units = fn()
+        ret = fn()
     times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
-        work_units = fn()
+        ret = fn()
         times.append(time.perf_counter() - t0)
-    return _result(times, work_units)
+    return _result(times, ret)
 
 
 def time_benchmark_pair(
@@ -92,20 +133,20 @@ def time_benchmark_pair(
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    units_a = units_b = 0
+    ret_a = ret_b = 0
     for _ in range(warmup):
-        units_a = fn_a()
-        units_b = fn_b()
+        ret_a = fn_a()
+        ret_b = fn_b()
     times_a, times_b = [], []
     for _ in range(repeats):
         t0 = time.perf_counter()
-        units_a = fn_a()
+        ret_a = fn_a()
         times_a.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
-        units_b = fn_b()
+        ret_b = fn_b()
         times_b.append(time.perf_counter() - t0)
     ratio = min(times_b) / min(times_a)
-    return _result(times_a, units_a), _result(times_b, units_b), ratio
+    return _result(times_a, ret_a), _result(times_b, ret_b), ratio
 
 
 def run_benchmarks(
@@ -113,11 +154,21 @@ def run_benchmarks(
     warmup: int = 1,
     repeats: int = 5,
     only: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, object]:
-    """Run the registered hot-path benchmarks; return the report document."""
+    """Run the registered hot-path benchmarks; return the report document.
+
+    ``jobs`` sets the worker count used by parallel benchmarks
+    (``None`` lets each benchmark pick its default, usually
+    ``min(4, cpu_count)``; ``0`` means all cores).
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
-    params = SCALES[scale]
+    params = dict(SCALES[scale])
+    if jobs is not None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = all cores)")
+        params["jobs"] = jobs or (os.cpu_count() or 1)
     selected = set(only) if only is not None else set(BENCHMARKS)
     unknown = selected - set(BENCHMARKS)
     if unknown:
@@ -128,27 +179,35 @@ def run_benchmarks(
     for name, factory in BENCHMARKS.items():
         if name not in selected or name in paired:
             continue
-        legacy_name = name + LEGACY_SUFFIX
-        if legacy_name in selected and legacy_name in BENCHMARKS:
+        twin_name = next(
+            (
+                name + suffix
+                for suffix in TWIN_SUFFIXES
+                if name + suffix in selected and name + suffix in BENCHMARKS
+            ),
+            None,
+        )
+        if twin_name is not None:
             # Interleave the pair's repeats so machine-load drift hits
             # both implementations equally and cancels in the ratio.
             fn = factory(params)
-            legacy_fn = BENCHMARKS[legacy_name](params)
-            results[name], results[legacy_name], ratio = time_benchmark_pair(
-                fn, legacy_fn, warmup=warmup, repeats=repeats
+            twin_fn = BENCHMARKS[twin_name](params)
+            results[name], results[twin_name], ratio = time_benchmark_pair(
+                fn, twin_fn, warmup=warmup, repeats=repeats
             )
             speedups[name] = round(ratio, 3)
-            paired.add(legacy_name)
+            paired.add(twin_name)
         else:
             fn = factory(params)
             results[name] = time_benchmark(fn, warmup=warmup, repeats=repeats)
-    # Fallback for runs where --only picked a legacy twin without pairing.
+    # Fallback for runs where --only picked a twin without its base name.
     for name, res in results.items():
-        legacy = results.get(name + LEGACY_SUFFIX)
-        if legacy is not None and name not in speedups:
-            speedups[name] = round(
-                float(legacy["median_s"]) / float(res["median_s"]), 3
-            )
+        for suffix in TWIN_SUFFIXES:
+            twin = results.get(name + suffix)
+            if twin is not None and name not in speedups:
+                speedups[name] = round(
+                    float(twin["median_s"]) / float(res["median_s"]), 3
+                )
     return {
         "schema": SCHEMA,
         "created_unix": int(time.time()),
@@ -158,13 +217,14 @@ def run_benchmarks(
             "repeats": repeats,
             "statistic": "median",
             "legacy_pairing": "interleaved",
-            "speedup_statistic": "min(legacy) / min(current), interleaved",
+            "speedup_statistic": "min(twin) / min(current), interleaved",
         },
         "env": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "jobs": params.get("jobs"),
         },
         "results": results,
         "speedups": speedups,
@@ -191,11 +251,15 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=int, default=1)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
-        "--out", default="BENCH_pr3.json", help="output JSON path"
+        "--out", default="BENCH_pr5.json", help="output JSON path"
     )
     parser.add_argument(
         "--only", nargs="*", default=None,
         help="subset of benchmark names to run",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for parallel benchmarks (0 = all cores)",
     )
     args = parser.parse_args(argv)
     report = run_benchmarks(
@@ -203,6 +267,7 @@ def main(argv=None) -> int:
         warmup=args.warmup,
         repeats=args.repeats,
         only=args.only,
+        jobs=args.jobs,
     )
     write_report(report, args.out)
     for name, res in report["results"].items():
@@ -211,7 +276,7 @@ def main(argv=None) -> int:
             f"  ({res['units_per_s']} units/s)"
         )
     for name, ratio in report["speedups"].items():
-        print(f"{name:34s} speedup vs legacy: {ratio}x")
+        print(f"{name:34s} speedup vs twin: {ratio}x")
     print(f"wrote {args.out}")
     return 0
 

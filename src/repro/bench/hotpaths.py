@@ -9,10 +9,15 @@ Two of the paths — the DES event loop and the stats monitor — also have a
 ``*_legacy`` twin running the frozen pre-optimisation implementation
 (:mod:`repro.bench.legacy_kernel`, :mod:`repro.bench.legacy_monitor`), so
 every emitted ``BENCH_*.json`` carries its own before/after speedup.
+The campaign fan-out path instead has a ``*_serial`` twin: the identical
+workload with ``jobs=1``, so the file documents the multi-core speedup of
+the sharded experiment engine (:mod:`repro.parallel`) on the machine that
+produced it.
 """
 
 from __future__ import annotations
 
+import os
 from types import SimpleNamespace
 from typing import Callable, Dict, List, Tuple as Tup
 
@@ -49,6 +54,9 @@ SCALES: Dict[str, Dict[str, int]] = {
         "drnn_epochs": 2,
         "drnn_hidden": 12,
         "predict_samples": 128,
+        "campaign_runs": 4,
+        "campaign_horizon": 30,
+        "campaign_rate": 60,
     },
     "full": {
         "kernel_procs": 50,
@@ -61,6 +69,9 @@ SCALES: Dict[str, Dict[str, int]] = {
         "drnn_epochs": 6,
         "drnn_hidden": 16,
         "predict_samples": 512,
+        "campaign_runs": 16,
+        "campaign_horizon": 60,
+        "campaign_rate": 120,
     },
 }
 
@@ -269,8 +280,51 @@ def make_drnn_predict(scale: Dict[str, int]) -> Callable[[], int]:
     return run
 
 
-#: name -> factory; ``*_legacy`` entries are paired with their base name by
-#: the harness to derive speedup ratios.
+# -- sharded chaos-campaign fan-out ------------------------------------------------
+
+
+def _campaign_workload(scale: Dict[str, int], jobs: int) -> Dict[str, object]:
+    """Run a seeded chaos campaign through the sharded engine.
+
+    Imports live inside the function (not at module import) so merely
+    loading the benchmark registry stays cheap; the campaign itself is
+    byte-identical at any ``jobs``, so the serial twin measures the same
+    work.  No cache is attached — a warm cache would make every repeat
+    after the first free and the speedup meaningless.
+    """
+    from repro.experiments.reliability import ChaosTopologyFactory
+    from repro.storm.chaos import ChaosCampaign, ChaosSpec
+
+    campaign = ChaosCampaign(
+        ChaosTopologyFactory(app="url_count", base_rate=scale["campaign_rate"]),
+        ChaosSpec(crashes=1, losses=1),
+        seed=11,
+        runs=scale["campaign_runs"],
+        horizon=scale["campaign_horizon"],
+        app="url_count",
+    )
+    campaign.run(jobs=jobs)
+    stats = campaign.last_shard_stats
+    return {
+        "units": scale["campaign_runs"],
+        "jobs": stats.jobs,
+        "shard_seconds": list(stats.shard_seconds),
+    }
+
+
+def make_campaign_fanout(scale: Dict[str, int]) -> Callable[[], Dict[str, object]]:
+    jobs = int(scale.get("jobs", min(4, os.cpu_count() or 1)))
+    return lambda: _campaign_workload(scale, jobs)
+
+
+def make_campaign_fanout_serial(
+    scale: Dict[str, int]
+) -> Callable[[], Dict[str, object]]:
+    return lambda: _campaign_workload(scale, 1)
+
+
+#: name -> factory; ``*_legacy`` / ``*_serial`` entries are paired with
+#: their base name by the harness to derive speedup ratios.
 BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
     "des_event_loop": make_des_event_loop,
     "des_event_loop_legacy": make_des_event_loop_legacy,
@@ -279,4 +333,6 @@ BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
     "monitor_observe_extract_legacy": make_monitor_observe_extract_legacy,
     "drnn_fit": make_drnn_fit,
     "drnn_predict": make_drnn_predict,
+    "campaign_fanout": make_campaign_fanout,
+    "campaign_fanout_serial": make_campaign_fanout_serial,
 }

@@ -33,7 +33,13 @@ from repro.des.events import (
 )
 from repro.des.process import Process
 from repro.des.resource import Resource
-from repro.des.rng import RngRegistry, spawn_rngs
+from repro.des.rng import (
+    RngRegistry,
+    child_sequence,
+    derive_seed,
+    spawn_rngs,
+    spawn_stream,
+)
 from repro.des.stores import PriorityItem, PriorityStore, Store
 
 __all__ = [
@@ -51,4 +57,7 @@ __all__ = [
     "Store",
     "Timeout",
     "spawn_rngs",
+    "child_sequence",
+    "derive_seed",
+    "spawn_stream",
 ]

@@ -115,6 +115,88 @@ def _score(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, float]:
     }
 
 
+# Latency-like targets are trained in log space: MSE there aligns with
+# relative (MAPE-style) error, which is how the paper scores models.
+# The transform is applied to the windowed models only; ARIMA gets the
+# raw series (log-differencing an ARIMA baseline is a modelling choice
+# the paper does not make).
+def _to_log(y: np.ndarray) -> np.ndarray:
+    return np.log1p(np.maximum(y, 0.0) * 1e3)  # ms scale for resolution
+
+
+def _from_log(z: np.ndarray) -> np.ndarray:
+    return np.expm1(z) / 1e3
+
+
+def _fit_predict_windowed(
+    name: str,
+    X_tr: np.ndarray,
+    y_tr: np.ndarray,
+    X_te: np.ndarray,
+    drnn_hidden: Tuple[int, ...],
+    drnn_epochs: int,
+    seed: int,
+) -> np.ndarray:
+    """Fan-out worker: fit one windowed model on pre-scaled arrays and
+    return its (still-scaled) test predictions."""
+    if name == "drnn":
+        model = DRNNRegressor(
+            input_dim=X_tr.shape[2],
+            hidden_sizes=tuple(drnn_hidden),
+            epochs=drnn_epochs,
+            seed=seed,
+            patience=20,
+        )
+    elif name == "svr":
+        model = SVRegressor(kernel="rbf", C=10.0, epsilon=0.1)
+    else:
+        raise ValueError(f"unknown windowed model {name!r}")
+    model.fit(X_tr, y_tr)
+    return model.predict(X_te)
+
+
+def _arima_fold(t: np.ndarray, cut: int, horizon: int) -> np.ndarray:
+    """Fan-out worker: ARIMA h-step walk-forward over one worker's series.
+
+    The prediction for test point ``t[cut + j]`` is the ``horizon``-th step
+    of a forecast issued from history ending at ``t[cut + j - horizon]`` —
+    the same information boundary the windowed models get.
+
+    Order selection: small AR-dominated grid by AIC per worker (full
+    auto_arima on every worker would dominate runtime without changing the
+    story; AR-only orders also take the fast one-step path).
+    """
+    train, test = t[:cut], t[cut:]
+    best = None
+    best_aic = np.inf
+    for order in ((1, 0, 0), (2, 0, 0), (3, 0, 0), (1, 1, 0), (2, 1, 0)):
+        try:
+            m = Arima(*order).fit(train)
+        except (ValueError, FloatingPointError):
+            continue
+        if m.fit_result.aic < best_aic:
+            best_aic = m.fit_result.aic
+            best = m
+    if best is None:
+        return np.full(len(test), float(np.mean(train)))
+    worker_preds = np.empty(len(test))
+    for j in range(len(test)):
+        history = t[: cut + j - horizon + 1]
+        worker_preds[j] = best.forecast_from(history, steps=horizon)[-1]
+    return worker_preds
+
+
+def _array_digest(arr: np.ndarray) -> str:
+    """Content digest of an input array, for cache key material."""
+    import hashlib
+
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256(arr.tobytes())
+    h.update(str(arr.shape).encode())
+    h.update(str(arr.dtype).encode())
+    return h.hexdigest()
+
+
 def evaluate_models_on_trace(
     monitor: StatsMonitor,
     app: str = "trace",
@@ -125,97 +207,121 @@ def evaluate_models_on_trace(
     drnn_hidden: Tuple[int, ...] = (32, 32),
     drnn_epochs: int = 60,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
 ) -> PredictionResult:
-    """Train and score the requested models on one collected trace."""
+    """Train and score the requested models on one collected trace.
+
+    The model grid fans out per ``(model, fold)`` across ``jobs`` worker
+    processes (``0`` = all cores): each windowed model (DRNN, SVR) is one
+    shard, ARIMA is one shard per worker series.  Every shard is seeded
+    and scaled identically to the serial path, so scores are bit-equal at
+    any ``jobs``.  ``cache`` (path or
+    :class:`~repro.parallel.ResultCache`) keys shard results on the model
+    configuration *and* a content digest of the input arrays, so editing
+    only the plotting/tables layer re-uses every fit.
+    """
+    from repro.parallel import ResultCache, RunSpec, key_material, run_sharded
+
+    known = {"drnn", "svr", "arima"}
+    unknown = set(models) - known
+    if unknown:
+        raise ValueError(f"unknown model {sorted(unknown)[0]!r}")
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
     result = PredictionResult(app=app, window=window, horizon=horizon)
     X_tr, y_tr, X_te, y_te = _windowed_split(
         monitor, window, train_fraction, horizon
     )
     d = X_tr.shape[2]
 
-    # Latency-like targets are trained in log space: MSE there aligns with
-    # relative (MAPE-style) error, which is how the paper scores models.
-    # The transform is applied to the windowed models only; ARIMA gets the
-    # raw series (log-differencing an ARIMA baseline is a modelling choice
-    # the paper does not make).
-    def to_log(y):
-        return np.log1p(np.maximum(y, 0.0) * 1e3)  # ms scale for resolution
-
-    def from_log(z):
-        return np.expm1(z) / 1e3
-
     sx = StandardScaler().fit(X_tr.reshape(-1, d))
-    sy = StandardScaler().fit(to_log(y_tr))
+    sy = StandardScaler().fit(_to_log(y_tr))
 
     def scale_x(X):
         n, T, _ = X.shape
         return sx.transform(X.reshape(n * T, d)).reshape(n, T, d)
 
+    X_tr_s, X_te_s = scale_x(X_tr), scale_x(X_te)
+    y_tr_s = sy.transform(_to_log(y_tr))
+    split_config = {
+        "app": app,
+        "window": window,
+        "horizon": horizon,
+        "train_fraction": train_fraction,
+        "seed": seed,
+    }
+
+    specs: List[RunSpec] = []
+    #: model -> list of spec positions whose results pool (in order)
+    spec_slots: Dict[str, List[int]] = {}
     for name in models:
-        if name == "drnn":
-            model = DRNNRegressor(
-                input_dim=d,
-                hidden_sizes=drnn_hidden,
-                epochs=drnn_epochs,
-                seed=seed,
-                patience=20,
+        if name in ("drnn", "svr"):
+            key = None
+            if cache is not None:
+                key = key_material(
+                    "prediction-model",
+                    model=name,
+                    drnn_hidden=list(drnn_hidden) if name == "drnn" else None,
+                    drnn_epochs=drnn_epochs if name == "drnn" else None,
+                    data={
+                        "X_tr": _array_digest(X_tr_s),
+                        "y_tr": _array_digest(y_tr_s),
+                        "X_te": _array_digest(X_te_s),
+                    },
+                    **split_config,
+                )
+            spec_slots[name] = [len(specs)]
+            specs.append(
+                RunSpec(
+                    fn=_fit_predict_windowed,
+                    kwargs=dict(
+                        name=name, X_tr=X_tr_s, y_tr=y_tr_s, X_te=X_te_s,
+                        drnn_hidden=drnn_hidden, drnn_epochs=drnn_epochs,
+                        seed=seed,
+                    ),
+                    key=key,
+                    label=f"predict-{name}",
+                )
             )
-            model.fit(scale_x(X_tr), sy.transform(to_log(y_tr)))
-            pred = from_log(sy.inverse_transform(model.predict(scale_x(X_te))))
-        elif name == "svr":
-            model = SVRegressor(kernel="rbf", C=10.0, epsilon=0.1)
-            model.fit(scale_x(X_tr), sy.transform(to_log(y_tr)))
-            pred = from_log(sy.inverse_transform(model.predict(scale_x(X_te))))
-        elif name == "arima":
-            pred = _arima_rolling(monitor, train_fraction, horizon)
-            # ARIMA predicts the raw per-worker test series, pooled in the
-            # same worker order as the windowed split builds y_te.
+        else:  # arima: one fold per worker series, pooled in worker order
+            slots = []
+            for wid in monitor.worker_ids:
+                t = monitor.target_series(wid)
+                cut = _split_index(len(t), train_fraction)
+                key = None
+                if cache is not None:
+                    key = key_material(
+                        "prediction-arima-fold",
+                        fold=int(wid),
+                        cut=cut,
+                        data=_array_digest(t),
+                        **split_config,
+                    )
+                slots.append(len(specs))
+                specs.append(
+                    RunSpec(
+                        fn=_arima_fold,
+                        kwargs=dict(t=t, cut=cut, horizon=horizon),
+                        key=key,
+                        label=f"predict-arima-w{wid}",
+                    )
+                )
+            spec_slots[name] = slots
+
+    outputs = run_sharded(specs, jobs=jobs, cache=cache)
+
+    for name in models:
+        slots = spec_slots[name]
+        if name in ("drnn", "svr"):
+            pred = _from_log(sy.inverse_transform(outputs[slots[0]]))
         else:
-            raise ValueError(f"unknown model {name!r}")
+            pred = np.concatenate([outputs[i] for i in slots])
         pred = np.maximum(np.asarray(pred, dtype=float), 0.0)
         result.scores[name] = _score(y_te, pred)
         result.traces[name] = (y_te.copy(), pred)
     result.traces["actual"] = (y_te.copy(), y_te.copy())
     return result
-
-
-def _arima_rolling(
-    monitor: StatsMonitor, train_fraction: float, horizon: int
-) -> np.ndarray:
-    """Per-worker ARIMA h-step walk-forward, pooled in worker order.
-
-    The prediction for test point ``t[cut + j]`` is the ``horizon``-th step
-    of a forecast issued from history ending at ``t[cut + j - horizon]`` —
-    the same information boundary the windowed models get.
-
-    Order selection: small AR-dominated grid by AIC per worker (full
-    auto_arima on every worker would dominate runtime without changing the
-    story; AR-only orders also take the fast one-step path).
-    """
-    preds = []
-    for wid in monitor.worker_ids:
-        t = monitor.target_series(wid)
-        cut = _split_index(len(t), train_fraction)
-        train, test = t[:cut], t[cut:]
-        best = None
-        best_aic = np.inf
-        for order in ((1, 0, 0), (2, 0, 0), (3, 0, 0), (1, 1, 0), (2, 1, 0)):
-            try:
-                m = Arima(*order).fit(train)
-            except (ValueError, FloatingPointError):
-                continue
-            if m.fit_result.aic < best_aic:
-                best_aic = m.fit_result.aic
-                best = m
-        if best is None:
-            preds.append(np.full(len(test), float(np.mean(train))))
-            continue
-        worker_preds = np.empty(len(test))
-        for j in range(len(test)):
-            history = t[: cut + j - horizon + 1]
-            worker_preds[j] = best.forecast_from(history, steps=horizon)[-1]
-        preds.append(worker_preds)
-    return np.concatenate(preds)
 
 
 def prediction_comparison(

@@ -134,6 +134,43 @@ def chaos_topology_config(app: str = "url_count") -> TopologyConfig:
     )
 
 
+@dataclass(frozen=True)
+class ChaosTopologyFactory:
+    """Picklable topology factory for campaign fan-out across processes.
+
+    A frozen dataclass (value-based ``repr``/``eq``) rather than a
+    closure: worker processes reconstruct it under the spawn start
+    method, and the result cache uses its ``repr`` as key material.
+    """
+
+    app: str
+    base_rate: float
+
+    def __call__(self):
+        return build_app_topology(
+            self.app,
+            RateProfile(base=self.base_rate),
+            grouping="dynamic",
+            config=chaos_topology_config(self.app),
+        )
+
+
+@dataclass(frozen=True)
+class ReactiveControllerFactory:
+    """Picklable last-observation controller factory (see above)."""
+
+    control_interval: float
+    window: int
+
+    def __call__(self):
+        return PredictiveController(
+            PerformancePredictor(None, window=self.window),
+            ControllerConfig(
+                control_interval=self.control_interval, window=self.window
+            ),
+        )
+
+
 def run_chaos_campaign(
     app: str = "url_count",
     spec: Optional[ChaosSpec] = None,
@@ -145,6 +182,8 @@ def run_chaos_campaign(
     control_interval: float = 5.0,
     window: int = 6,
     trace: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> CampaignReport:
     """Run a seeded chaos campaign over one evaluation app.
 
@@ -152,32 +191,20 @@ def run_chaos_campaign(
     last-observation controller per run (its crash reaction reroutes
     around dead workers even before the statistics window fills).  The
     report is a pure function of the arguments — rerunning reproduces it
-    bit-for-bit.
+    bit-for-bit, and sharding it across ``jobs`` worker processes (``0``
+    = all cores) or serving runs from ``cache`` changes wall-clock only,
+    never a byte of the report (see ``docs/parallel.md``).
     """
     if control not in (None, "reactive"):
         raise ValueError(f"unknown chaos control arm {control!r}")
     spec = spec if spec is not None else ChaosSpec(crashes=1, losses=1)
-
-    def factory():
-        return build_app_topology(
-            app,
-            RateProfile(base=base_rate),
-            grouping="dynamic",
-            config=chaos_topology_config(app),
-        )
-
     controller_factory = None
     if control == "reactive":
-        def controller_factory():
-            return PredictiveController(
-                PerformancePredictor(None, window=window),
-                ControllerConfig(
-                    control_interval=control_interval, window=window
-                ),
-            )
-
+        controller_factory = ReactiveControllerFactory(
+            control_interval=control_interval, window=window
+        )
     campaign = ChaosCampaign(
-        factory,
+        ChaosTopologyFactory(app=app, base_rate=base_rate),
         spec,
         seed=seed,
         runs=runs,
@@ -186,7 +213,7 @@ def run_chaos_campaign(
         app=app,
         controller_factory=controller_factory,
     )
-    return campaign.run()
+    return campaign.run(jobs=jobs, cache=cache)
 
 
 def train_calibration_predictor(
@@ -197,13 +224,44 @@ def train_calibration_predictor(
     calibration_duration: float = 240.0,
     hidden: Tuple[int, ...] = (24,),
     epochs: int = 25,
+    cache=None,
 ) -> PerformancePredictor:
     """Pretrain a DRNN predictor on a calibration run of the same app.
 
     The calibration run includes slowdown episodes on workers *not used*
     by the evaluation scenario (worker 3) so the model sees the elevated
     service-time regime without memorising the test faults.
+
+    ``cache`` (path or :class:`~repro.parallel.ResultCache`) stores the
+    fitted predictor keyed by every argument above — calibration is the
+    dominant cost of the DRNN arm, and the fit is deterministic in its
+    configuration, so a cached predictor is byte-equivalent to retraining.
     """
+    if cache is not None:
+        from repro.parallel import ResultCache, cache_key, key_material
+
+        if not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        key = cache_key(key_material(
+            "calibration-predictor",
+            app=app,
+            base_rate=base_rate,
+            seed=seed,
+            window=window,
+            calibration_duration=calibration_duration,
+            hidden=list(hidden),
+            epochs=epochs,
+        ))
+        hit, predictor = cache.get(key)
+        if hit:
+            return predictor
+        predictor = train_calibration_predictor(
+            app, base_rate, seed, window=window,
+            calibration_duration=calibration_duration, hidden=hidden,
+            epochs=epochs,
+        )
+        cache.put(key, predictor)
+        return predictor
     topology = build_app_topology(
         app, RateProfile(base=base_rate), grouping="dynamic"
     )
@@ -249,12 +307,16 @@ def run_reliability_scenario(
     observability: ObservabilityLike = None,
     fault_kind: str = "slowdown",
     slo: Optional["SLOPolicy"] = None,
+    cache=None,
 ) -> ReliabilityResult:
     """Run one arm of the misbehaving-worker experiment.
 
     ``slo`` (an :class:`~repro.obs.SLOPolicy`) enables online objective
     evaluation for the arm — breach/recover episodes land on
     ``result.sim.obs.slo`` and in ``result.result.summary()``.
+    ``cache`` (path or :class:`~repro.parallel.ResultCache`) is forwarded
+    to :func:`train_calibration_predictor` for the DRNN arm, whose
+    calibration run dominates the arm's wall-clock.
     """
     if control not in (None, "reactive", "drnn"):
         raise ValueError(f"unknown control arm {control!r}")
@@ -279,7 +341,7 @@ def run_reliability_scenario(
     if control is not None:
         if control == "drnn" and predictor is None:
             predictor = train_calibration_predictor(
-                app, base_rate, seed, window=window
+                app, base_rate, seed, window=window, cache=cache
             )
         elif control == "reactive":
             predictor = PerformancePredictor(None, window=window)
@@ -301,36 +363,100 @@ def run_reliability_scenario(
     )
 
 
+def _slim_reliability_result(res: ReliabilityResult) -> ReliabilityResult:
+    """Strip live simulation handles so a result can cross processes.
+
+    The DES kernel holds generator frames, so ``sim``/``controller`` and
+    the result's cluster references can never pickle; everything the
+    sweep consumers read (snapshots, latencies, accounting) survives.
+    """
+    import dataclasses
+
+    return ReliabilityResult(
+        label=res.label,
+        result=dataclasses.replace(
+            res.result, metrics=None, cluster=None, obs=None
+        ),
+        controller=None,
+        fault_window=res.fault_window,
+        sim=None,
+    )
+
+
+def _sweep_shard(**scenario_kw) -> ReliabilityResult:
+    """Fan-out worker for one ``(arm, k)`` cell of a sweep."""
+    return _slim_reliability_result(run_reliability_scenario(**scenario_kw))
+
+
 def degradation_sweep(
     app: str = "url_count",
     ks: Sequence[int] = (0, 1, 2),
     arms: Sequence[Optional[str]] = (None, "drnn"),
     seed: int = 0,
+    jobs: int = 1,
     **scenario_kw,
 ) -> Dict[Tuple[str, int], ReliabilityResult]:
     """E7: sweep the number of misbehaving workers across arms.
 
     The DRNN predictor is trained once per app and shared across the
-    sweep (as the paper's deployment would).
+    sweep (as the paper's deployment would).  ``jobs`` fans the
+    ``(arm, k)`` grid out across worker processes (``0`` = all cores);
+    sharded results carry ``sim=None``/``controller=None`` — live
+    handles stay in the worker — but every metric is identical to a
+    serial sweep because each cell is an independently seeded scenario.
     """
-    out: Dict[Tuple[str, int], ReliabilityResult] = {}
-    shared_predictor: Optional[PerformancePredictor] = None
-    for arm in arms:
-        for k in ks:
-            if arm == "drnn" and shared_predictor is None:
-                shared_predictor = train_calibration_predictor(
-                    app,
-                    scenario_kw.get("base_rate", 250.0),
-                    seed,
-                    window=scenario_kw.get("window", 6),
+    if jobs == 1:
+        out: Dict[Tuple[str, int], ReliabilityResult] = {}
+        shared_predictor: Optional[PerformancePredictor] = None
+        for arm in arms:
+            for k in ks:
+                if arm == "drnn" and shared_predictor is None:
+                    shared_predictor = train_calibration_predictor(
+                        app,
+                        scenario_kw.get("base_rate", 250.0),
+                        seed,
+                        window=scenario_kw.get("window", 6),
+                    )
+                res = run_reliability_scenario(
+                    app=app,
+                    control=arm,
+                    k_misbehaving=k,
+                    seed=seed,
+                    predictor=shared_predictor if arm == "drnn" else None,
+                    **scenario_kw,
                 )
-            res = run_reliability_scenario(
+                out[(res.label, k)] = res
+        return out
+
+    from repro.parallel import RunSpec, run_sharded
+
+    # The predictor is fitted once, serially, then shipped to every DRNN
+    # shard (fitted DRNNs are plain numpy state, cheap to pickle).
+    shared_predictor = None
+    if "drnn" in arms:
+        shared_predictor = train_calibration_predictor(
+            app,
+            scenario_kw.get("base_rate", 250.0),
+            seed,
+            window=scenario_kw.get("window", 6),
+        )
+    cells = [(arm, k) for arm in arms for k in ks]
+    specs = [
+        RunSpec(
+            fn=_sweep_shard,
+            kwargs=dict(
                 app=app,
                 control=arm,
                 k_misbehaving=k,
                 seed=seed,
                 predictor=shared_predictor if arm == "drnn" else None,
                 **scenario_kw,
-            )
-            out[(res.label, k)] = res
-    return out
+            ),
+            label=f"sweep-{arm or 'baseline'}-k{k}",
+        )
+        for arm, k in cells
+    ]
+    results = run_sharded(specs, jobs=jobs)
+    return {
+        (res.label, k): res for (arm, k), res in zip(cells, results)
+    }

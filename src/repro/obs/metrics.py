@@ -368,6 +368,48 @@ class MetricsRegistry:
         """Exclude ``name`` from deterministic dumps (wall-clock metrics)."""
         self._nondeterministic.add(name)
 
+    # -- merge (shard aggregation) --------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s state into this registry (in place).
+
+        Per ``(name, labels)`` slot: counters add, histograms merge
+        bucket-wise, gauges add their current readings.  Pull gauges are
+        materialised to plain values at merge time — a merged registry is
+        a frozen aggregate, detached from any live simulation.  The
+        operation is commutative and associative over any partition of
+        the recorded observations (gauge *sums* included; histogram
+        ``sum`` is float addition, so it is exact only up to float
+        reassociation — quantiles, counts, and buckets are exact).
+        """
+        for key, theirs in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                name, labels = theirs.name, theirs.labels
+                if isinstance(theirs, Counter):
+                    mine = Counter(name, labels)
+                elif isinstance(theirs, Gauge):
+                    mine = Gauge(name, labels)
+                elif isinstance(theirs, LogHistogram):
+                    mine = LogHistogram(name, labels, alpha=theirs.alpha)
+                else:  # pragma: no cover - registry only stores these
+                    raise TypeError(f"unmergeable metric {type(theirs)}")
+                self._metrics[key] = mine
+            if type(mine) is not type(theirs):
+                raise TypeError(
+                    f"cannot merge {type(theirs).__name__} into "
+                    f"{type(mine).__name__} at {key[0]}"
+                )
+            if isinstance(mine, Counter):
+                mine.value += theirs.value
+            elif isinstance(mine, Gauge):
+                mine.value = mine.read() + theirs.read()
+                mine.fn = None
+            else:
+                mine.merge(theirs)
+        self._nondeterministic |= other._nondeterministic
+        return self
+
     # -- lookup ---------------------------------------------------------------------
 
     def get(self, name: str, **labels: Any) -> Optional[Any]:

@@ -1,0 +1,46 @@
+"""Parallel sharded execution of independent runs.
+
+* :mod:`~repro.parallel.engine` — spawn-context process pool over
+  :class:`RunSpec` lists, deterministic results in spec order.
+* :mod:`~repro.parallel.cache` — content-addressed on-disk result cache
+  keyed by ``hash(config, seed, schema_version)``.
+* :mod:`~repro.parallel.merge` — order-insensitive aggregation of
+  per-shard reports and mergeable metric state.
+
+See ``docs/parallel.md`` for the engine design, the determinism
+contract, the cache key scheme, and failure semantics.
+"""
+
+from repro.parallel.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_key,
+    key_material,
+)
+from repro.parallel.engine import (
+    RunSpec,
+    ShardError,
+    ShardStats,
+    resolve_jobs,
+    run_sharded,
+)
+from repro.parallel.merge import (
+    combine_run_reports,
+    merge_histograms,
+    merge_registries,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "RunSpec",
+    "ShardError",
+    "ShardStats",
+    "cache_key",
+    "combine_run_reports",
+    "key_material",
+    "merge_histograms",
+    "merge_registries",
+    "resolve_jobs",
+    "run_sharded",
+]

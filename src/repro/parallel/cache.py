@@ -1,0 +1,142 @@
+"""Content-addressed on-disk cache for completed run results.
+
+A cache entry is keyed by a SHA-256 over the *canonical JSON* of the
+run's key material — everything that determines the result: the run
+configuration, the derived seed, and the cache schema version.  Any
+change to any of those yields a different key, i.e. a miss; there is no
+invalidation logic to get wrong, stale entries are simply never looked
+up again (prune old directories with ``rm`` when disk matters).
+
+Entries are stored as ``<root>/<key[:2]>/<key>.pkl``: a SHA-256 hex
+digest of the pickled payload on the first line, then the payload
+itself.  Reads verify the digest, so a truncated or bit-flipped entry is
+treated as a miss and recomputed — a corrupted result is never served.
+Writes go through a temporary file in the same directory followed by an
+atomic :func:`os.replace`, so concurrent writers (parallel shards,
+overlapping campaigns) can only ever publish complete entries.
+
+Values are pickled because run results are rich Python objects
+(:class:`~repro.storm.chaos.ChaosRunReport`, fitted predictors, score
+dicts).  Pickle payloads are an implementation detail, not an interface:
+an entry written by a different Python/numpy version that fails to load
+is, again, just a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "cache_key", "key_material"]
+
+#: Bumped whenever the semantics of cached results change (report shape,
+#: RNG stream layout, analysis formulas).  Part of every key, so a bump
+#: orphans — never corrupts — older entries.
+CACHE_SCHEMA_VERSION = "repro-cache/1"
+
+
+def _jsonable(obj: Any) -> Any:
+    """Coerce key material to a canonical JSON-able form.
+
+    Tuples become lists, numpy scalars become Python numbers, dataclasses
+    and ``to_dict()``-bearing objects flatten to dicts.  Anything else
+    must have a *stable* ``repr`` (module-level classes with value-based
+    reprs); locally-defined callables are rejected because their reprs
+    embed memory addresses and would silently never hit.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    if isinstance(obj, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(obj.items())}
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return _jsonable(to_dict())
+    if hasattr(obj, "item") and not isinstance(obj, type):  # numpy scalar
+        return _jsonable(obj.item())
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(vars(obj))
+    token = repr(obj)
+    if hex(id(obj))[2:] in token or "<lambda>" in token or "<locals>" in token:
+        raise ValueError(
+            f"cache key material {token} has no stable identity; use a "
+            "module-level callable or an object with a value-based repr"
+        )
+    return token
+
+
+def key_material(kind: str, **parts: Any) -> Dict[str, Any]:
+    """Assemble key material for one run: kind + config + schema version."""
+    material = {"kind": kind, "schema": CACHE_SCHEMA_VERSION}
+    material.update(parts)
+    return material
+
+
+def cache_key(material: Mapping[str, Any]) -> str:
+    """SHA-256 content address of canonicalised key material."""
+    canon = json.dumps(
+        _jsonable(dict(material)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed result store addressed by :func:`cache_key`."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` — integrity-checked; any defect is a miss."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+            digest, _, payload = raw.partition(b"\n")
+            if digest.decode("ascii") != hashlib.sha256(payload).hexdigest():
+                raise ValueError("cache entry digest mismatch")
+            value = pickle.loads(payload)
+        except Exception:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically publish ``value`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(digest + b"\n" + payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache root={self.root} hits={self.hits} "
+            f"misses={self.misses}>"
+        )

@@ -1,0 +1,213 @@
+"""Process-pool execution engine for independent run specs.
+
+The evaluation campaigns in this repo — chaos sweeps, model grids,
+reliability arms — are embarrassingly parallel: each run is a pure
+function of its spec, seeded independently via
+:func:`repro.des.rng.spawn_stream` derivation.  This engine shards a
+list of :class:`RunSpec` across worker *processes* (the DES kernel is
+pure Python, so threads would serialise on the GIL) and returns results
+in spec order, so output is byte-identical to a serial loop regardless
+of shard count or completion order.
+
+Determinism contract
+--------------------
+
+* every spec carries its own seed material; nothing is derived from
+  worker identity, scheduling, or wall-clock;
+* results are reordered to spec order before any aggregation;
+* ``jobs=1`` (the default) runs inline in the calling process — the
+  exact serial code path, no pool, no pickling.
+
+Failure semantics
+-----------------
+
+The first shard failure aborts the gather and re-raises in the parent
+wrapped in :class:`ShardError` naming the failing spec; remaining
+futures are cancelled.  Results already completed (and cached, when a
+cache is attached) are not lost — a re-run with the same cache skips
+them.  Workers use the ``spawn`` start method, so a crashed shard can
+not corrupt sibling state.
+
+Caching
+-------
+
+With a :class:`~repro.parallel.cache.ResultCache` attached, specs whose
+``key`` material hits are served from disk without touching the pool
+(a fully warm sweep never spawns a worker), and fresh results are
+published to the cache as they complete.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.parallel.cache import ResultCache, cache_key
+
+__all__ = ["RunSpec", "ShardError", "ShardStats", "resolve_jobs", "run_sharded"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One unit of independent work: ``fn(**kwargs)``.
+
+    ``fn`` and every value in ``kwargs`` must be picklable (module-level
+    callables, plain data) when the spec may run in a worker process.
+    ``key`` is optional cache-key material (see
+    :func:`repro.parallel.cache.key_material`); specs without it are
+    never cached.  ``label`` names the spec in errors and logs.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    key: Optional[Mapping[str, Any]] = None
+    label: str = ""
+
+
+class ShardError(RuntimeError):
+    """A shard worker raised; carries the failing spec's label/index."""
+
+    def __init__(self, index: int, label: str, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {index} ({label or 'unlabelled'}) failed: {cause!r}"
+        )
+        self.index = index
+        self.label = label
+        self.__cause__ = cause
+
+
+@dataclass
+class ShardStats:
+    """Execution accounting of one :func:`run_sharded` call."""
+
+    #: worker count actually used (1 = inline serial execution)
+    jobs: int
+    #: per-spec wall-clock seconds, in spec order (0.0 for cache hits)
+    shard_seconds: List[float]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "shard_seconds": [round(s, 6) for s in self.shard_seconds],
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: ``0`` means all cores, negatives are
+    rejected, anything else passes through."""
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _init_worker(parent_sys_path: List[str]) -> None:
+    """Mirror the parent's ``sys.path`` so spawned interpreters can import
+    the package even when it is on the path via PYTHONPATH/pytest rather
+    than installed."""
+    for entry in parent_sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+
+
+def _call_spec(fn: Callable[..., Any], kwargs: Mapping[str, Any]):
+    """Worker entry: run one spec and report its wall-clock."""
+    t0 = time.perf_counter()
+    result = fn(**kwargs)
+    return result, time.perf_counter() - t0
+
+
+def run_sharded(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[ShardStats] = None,
+) -> List[Any]:
+    """Execute every spec, fanning misses out over ``jobs`` processes.
+
+    Returns results in spec order.  Pass a :class:`ShardStats` to receive
+    execution accounting (it is filled in place).  ``jobs`` follows
+    :func:`resolve_jobs` semantics.
+    """
+    jobs = resolve_jobs(jobs)
+    n = len(specs)
+    results: List[Any] = [None] * n
+    seconds = [0.0] * n
+    hits = 0
+
+    keys: List[Optional[str]] = [None] * n
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None and spec.key is not None:
+            keys[i] = cache_key(spec.key)
+            hit, value = cache.get(keys[i])
+            if hit:
+                results[i] = value
+                hits += 1
+                continue
+        pending.append(i)
+
+    def record(i: int, result: Any, dt: float) -> None:
+        results[i] = result
+        seconds[i] = dt
+        if cache is not None and keys[i] is not None:
+            cache.put(keys[i], result)
+
+    if len(pending) <= 1 or jobs == 1:
+        # Inline path: the exact serial loop (also taken when only one
+        # spec misses — a pool would cost more than it saves).  Failures
+        # wrap in ShardError exactly like the pool path, so callers see
+        # one error contract at any jobs value.
+        for i in pending:
+            try:
+                result, dt = _call_spec(specs[i].fn, specs[i].kwargs)
+            except Exception as exc:
+                raise ShardError(i, specs[i].label, exc)
+            record(i, result, dt)
+    else:
+        ctx = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            futures = {
+                pool.submit(_call_spec, specs[i].fn, dict(specs[i].kwargs)): i
+                for i in pending
+            }
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next(
+                (f for f in done if f.exception() is not None), None
+            )
+            if failed is not None:
+                for f in not_done:
+                    f.cancel()
+                # Publish what did finish before raising, so a cached
+                # re-run resumes instead of restarting.
+                for f in done:
+                    if f is not failed and f.exception() is None:
+                        record(futures[f], *f.result())
+                i = futures[failed]
+                raise ShardError(i, specs[i].label, failed.exception())
+            for f in done:
+                record(futures[f], *f.result())
+
+    if stats is not None:
+        stats.jobs = jobs
+        stats.shard_seconds = seconds
+        stats.cache_hits = hits
+        stats.cache_misses = n - hits
+    return results

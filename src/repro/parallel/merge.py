@@ -1,0 +1,65 @@
+"""Order-insensitive aggregation of per-shard results.
+
+Sharded execution completes in arbitrary order; everything here reduces
+shard outputs to the *canonical* aggregate a serial run would have
+produced.  Two mechanisms:
+
+* **run-indexed reports** (:func:`combine_run_reports`) — campaign runs
+  carry their ``run_index``, so sorting by it recovers serial order
+  exactly; duplicates or gaps indicate a sharding bug and are rejected
+  rather than papered over.
+* **mergeable state** (:func:`merge_histograms`,
+  :func:`merge_registries`) — counters and log-bucket histograms form a
+  commutative monoid under ``merge`` (integer bucket arithmetic), so any
+  partition of the observations merges to the same quantiles as the
+  unsharded aggregate; ``tests/obs/test_metrics_merge.py`` pins this
+  property.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Sequence, TypeVar
+
+from repro.obs.metrics import LogHistogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storm.chaos import ChaosRunReport
+
+__all__ = ["combine_run_reports", "merge_histograms", "merge_registries"]
+
+T = TypeVar("T")
+
+
+def combine_run_reports(reports: Iterable["ChaosRunReport"]) -> List["ChaosRunReport"]:
+    """Reorder shard-completed run reports into canonical run order.
+
+    Raises if two shards claim the same ``run_index`` or one is missing —
+    silent gaps would skew every campaign-level mean.
+    """
+    ordered = sorted(reports, key=lambda r: r.run_index)
+    indices = [r.run_index for r in ordered]
+    if indices != list(range(len(indices))):
+        raise ValueError(
+            f"shard results do not form a contiguous campaign: got run "
+            f"indices {indices}"
+        )
+    return ordered
+
+
+def merge_histograms(shards: Sequence[LogHistogram]) -> LogHistogram:
+    """Fold per-shard histograms into one (bucket-wise integer sums)."""
+    if not shards:
+        raise ValueError("no histograms to merge")
+    out = shards[0].copy()
+    for h in shards[1:]:
+        out.merge(h)
+    return out
+
+
+def merge_registries(shards: Sequence[MetricsRegistry]) -> MetricsRegistry:
+    """Fold per-shard registries into a fresh one (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge`)."""
+    out = MetricsRegistry()
+    for reg in shards:
+        out.merge(reg)
+    return out

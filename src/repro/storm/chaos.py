@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from repro.des.rng import derive_seed, spawn_stream
 from repro.obs import Observability, ObservabilityConfig
 from repro.storm.builder import SimulationBuilder
 from repro.storm.cluster import NodeSpec
@@ -74,8 +75,7 @@ RECOVERY_WINDOW = 5
 
 def derive_run_seed(campaign_seed: int, run_index: int) -> int:
     """Deterministic per-run simulation seed (stable across sessions)."""
-    ss = np.random.SeedSequence([int(campaign_seed), int(run_index)])
-    return int(ss.generate_state(1, dtype=np.uint32)[0])
+    return derive_seed(campaign_seed, run_index)
 
 
 @dataclass(frozen=True)
@@ -488,14 +488,13 @@ class ChaosCampaign:
         self.app = app
         self.controller_factory = controller_factory
         self.last_obs: Optional[Observability] = None
+        #: execution accounting of the latest :meth:`run` (jobs used,
+        #: per-run wall-clock, cache hits) — see ``repro.parallel``
+        self.last_shard_stats = None
 
     def schedule_for(self, run_index: int, num_workers: int) -> List[Fault]:
         """The (deterministic) fault schedule of run ``run_index``."""
-        rng = np.random.default_rng(
-            np.random.SeedSequence(
-                [self.seed, int(run_index), _SCHEDULE_STREAM]
-            )
-        )
+        rng = spawn_stream(self.seed, run_index, _SCHEDULE_STREAM)
         return sample_schedule(self.spec, self.horizon, num_workers, rng)
 
     def run_one(self, run_index: int) -> ChaosRunReport:
@@ -521,13 +520,105 @@ class ChaosCampaign:
         self.last_obs = sim.obs
         return analyze_run(run_index, run_seed, schedule, sim, result)
 
-    def run(self) -> CampaignReport:
-        """Execute every run and aggregate the campaign report."""
-        reports = [self.run_one(i) for i in range(self.runs)]
+    def __getstate__(self) -> Dict[str, object]:
+        # Live handles never cross process boundaries: workers rebuild
+        # their own simulations, the parent keeps its own accounting.
+        state = dict(self.__dict__)
+        state["last_obs"] = None
+        state["last_shard_stats"] = None
+        return state
+
+    def _factory_token(self, factory) -> str:
+        """Stable cache-key identity of a topology/controller factory."""
+        if factory is None:
+            return "none"
+        qualname = getattr(factory, "__qualname__", None)
+        if qualname is not None and "<" not in qualname:
+            return f"{factory.__module__}.{qualname}"
+        return repr(factory)
+
+    def run_key(self, run_index: int) -> Dict[str, object]:
+        """Cache-key material of run ``run_index`` (config + seed + schema).
+
+        Everything that shapes a run's report is in here: the sampled-from
+        spec, the horizon, the cluster shape, observability switches, the
+        factories' identities, and the derived per-run seed.  The cache
+        layer folds in its own schema version, so semantic changes to the
+        report orphan old entries wholesale.
+        """
+        from repro.parallel.cache import key_material
+
+        return key_material(
+            "chaos-run",
+            app=self.app,
+            spec=self.spec.to_dict(),
+            horizon=self.horizon,
+            nodes=[vars(n) for n in self.nodes],
+            metrics_interval=self.metrics_interval,
+            trace=self.trace,
+            metrics=self.metrics,
+            topology=self._factory_token(self.topology_factory),
+            controller=self._factory_token(self.controller_factory),
+            campaign_seed=self.seed,
+            run_index=run_index,
+            seed=derive_run_seed(self.seed, run_index),
+        )
+
+    def run(self, jobs: int = 1, cache=None) -> CampaignReport:
+        """Execute every run and aggregate the campaign report.
+
+        ``jobs`` shards runs across worker processes (``0`` = all cores;
+        the default ``1`` runs inline).  Because each run derives its
+        streams from ``(seed, run_index)`` alone and reports are merged
+        back in run order, the report is byte-identical at any ``jobs``.
+        ``cache`` (a path or :class:`~repro.parallel.ResultCache`)
+        serves already-computed runs from disk; with ``jobs > 1`` or any
+        cache hit, ``last_obs`` is not populated (the live observability
+        handles belong to a worker process).
+        """
+        from repro.parallel import (
+            ResultCache,
+            RunSpec,
+            ShardStats,
+            combine_run_reports,
+            run_sharded,
+        )
+
+        jobs = int(jobs)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        if jobs != 1:
+            import pickle
+
+            try:
+                pickle.dumps(self)
+            except Exception as exc:
+                raise ValueError(
+                    "campaign is not picklable, so it cannot fan out "
+                    "across processes — topology_factory/controller_factory "
+                    f"must be module-level callables (got: {exc!r})"
+                ) from exc
+        specs = [
+            RunSpec(
+                fn=_campaign_run_worker,
+                kwargs={"campaign": self, "run_index": i},
+                key=self.run_key(i) if cache is not None else None,
+                label=f"chaos-run-{i}",
+            )
+            for i in range(self.runs)
+        ]
+        stats = ShardStats(jobs=1, shard_seconds=[])
+        reports = run_sharded(specs, jobs=jobs, cache=cache, stats=stats)
+        self.last_shard_stats = stats
         return CampaignReport(
             seed=self.seed,
-            runs=reports,
+            runs=combine_run_reports(reports),
             spec=self.spec,
             horizon=self.horizon,
             app=self.app,
         )
+
+
+def _campaign_run_worker(campaign: ChaosCampaign, run_index: int) -> ChaosRunReport:
+    """Module-level worker so specs pickle under the spawn start method."""
+    return campaign.run_one(run_index)

@@ -7,6 +7,8 @@ import pytest
 from repro.bench.harness import (
     LEGACY_SUFFIX,
     SCHEMA,
+    SERIAL_SUFFIX,
+    TWIN_SUFFIXES,
     main,
     run_benchmarks,
     time_benchmark,
@@ -82,18 +84,58 @@ def test_run_benchmarks_monitor_pair_smoke(tmp_path):
     assert json.loads(out.read_text())["schema"] == SCHEMA
 
 
+def test_dict_returns_record_parallel_extras():
+    """Benchmarks may return {'units', 'jobs', 'shard_seconds'} dicts."""
+    res = time_benchmark(
+        lambda: {"units": 8, "jobs": 2, "shard_seconds": [0.25, 0.125]},
+        warmup=0,
+        repeats=2,
+    )
+    assert set(res) == RESULT_KEYS | {"jobs", "shard_seconds"}
+    assert res["work_units"] == 8
+    assert res["jobs"] == 2
+    assert res["shard_seconds"] == [0.25, 0.125]
+
+
+def test_run_benchmarks_serial_twin_pairing():
+    report = run_benchmarks(
+        scale="smoke",
+        warmup=0,
+        repeats=1,
+        only=["campaign_fanout", "campaign_fanout_serial"],
+        jobs=1,
+    )
+    results = report["results"]
+    assert set(results) == {"campaign_fanout", "campaign_fanout_serial"}
+    for res in results.values():
+        assert res["work_units"] == SCALES["smoke"]["campaign_runs"]
+        assert res["jobs"] == 1
+        assert len(res["shard_seconds"]) == SCALES["smoke"]["campaign_runs"]
+    assert report["speedups"]["campaign_fanout"] > 0.0
+    assert report["env"]["jobs"] == 1
+    assert report["env"]["cpu_count"] is not None
+
+
 def test_run_benchmarks_rejects_unknown_inputs():
     with pytest.raises(ValueError, match="scale"):
         run_benchmarks(scale="galactic")
     with pytest.raises(ValueError, match="unknown benchmarks"):
         run_benchmarks(scale="smoke", only=["nope"])
+    with pytest.raises(ValueError, match="jobs"):
+        run_benchmarks(scale="smoke", jobs=-1)
 
 
-def test_legacy_names_pair_with_current_benchmarks():
-    legacy = {n for n in BENCHMARKS if n.endswith(LEGACY_SUFFIX)}
-    assert legacy  # the harness must ship its frozen baselines
-    for name in legacy:
-        assert name[: -len(LEGACY_SUFFIX)] in BENCHMARKS
+def test_twin_names_pair_with_current_benchmarks():
+    twins = {
+        n for n in BENCHMARKS
+        if n.endswith(LEGACY_SUFFIX) or n.endswith(SERIAL_SUFFIX)
+    }
+    assert twins  # the harness must ship its frozen baselines
+    assert LEGACY_SUFFIX in TWIN_SUFFIXES and SERIAL_SUFFIX in TWIN_SUFFIXES
+    for name in twins:
+        for suffix in TWIN_SUFFIXES:
+            if name.endswith(suffix):
+                assert name[: -len(suffix)] in BENCHMARKS
 
 
 def test_cli_writes_report(tmp_path):

@@ -71,3 +71,52 @@ def test_main_reads_files(tmp_path):
     baseline.write_text(json.dumps(doc))
     rc = gate.main(["--bench", str(bench), "--baseline", str(baseline)])
     assert rc == 0
+
+
+def test_jobs_mismatch_skips_time_and_speedup_checks(capsys):
+    # 4-core baseline vs a 1-core CI runner: 3x slower AND a lost
+    # speedup, but neither is comparable, so the gate must pass.
+    base = _doc(
+        {
+            "par": dict(_res([0.010]), jobs=4),
+            "par_serial": dict(_res([0.040]), jobs=4),
+        },
+        {"par": 4.0},
+    )
+    cur = _doc(
+        {
+            "par": dict(_res([0.030]), jobs=1),
+            "par_serial": dict(_res([0.040]), jobs=1),
+        },
+        {"par": 1.0},
+    )
+    assert gate.compare(cur, base, tolerance=0.25) == 0
+    out = capsys.readouterr().out
+    assert out.count("SKIPPED") >= 3  # par, par_serial, and the speedup
+
+
+def test_equal_jobs_still_gate():
+    base = _doc({"par": dict(_res([0.010]), jobs=2)})
+    cur = _doc({"par": dict(_res([0.030]), jobs=2)})
+    assert gate.compare(cur, base, tolerance=0.25) == 1
+
+
+def test_checked_in_bench_pr5_speedup():
+    """Acceptance pin: BENCH_pr5.json shows >=1.8x fan-out speedup at
+    jobs>=4; measured on fewer cores the ratio is meaningless, so skip."""
+    import pytest
+
+    path = Path(__file__).parents[2] / "BENCH_pr5.json"
+    if not path.exists():
+        pytest.skip("BENCH_pr5.json not generated in this checkout")
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro-bench/2"
+    res = doc["results"]["campaign_fanout"]
+    assert doc["results"]["campaign_fanout_serial"]["jobs"] == 1
+    assert len(res["shard_seconds"]) == res["work_units"]
+    if (doc["env"]["cpu_count"] or 1) < 4 or res["jobs"] < 4:
+        pytest.skip(
+            f"fan-out speedup needs >=4 cores (have "
+            f"{doc['env']['cpu_count']}, jobs={res['jobs']})"
+        )
+    assert doc["speedups"]["campaign_fanout"] >= 1.8

@@ -1,0 +1,161 @@
+"""Property tests: histogram/registry merge is an order-insensitive monoid.
+
+The parallel experiment engine merges per-shard metric state in whatever
+order shards happen to finish, so ``merge`` must be commutative and
+associative over arbitrary shard splits.  Integer state (bucket counts,
+``count``, ``zero_count``) must be *exactly* split-invariant — quantiles
+are pure bucket arithmetic on it — while the float ``sum`` is only exact
+up to IEEE reassociation and is asserted approximately.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import LogHistogram, MetricsRegistry
+
+VALUES = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+# a partition of range(len(values)) into contiguous shards, as cut points
+CUTS = st.lists(st.integers(min_value=1, max_value=59), max_size=4)
+
+
+def _shards(values, cuts):
+    points = sorted({c for c in cuts if c < len(values)})
+    out, start = [], 0
+    for p in points + [len(values)]:
+        out.append(values[start:p])
+        start = p
+    return [s for s in out if s]
+
+
+def _hist(values, name="h"):
+    h = LogHistogram(name)
+    for v in values:
+        h.add(v)
+    return h
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=VALUES, cuts=CUTS)
+def test_histogram_merge_is_split_invariant(values, cuts):
+    whole = _hist(values)
+    merged = LogHistogram("h")
+    for shard in _shards(values, cuts):
+        merged.merge(_hist(shard))
+    assert merged.buckets == whole.buckets
+    assert merged.zero_count == whole.zero_count
+    assert merged.count == whole.count
+    assert merged.min == whole.min and merged.max == whole.max
+    for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert merged.quantile(q) == whole.quantile(q)
+    # float sum is exact only up to reassociation across shards
+    assert merged.sum == pytest.approx(whole.sum, rel=1e-12, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=VALUES, cuts=CUTS, order=st.randoms(use_true_random=False))
+def test_histogram_merge_is_commutative(values, cuts, order):
+    shards = _shards(values, cuts)
+    forward = LogHistogram("h")
+    for s in shards:
+        forward.merge(_hist(s))
+    shuffled = list(shards)
+    order.shuffle(shuffled)
+    backward = LogHistogram("h")
+    for s in shuffled:
+        backward.merge(_hist(s))
+    assert backward.buckets == forward.buckets
+    assert backward.count == forward.count
+    assert backward.sum == pytest.approx(forward.sum, rel=1e-12, abs=1e-9)
+
+
+def test_histogram_merge_rejects_alpha_mismatch():
+    a = LogHistogram("h", alpha=0.01)
+    b = LogHistogram("h", alpha=0.02)
+    with pytest.raises(ValueError, match="alpha"):
+        a.merge(b)
+
+
+def _registry(values, counter_by, gauge_val):
+    reg = MetricsRegistry()
+    c = reg.counter("tuples_acked", app="url")
+    c.inc(counter_by)
+    reg.gauge("backlog", worker=0).set(gauge_val)
+    h = reg.histogram("latency", app="url")
+    for v in values:
+        h.add(v)
+    return reg
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=VALUES,
+    cuts=CUTS,
+    counts=st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=5),
+)
+def test_registry_merge_matches_single_registry(values, cuts, counts):
+    shards = _shards(values, cuts)
+    whole = _registry(values, sum(counts), float(len(counts)))
+    merged = MetricsRegistry()
+    for i, shard in enumerate(shards):
+        merged.merge(
+            _registry(
+                shard,
+                counts[i % len(counts)],
+                1.0,
+            )
+        )
+    # remaining counter increments not attached to a value shard
+    for i in range(len(shards), len(counts)):
+        extra = MetricsRegistry()
+        extra.counter("tuples_acked", app="url").inc(counts[i % len(counts)])
+        merged.merge(extra)
+    got = {
+        (name, tuple(sorted(labels.items()))): metric
+        for name, labels, metric in merged.collect()
+    }
+    counter = got[("tuples_acked", (("app", "url"),))]
+    expected = sum(counts[i % len(counts)] for i in range(max(len(shards), len(counts))))
+    assert counter.value == expected
+    hist = got[("latency", (("app", "url"),))]
+    ref = {
+        (name, tuple(sorted(labels.items()))): metric
+        for name, labels, metric in whole.collect()
+    }[("latency", (("app", "url"),))]
+    assert hist.buckets == ref.buckets
+    assert hist.count == ref.count
+    for q in (0.5, 0.95):
+        assert hist.quantile(q) == ref.quantile(q)
+
+
+def test_registry_merge_gauges_and_type_mismatch():
+    a = MetricsRegistry()
+    a.gauge("g").set(2.0)
+    b = MetricsRegistry()
+    b.gauge("g").set(3.0)
+    a.merge(b)
+    gauges = {name: m for name, labels, m in a.collect() if name == "g"}
+    assert gauges["g"].read() == 5.0
+
+    c = MetricsRegistry()
+    c.counter("x").inc()
+    d = MetricsRegistry()
+    d.gauge("x").set(1.0)
+    with pytest.raises(TypeError):
+        c.merge(d)
+
+
+def test_registry_merge_propagates_nondeterministic_marks():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    b.counter("wall_clock")
+    b.mark_nondeterministic("wall_clock")
+    a.merge(b)
+    names = {name for name, _, _ in a.collect(include_nondeterministic=False)}
+    assert "wall_clock" not in names

@@ -1,0 +1,102 @@
+"""Result-cache tests: addressing, invalidation, and integrity.
+
+The cache's correctness story is entirely in the key: any change to
+config, seed, or schema yields a *different* address, so stale entries
+are never looked up, and a corrupted entry fails its digest check and is
+recomputed — never served.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_key,
+    key_material,
+)
+
+
+def test_roundtrip_and_counters(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = cache_key(key_material("t", a=1))
+    hit, _ = cache.get(key)
+    assert not hit and cache.misses == 1
+    cache.put(key, {"score": 0.25, "arr": [1, 2, 3]})
+    hit, value = cache.get(key)
+    assert hit and cache.hits == 1
+    assert value == {"score": 0.25, "arr": [1, 2, 3]}
+    assert len(cache) == 1
+
+
+def test_key_changes_with_any_config_field():
+    base = cache_key(key_material("t", app="url", seed=7, runs=3))
+    assert base == cache_key(key_material("t", app="url", seed=7, runs=3))
+    assert base != cache_key(key_material("t", app="url", seed=8, runs=3))
+    assert base != cache_key(key_material("t", app="wc", seed=7, runs=3))
+    assert base != cache_key(key_material("t", app="url", seed=7, runs=4))
+    assert base != cache_key(key_material("u", app="url", seed=7, runs=3))
+
+
+def test_key_changes_with_schema_version():
+    material = key_material("t", a=1)
+    assert material["schema"] == CACHE_SCHEMA_VERSION
+    bumped = dict(material, schema="repro-cache/999")
+    assert cache_key(material) != cache_key(bumped)
+
+
+def test_key_canonicalisation():
+    # tuples/lists, numpy scalars, and dict ordering must not matter
+    assert cache_key(key_material("t", x=(1, 2))) == \
+        cache_key(key_material("t", x=[1, 2]))
+    assert cache_key(key_material("t", n=np.int64(3))) == \
+        cache_key(key_material("t", n=3))
+    assert cache_key({"b": 2, "a": 1}) == cache_key({"a": 1, "b": 2})
+
+
+def test_key_rejects_unstable_identities():
+    with pytest.raises(ValueError, match="stable"):
+        cache_key(key_material("t", fn=lambda: 1))
+
+    class Local:
+        pass
+
+    with pytest.raises(ValueError, match="stable"):
+        cache_key(key_material("t", obj=Local()))
+
+
+def test_corrupted_entry_is_recomputed_never_served(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = cache_key(key_material("t", a=1))
+    cache.put(key, "precious")
+    path = cache._path(key)
+
+    # bit-flip the payload: digest check must fail -> miss
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    hit, _ = cache.get(key)
+    assert not hit
+
+    # truncation -> miss
+    path.write_bytes(path.read_bytes()[:10])
+    hit, _ = cache.get(key)
+    assert not hit
+
+    # garbage that is not even digest-framed -> miss
+    path.write_bytes(b"not a cache entry")
+    hit, _ = cache.get(key)
+    assert not hit
+
+    # recompute and republish: served again
+    cache.put(key, "recomputed")
+    hit, value = cache.get(key)
+    assert hit and value == "recomputed"
+
+
+def test_entries_shard_into_prefix_dirs(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = cache_key(key_material("t", a=1))
+    cache.put(key, 1)
+    assert cache._path(key).parent.name == key[:2]
+    assert cache._path(key).exists()

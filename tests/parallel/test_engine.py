@@ -1,0 +1,141 @@
+"""Engine tests: order preservation, failure semantics, stats, pooling.
+
+Worker callables live at module level: the pool uses the ``spawn`` start
+method, so a spec's ``fn`` must be importable by a fresh interpreter.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel import (
+    ResultCache,
+    RunSpec,
+    ShardError,
+    ShardStats,
+    key_material,
+    resolve_jobs,
+    run_sharded,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _slow_boom(x):
+    time.sleep(0.5)
+    raise ValueError(f"boom {x}")
+
+
+def _specs(n, fn=_square, with_keys=False):
+    return [
+        RunSpec(
+            fn=fn,
+            kwargs={"x": i},
+            key=key_material("engine-test", x=i) if with_keys else None,
+            label=f"run-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def test_inline_serial_matches_direct_calls():
+    stats = ShardStats(jobs=0, shard_seconds=[])
+    results = run_sharded(_specs(5), jobs=1, stats=stats)
+    assert results == [i * i for i in range(5)]
+    assert stats.jobs == 1
+    assert len(stats.shard_seconds) == 5
+    assert stats.cache_hits == 0 and stats.cache_misses == 5
+
+
+def test_pool_results_identical_to_serial():
+    serial = run_sharded(_specs(4), jobs=1)
+    pooled = run_sharded(_specs(4), jobs=2)
+    assert pooled == serial == [0, 1, 4, 9]
+
+
+def test_resolve_jobs_contract():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError, match="jobs"):
+        resolve_jobs(-2)
+    with pytest.raises(ValueError):
+        run_sharded(_specs(2), jobs=-1)
+
+
+def test_inline_failure_wraps_in_shard_error():
+    specs = _specs(3)
+    specs[1] = RunSpec(fn=_boom, kwargs={"x": 1}, label="bad-one")
+    with pytest.raises(ShardError) as exc_info:
+        run_sharded(specs, jobs=1)
+    err = exc_info.value
+    assert err.index == 1
+    assert err.label == "bad-one"
+    assert isinstance(err.__cause__, ValueError)
+    assert "bad-one" in str(err)
+
+
+def test_pool_failure_wraps_and_keeps_finished_results(tmp_path):
+    # the fast spec finishes well before the slow one raises, so its
+    # result must be published to the cache before ShardError surfaces
+    cache = ResultCache(tmp_path / "cache")
+    specs = [
+        RunSpec(fn=_square, kwargs={"x": 3},
+                key=key_material("engine-test", x=3), label="ok"),
+        RunSpec(fn=_slow_boom, kwargs={"x": 9},
+                key=key_material("engine-test", x=9), label="bad"),
+    ]
+    with pytest.raises(ShardError) as exc_info:
+        run_sharded(specs, jobs=2, cache=cache)
+    assert exc_info.value.label == "bad"
+    assert isinstance(exc_info.value.__cause__, ValueError)
+    assert len(cache) == 1  # the finished shard survived the abort
+    # a retry with the failing spec fixed resumes from the cache
+    specs[1] = RunSpec(fn=_square, kwargs={"x": 9},
+                       key=key_material("engine-test", x=9), label="fixed")
+    stats = ShardStats(jobs=0, shard_seconds=[])
+    results = run_sharded(specs, jobs=2, cache=cache, stats=stats)
+    assert results == [9, 81]
+    assert stats.cache_hits == 1
+
+
+def test_cache_hits_skip_execution(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    first = run_sharded(_specs(3, with_keys=True), jobs=1, cache=cache)
+    stats = ShardStats(jobs=0, shard_seconds=[])
+    second = run_sharded(
+        _specs(3, fn=_boom, with_keys=True), jobs=1, cache=cache, stats=stats
+    )
+    # _boom would raise if any spec actually executed: all three hit
+    assert second == first
+    assert stats.cache_hits == 3 and stats.cache_misses == 0
+    assert stats.shard_seconds == [0.0, 0.0, 0.0]
+
+
+def test_single_pending_spec_runs_inline_even_with_jobs():
+    # one miss never pays pool startup; result is identical either way
+    assert run_sharded(_specs(1), jobs=4) == [0]
+
+
+def test_empty_specs():
+    stats = ShardStats(jobs=0, shard_seconds=[])
+    assert run_sharded([], jobs=4, stats=stats) == []
+    assert stats.shard_seconds == []
+
+
+def test_shard_stats_to_dict_rounds():
+    stats = ShardStats(jobs=2, shard_seconds=[0.123456789], cache_hits=1)
+    d = stats.to_dict()
+    assert d == {
+        "jobs": 2,
+        "shard_seconds": [0.123457],
+        "cache_hits": 1,
+        "cache_misses": 0,
+    }

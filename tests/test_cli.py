@@ -57,3 +57,38 @@ def test_demo_command_runs(capsys):
     assert rc == 0
     captured = capsys.readouterr().out
     assert "healthy throughput" in captured
+
+
+@pytest.mark.parametrize("command", ["chaos", "predict", "bench"])
+def test_negative_jobs_is_a_usage_error(command, capsys):
+    """``--jobs -1`` must exit with argparse's usage error code (2)."""
+    with pytest.raises(SystemExit) as exc_info:
+        main([command, "--jobs", "-1"])
+    assert exc_info.value.code == 2
+    assert "jobs must be >= 0" in capsys.readouterr().err
+
+
+def test_jobs_not_an_int_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["chaos", "--jobs", "many"])
+    assert exc_info.value.code == 2
+
+
+def test_chaos_command_with_jobs_and_cache(capsys, tmp_path):
+    args = [
+        "chaos",
+        "--runs", "2",
+        "--duration", "20",
+        "--rate", "60",
+        "--seed", "9",
+        "--cache", str(tmp_path / "cache"),
+        "--out", str(tmp_path / "report.json"),
+    ]
+    rc = main(args + ["--jobs", "1"])
+    assert rc == 0
+    first = (tmp_path / "report.json").read_bytes()
+    assert "tuple conservation" in capsys.readouterr().out
+    # warm rerun: same bytes, served from the cache
+    rc = main(args)
+    assert rc == 0
+    assert (tmp_path / "report.json").read_bytes() == first
