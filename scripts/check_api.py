@@ -9,6 +9,11 @@ Two rules, enforced over ``src/``, ``examples/``, and ``benchmarks/``
 2. **No raw tuple unpacking of the series helpers** — use the named
    ``Series`` fields (``series.t`` / ``series.y``) instead of
    ``t, y = result.throughput_series()``.
+3. **No reaching into the kernel's event queue** — ``._queue`` is the
+   environment's private scheduler state behind the pluggable
+   :class:`repro.des.queues.EventQueue` API; callers use
+   ``Environment.scheduler`` / ``Environment.new_queue()`` or the
+   public queue protocol instead.
 
 Exit status is non-zero when any violation is found, so CI can gate on
 it.  Run from the repository root::
@@ -36,7 +41,16 @@ CONSTRUCTION_ALLOWLIST = {
     Path("scripts/check_api.py"),
 }
 
+#: the only modules allowed to touch the environment's private queue
+#: (the owner, and the frozen legacy twin that predates the queue API)
+QUEUE_ACCESS_ALLOWLIST = {
+    Path("src/repro/des/environment.py"),
+    Path("src/repro/bench/legacy_kernel.py"),
+    Path("scripts/check_api.py"),
+}
+
 CONSTRUCT_RE = re.compile(r"\bStormSimulation\s*\(")
+QUEUE_RE = re.compile(r"\._queue\b")
 #: ``a, b = ....throughput_series()`` / ``latency_series()`` (raw unpack)
 UNPACK_RE = re.compile(
     r"^\s*[A-Za-z_][\w\[\]\. ]*,\s*[A-Za-z_][\w\[\]\. ]*"
@@ -74,6 +88,12 @@ def check_file(path: Path) -> List[Violation]:
                 rel, lineno, "raw-series-unpack",
                 "use the named Series fields (series.t / series.y) instead "
                 "of tuple-unpacking the series helpers",
+            ))
+        if QUEUE_RE.search(line) and rel not in QUEUE_ACCESS_ALLOWLIST:
+            violations.append((
+                rel, lineno, "private-queue-access",
+                "._queue is Environment-private; use Environment.scheduler "
+                "/ Environment.new_queue() or the EventQueue protocol",
             ))
     return violations
 

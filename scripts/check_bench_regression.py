@@ -43,7 +43,8 @@ import sys
 
 LEGACY_SUFFIX = "_legacy"
 SERIAL_SUFFIX = "_serial"
-TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX)
+HEAP_SUFFIX = "_heap"
+TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX, HEAP_SUFFIX)
 
 
 def _best_time(result: dict) -> float:

@@ -244,6 +244,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         control=control,
         jobs=args.jobs,
         cache=args.cache,
+        scheduler=args.scheduler,
     )
     print(f"app          : {args.app}  arm: {args.arm}")
     print(f"campaign     : seed={args.seed} runs={args.runs}"
@@ -407,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slowdowns", type=int, default=0)
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the campaign report JSON here")
+    p.add_argument("--scheduler", default="heap",
+                   choices=("heap", "calendar"),
+                   help="kernel event-queue implementation; a pure "
+                        "performance knob — reports are byte-identical "
+                        "under either (default: heap)")
     _parallel_flags(p)
     p.set_defaults(func=_cmd_chaos)
 
@@ -439,7 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload size preset (default: smoke)")
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--repeats", type=int, default=5)
-    p.add_argument("--out", default="BENCH_pr5.json",
+    p.add_argument("--out", default="BENCH_pr6.json",
                    help="output JSON path")
     p.add_argument("--only", nargs="*", default=None,
                    help="subset of benchmark names to run")

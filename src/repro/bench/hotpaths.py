@@ -12,7 +12,10 @@ every emitted ``BENCH_*.json`` carries its own before/after speedup.
 The campaign fan-out path instead has a ``*_serial`` twin: the identical
 workload with ``jobs=1``, so the file documents the multi-core speedup of
 the sharded experiment engine (:mod:`repro.parallel`) on the machine that
-produced it.
+produced it.  The cluster-scale scheduler path has a ``*_heap`` twin: the
+same event stream through the default binary heap, so the file records
+the calendar queue's speedup at cluster event density (see
+``docs/scheduler.md``).
 """
 
 from __future__ import annotations
@@ -57,6 +60,11 @@ SCALES: Dict[str, Dict[str, int]] = {
         "campaign_runs": 4,
         "campaign_horizon": 30,
         "campaign_rate": 60,
+        "cluster_nodes": 100,
+        "cluster_executors": 2_000,
+        "cluster_inflight": 125,
+        "cluster_churn": 60_000,
+        "cluster_ticks": 800,
     },
     "full": {
         "kernel_procs": 50,
@@ -72,6 +80,11 @@ SCALES: Dict[str, Dict[str, int]] = {
         "campaign_runs": 16,
         "campaign_horizon": 60,
         "campaign_rate": 120,
+        "cluster_nodes": 100,
+        "cluster_executors": 2_000,
+        "cluster_inflight": 500,
+        "cluster_churn": 300_000,
+        "cluster_ticks": 3_000,
     },
 }
 
@@ -280,6 +293,100 @@ def make_drnn_predict(scale: Dict[str, int]) -> Callable[[], int]:
     return run
 
 
+# -- cluster-scale scheduler -------------------------------------------------------
+
+#: Hold times (integer microseconds on the 1 ms tick grid) for the
+#: cluster workload: most redeliveries land a tick or two out (executor
+#: service + intra-node hops), a tail waits on ack sweeps and retries.
+_CLUSTER_HOLDS = (1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0)
+_CLUSTER_HOLD_P = (0.40, 0.25, 0.20, 0.10, 0.05)
+
+
+#: Prebuilt (entries, holds) per scale, shared by the twin factories so
+#: the pair pushes the *same* tuple objects and neither timed run pays
+#: for constructing a million-entry stream.
+_CLUSTER_STREAMS: Dict[Tup[int, ...], Tup[list, list]] = {}
+
+
+def _cluster_stream(scale: Dict[str, int]) -> Tup[list, list]:
+    """The cluster event stream: initial pending entries + hold times.
+
+    Models the pending-event set of a ``cluster_nodes``-node,
+    ``cluster_executors``-executor topology in the paper's saturated
+    regime: each executor holds ``cluster_inflight`` scheduled
+    deliveries/completions, stamped on a 1 ms tick grid so same-tick
+    bursts are massive and entries tie through ``(time, priority,
+    seq)`` exactly like kernel entries (the regime the vectorized
+    delivery path batches).  Times are integer-microsecond floats, so
+    additions stay exact and ties are genuine.  URGENT entries appear
+    at one-per-node-per-burst frequency (control messages); everything
+    else is NORMAL data flow.
+    """
+    key = (
+        scale["cluster_nodes"], scale["cluster_executors"],
+        scale["cluster_inflight"], scale["cluster_churn"],
+        scale["cluster_ticks"],
+    )
+    cached = _CLUSTER_STREAMS.get(key)
+    if cached is None:
+        executors = scale["cluster_executors"]
+        n0 = executors * scale["cluster_inflight"]
+        rng = np.random.default_rng(23)
+        times = np.floor(
+            rng.uniform(0, scale["cluster_ticks"], size=n0)
+        ) * 1_000.0
+        p_urgent = scale["cluster_nodes"] / executors
+        prios = np.where(rng.random(n0) < p_urgent, 0, 1)
+        entries = [
+            (when, prio, seq, None)
+            for seq, (when, prio) in enumerate(
+                zip(times.tolist(), prios.tolist()), start=1
+            )
+        ]
+        holds = rng.choice(
+            _CLUSTER_HOLDS, size=scale["cluster_churn"], p=_CLUSTER_HOLD_P
+        ).tolist()
+        cached = _CLUSTER_STREAMS[key] = (entries, holds)
+    return cached
+
+
+def _scheduler_workload(kind: str, entries: list, holds: list) -> int:
+    """Drive one scheduler through the cluster-density event stream.
+
+    The queue is filled push-at-a-time (how the kernel schedules),
+    churned through the hold cycles (pop the next event, schedule its
+    successor one hold later), then drained by count — the ramp-up /
+    steady-state / backlog-drain lifecycle of a run segment.  The
+    counted drain means every entry is pushed and popped exactly once
+    and neither scheduler pays per-iteration truth tests the other
+    would skip.
+    """
+    from repro.des.queues import make_queue
+
+    queue = make_queue(kind)
+    push, pop = queue.push, queue.pop
+    for entry in entries:
+        push(entry)
+    seq = len(entries)
+    for hold in holds:
+        entry = pop()
+        seq += 1
+        push((entry[0] + hold, 1, seq, None))
+    for _ in range(len(entries)):
+        pop()
+    return len(entries) + len(holds)
+
+
+def make_cluster_scale(scale: Dict[str, int]) -> Callable[[], int]:
+    entries, holds = _cluster_stream(scale)
+    return lambda: _scheduler_workload("calendar", entries, holds)
+
+
+def make_cluster_scale_heap(scale: Dict[str, int]) -> Callable[[], int]:
+    entries, holds = _cluster_stream(scale)
+    return lambda: _scheduler_workload("heap", entries, holds)
+
+
 # -- sharded chaos-campaign fan-out ------------------------------------------------
 
 
@@ -323,8 +430,8 @@ def make_campaign_fanout_serial(
     return lambda: _campaign_workload(scale, 1)
 
 
-#: name -> factory; ``*_legacy`` / ``*_serial`` entries are paired with
-#: their base name by the harness to derive speedup ratios.
+#: name -> factory; ``*_legacy`` / ``*_serial`` / ``*_heap`` entries are
+#: paired with their base name by the harness to derive speedup ratios.
 BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
     "des_event_loop": make_des_event_loop,
     "des_event_loop_legacy": make_des_event_loop_legacy,
@@ -333,6 +440,8 @@ BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
     "monitor_observe_extract_legacy": make_monitor_observe_extract_legacy,
     "drnn_fit": make_drnn_fit,
     "drnn_predict": make_drnn_predict,
+    "cluster_scale": make_cluster_scale,
+    "cluster_scale_heap": make_cluster_scale_heap,
     "campaign_fanout": make_campaign_fanout,
     "campaign_fanout_serial": make_campaign_fanout_serial,
 }

@@ -9,7 +9,6 @@ a fixed seed).
 
 from __future__ import annotations
 
-import heapq
 from sys import getrefcount
 from typing import TYPE_CHECKING, Any, Generator, Optional, Union
 
@@ -27,6 +26,7 @@ from repro.des.events import (
     Timeout,
 )
 from repro.des.process import Process
+from repro.des.queues import EventQueue, make_queue
 
 
 class EmptySchedule(Exception):
@@ -40,11 +40,25 @@ class Environment:
     ----------
     initial_time:
         Starting value of the virtual clock (default ``0.0``).
+    queue:
+        The event-queue backing the scheduler: a registry name
+        (``"heap"`` | ``"calendar"``), a prepared :class:`EventQueue`,
+        or ``None`` for the default binary heap.  Every implementation
+        pops the same ``(time, priority, seq)`` order, so this is a
+        pure performance knob (see :mod:`repro.des.queues`).
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        queue: "str | EventQueue | None" = None,
+    ) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: EventQueue = make_queue(queue)
+        #: bound push of the event queue — the one scheduling entry
+        #: point; ``Event.succeed``/``fail`` and ``Timeout`` push
+        #: through it rather than reaching into the queue structure.
+        self._qpush = self._queue.push
         self._seq = 0
         self._active_proc: Optional[Process] = None
         #: optional kernel profiler (see :mod:`repro.obs.profiler`); the
@@ -77,8 +91,23 @@ class Environment:
 
     @property
     def queue_depth(self) -> int:
-        """Events currently pending in the heap."""
+        """Events currently pending in the queue."""
         return len(self._queue)
+
+    @property
+    def scheduler(self) -> str:
+        """Registry name of the event-queue implementation in use."""
+        return self._queue.kind
+
+    def new_queue(self) -> EventQueue:
+        """A fresh, empty queue of the same kind as the scheduler's.
+
+        Components that need their own total-order queue (e.g.
+        :class:`~repro.des.stores.PriorityStore`) derive it from here so
+        tie-breaking stays sequence-stable under whichever scheduler the
+        simulation was built with.
+        """
+        return make_queue(self._queue.kind)
 
     # -- profiling -----------------------------------------------------------------
 
@@ -114,9 +143,7 @@ class Environment:
             ev._value = value
             ev.delay = delay
             self._seq += 1
-            heapq.heappush(
-                self._queue, (self._now + delay, NORMAL, self._seq, ev)
-            )
+            self._qpush((self._now + delay, NORMAL, self._seq, ev))
             return ev
         return Timeout(self, delay, value)
 
@@ -139,11 +166,11 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._qpush((self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek()
 
     def step(self) -> None:
         """Process the single next event.
@@ -157,7 +184,7 @@ class Environment:
             exception surfaces here (crash-visible semantics).
         """
         try:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
+            when, _prio, _seq, event = self._queue.pop()
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
@@ -213,11 +240,11 @@ class Environment:
                 while True:
                     self.step()
             queue = self._queue
-            pop = heapq.heappop
+            pop_entry = queue.pop  # heap: a bound C partial; no dispatch cost
             pool = self._timeout_pool
             timeout_cls = Timeout
             while queue:
-                self._now, _, _, event = pop(queue)
+                self._now, _, _, event = pop_entry()
                 callbacks = event.callbacks
                 event.callbacks = None  # mark processed
                 if len(callbacks) == 1:

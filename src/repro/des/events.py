@@ -15,7 +15,6 @@ final.  Events may only be triggered once.
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -116,9 +115,10 @@ class Event:
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``.
 
-        Hot path: triggering pushes onto the environment's heap directly
-        (bypassing :meth:`Environment.schedule`'s delay handling) — every
-        store handoff and process wakeup pays this cost once per tuple.
+        Hot path: triggering pushes through the environment's bound
+        queue-push (bypassing :meth:`Environment.schedule`'s delay
+        handling) — every store handoff and process wakeup pays this
+        cost once per tuple.
         """
         if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
@@ -126,7 +126,7 @@ class Event:
         self._value = value
         env = self.env
         env._seq += 1
-        _heappush(env._queue, (env._now, priority, env._seq, self))
+        env._qpush((env._now, priority, env._seq, self))
         return self
 
     def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
@@ -144,7 +144,7 @@ class Event:
         self._value = None
         env = self.env
         env._seq += 1
-        _heappush(env._queue, (env._now, priority, env._seq, self))
+        env._qpush((env._now, priority, env._seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -178,7 +178,7 @@ class Timeout(Event):
     Construction is the single hottest allocation site of the simulator
     (every executor service step and pacing wait creates one), so it
     bypasses ``Event.__init__``/``Environment.schedule`` and pushes the
-    heap entry itself — same queue entry, same ``(time, priority, seq)``
+    queue entry itself — same entry, same ``(time, priority, seq)``
     ordering, three fewer Python calls per event.
     """
 
@@ -196,7 +196,7 @@ class Timeout(Event):
         # ``not event._ok`` check, so they are never touched.
         self.delay = delay
         env._seq += 1
-        _heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
+        env._qpush((env._now + delay, NORMAL, env._seq, self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Timeout delay={self.delay} at {id(self):#x}>"

@@ -28,14 +28,22 @@ def child_sequence(
 ) -> np.random.SeedSequence:
     """The :class:`~numpy.random.SeedSequence` of child stream ``run_index``.
 
-    Child streams are keyed by entropy ``[root_seed, run_index, *lanes]``,
-    the layout every campaign-style consumer in this repo already uses, so
-    the stream a run draws depends only on ``(root_seed, run_index)`` —
+    Bare streams are keyed by entropy ``[root_seed, run_index]`` — the
+    frozen wire format every campaign-style consumer in this repo uses —
+    so the stream a run draws depends only on ``(root_seed, run_index)``,
     never on execution order, shard assignment, or how many siblings
     exist.  Optional ``lanes`` separate independent sub-streams of the
-    same run (e.g. fault-schedule sampling vs. the simulation seed).
+    same run (e.g. fault-schedule sampling vs. the simulation seed) and
+    are encoded as ``[root_seed, run_index, len(lanes), *lanes]``: the
+    lane count is prefixed because :class:`~numpy.random.SeedSequence`
+    ignores trailing zero entropy words, so the unprefixed layout would
+    silently alias a ``0``-valued lane with the bare stream
+    (``SeedSequence([r, i]) == SeedSequence([r, i, 0])``).
     """
-    entropy = [int(root_seed), int(run_index), *[int(l) for l in lanes]]
+    entropy = [int(root_seed), int(run_index)]
+    if lanes:
+        entropy.append(len(lanes))
+        entropy.extend(int(l) for l in lanes)
     return np.random.SeedSequence(entropy)
 
 

@@ -12,10 +12,9 @@ yields on; the event fires when the operation completes.  Events support
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 from repro.des.events import Event
 
@@ -120,6 +119,30 @@ class Store:
         self.put(item)
         return True
 
+    def put_many(self, items: Iterable[Any]) -> None:
+        """Bulk fire-and-forget put: store ``items`` in order.
+
+        Semantically equivalent to calling :meth:`put` once per item and
+        discarding the completion events, but the common same-tick burst
+        shape — no blocked putters, room for the whole batch — stores the
+        items in one array-level operation and wakes waiting getters with
+        a single dispatch, skipping the per-item :class:`StorePut` event
+        machinery entirely.  Use only where the caller does not observe
+        completion (e.g. transport delivery); blocking puts must go
+        through :meth:`put`.
+        """
+        batch = items if isinstance(items, (list, tuple)) else list(items)
+        if not self._putters and len(self.items) + len(batch) <= self.capacity:
+            self._do_store_many(batch)
+            if self._getters:
+                self._dispatch()
+            return
+        # Slow path (capacity pressure or queued putters): fall back to
+        # per-item puts so backpressure accounting and FIFO putter order
+        # stay exactly as if the caller had looped.
+        for item in batch:
+            self.put(item)
+
     def get(self) -> StoreGet:
         """Request removal of the oldest item; returns the completion event."""
         ev = StoreGet(self)
@@ -144,6 +167,9 @@ class Store:
 
     def _do_store(self, item: Any) -> None:
         self.items.append(item)
+
+    def _do_store_many(self, items: Any) -> None:
+        self.items.extend(items)
 
     def _do_take(self) -> Any:
         return self.items.popleft()
@@ -200,23 +226,44 @@ class PriorityItem:
 class PriorityStore(Store):
     """Store that releases the lowest-priority-value item first.
 
-    Items must be :class:`PriorityItem` (or anything mutually orderable).
-    Ties break FIFO via the sequence number stamped at put time.
+    Items must be :class:`PriorityItem` (or a numeric priority key used
+    as its own payload).  Ties break FIFO via the sequence number
+    stamped at put time.
+
+    The items live in an :class:`~repro.des.queues.EventQueue` of the
+    same kind as the environment's scheduler (``env.new_queue()``),
+    keyed ``(priority, seq, item)`` — not in a raw ``heapq`` over item
+    objects — so release order and its FIFO tie-breaking are
+    sequence-stable under the calendar scheduler exactly as under the
+    default heap.
     """
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         super().__init__(env, capacity)
-        self.items: list = []
+        self.items = env.new_queue()
         self._counter = 0
 
     def _do_store(self, item: Any) -> None:
-        if isinstance(item, PriorityItem) and item.seq == 0:
-            self._counter += 1
-            item.seq = self._counter
-        heapq.heappush(self.items, item)
+        self._counter += 1
+        if isinstance(item, PriorityItem):
+            if item.seq == 0:
+                item.seq = self._counter
+            self.items.push((item.priority, item.seq, item))
+        else:
+            self.items.push((item, self._counter, item))
+
+    def _do_store_many(self, items: Any) -> None:
+        for item in items:
+            self._do_store(item)
 
     def _do_take(self) -> Any:
-        return heapq.heappop(self.items)
+        return self.items.pop()[2]
 
     def _do_unstore(self, item: Any) -> None:
-        heapq.heappush(self.items, item)
+        # An orphaned PriorityItem keeps its stamped seq, so recovery
+        # restores its exact position among equal priorities.
+        if isinstance(item, PriorityItem):
+            self.items.push((item.priority, item.seq, item))
+        else:
+            self._counter += 1
+            self.items.push((item, self._counter, item))

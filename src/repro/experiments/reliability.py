@@ -184,6 +184,7 @@ def run_chaos_campaign(
     trace: bool = False,
     jobs: int = 1,
     cache=None,
+    scheduler: str = "heap",
 ) -> CampaignReport:
     """Run a seeded chaos campaign over one evaluation app.
 
@@ -193,7 +194,10 @@ def run_chaos_campaign(
     report is a pure function of the arguments — rerunning reproduces it
     bit-for-bit, and sharding it across ``jobs`` worker processes (``0``
     = all cores) or serving runs from ``cache`` changes wall-clock only,
-    never a byte of the report (see ``docs/parallel.md``).
+    never a byte of the report (see ``docs/parallel.md``).  So does
+    ``scheduler`` (``"heap"`` | ``"calendar"``): every event-queue
+    implementation pops the identical event order (see
+    ``docs/scheduler.md``), pinned by the golden byte-identity tests.
     """
     if control not in (None, "reactive"):
         raise ValueError(f"unknown chaos control arm {control!r}")
@@ -212,6 +216,7 @@ def run_chaos_campaign(
         trace=trace,
         app=app,
         controller_factory=controller_factory,
+        scheduler=scheduler,
     )
     return campaign.run(jobs=jobs, cache=cache)
 

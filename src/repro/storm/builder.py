@@ -54,6 +54,7 @@ class SimulationBuilder:
         self._topology = topology
         self._nodes: Sequence[NodeSpec] = DEFAULT_NODES
         self._seed = 0
+        self._scheduler = "heap"
         self._metrics_interval = 1.0
         self._faults: List[Fault] = []
         self._controllers: List[object] = []  # controllers or spec tuples
@@ -85,6 +86,26 @@ class SimulationBuilder:
     def seed(self, seed: int) -> "SimulationBuilder":
         """Root seed for all simulation randomness."""
         self._seed = int(seed)
+        return self
+
+    def scheduler(self, kind: str) -> "SimulationBuilder":
+        """Select the kernel's event-queue implementation.
+
+        ``"heap"`` (the default binary heap) or ``"calendar"`` (the
+        calendar queue, O(1) amortized at cluster-scale event density).
+        Every scheduler pops the identical ``(time, priority, seq)``
+        order, so results are byte-identical across choices — this is a
+        pure performance knob (see :mod:`repro.des.queues` and
+        ``docs/scheduler.md``).
+        """
+        from repro.des.queues import QUEUE_KINDS
+
+        if kind not in QUEUE_KINDS:
+            raise ValueError(
+                f"unknown scheduler {kind!r}; expected one of "
+                f"{sorted(QUEUE_KINDS)}"
+            )
+        self._scheduler = kind
         return self
 
     def metrics_interval(self, interval: float) -> "SimulationBuilder":
@@ -263,6 +284,7 @@ class SimulationBuilder:
             metrics_interval=self._metrics_interval,
             faults=tuple(faults),
             observability=observability,
+            scheduler=self._scheduler,
         )
         if self._controllers:
             from repro.core.controller import PredictiveController

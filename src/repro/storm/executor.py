@@ -59,7 +59,7 @@ def call_later(env: "Environment", delay: float, fn: Callable[[], None]) -> None
     env.schedule(ev, delay=delay)
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A tuple in transit/queued, stamped with its enqueue time."""
 
@@ -172,100 +172,50 @@ class Transport:
         return self.config.inter_node_latency
 
     def send(self, src_worker: "Worker", dst_task: int, tup: Tuple) -> None:
-        """Deliver ``tup`` to ``dst_task`` after placement latency.
+        """Deliver one tuple to ``dst_task`` after placement latency.
 
-        Delivery uses a fire-and-forget put: if the destination queue is
-        full, the put waits in the store's putter list, which models the
-        receiver-side transfer buffer growing (visible to the metrics layer
-        as ``backlog``).
+        .. deprecated:: thin shim over :meth:`deliver`, kept for callers
+           that route tuples one at a time — new code should pass the
+           whole emission to :meth:`deliver`, the single chaos-fault
+           seam.
         """
-        queue = self.queues[dst_task]
-        env = self.env
-        dst_worker = self.placement[dst_task]
-        delay = self.latency(src_worker, dst_task)
-        self.sent_count += 1
-        if self._m_sent is not None:
-            self._m_sent.inc()
-        inter_worker = dst_worker is not src_worker
-        if inter_worker and self.loss_probability > 0.0:
-            if self.rng.random() < self.loss_probability:
-                # Lost on the wire: the tree times out and replays.
-                self.lost_count += 1
-                if self._m_lost_loss is not None:
-                    self._m_lost_loss.inc()
-                if self.tracer is not None:
-                    self.tracer.record(
-                        env.now, TUPLE_LOSS, dst_task=dst_task,
-                        edge=tup.edge_id, roots=tup.roots, reason="loss",
-                    )
-                return
-        if inter_worker and self.extra_delay_mean > 0.0:
-            delay += float(self.rng.exponential(self.extra_delay_mean))
-        shed = self.config.overflow_policy == "shed"
-        tr = self.tracer
-        if tr is not None:
-            tr.record(
-                env.now,
-                TUPLE_TRANSFER,
-                src_task=tup.source_task,
-                dst_task=dst_task,
-                edge=tup.edge_id,
-                roots=tup.roots,
-                delay=delay,
-            )
-
-        def deliver() -> None:
-            if dst_worker.crashed:
-                # Connection to a died worker: the transfer vanishes; the
-                # acker's timeout sweep fails the tree and the spout
-                # replays after the worker (or the routing) recovers.
-                self.lost_count += 1
-                if self._m_lost_crash is not None:
-                    self._m_lost_crash.inc()
-                if tr is not None:
-                    tr.record(
-                        env.now, TUPLE_LOSS, dst_task=dst_task,
-                        edge=tup.edge_id, roots=tup.roots, reason="crash",
-                    )
-                return
-            if shed and queue.is_full:
-                # Load shedding: drop at the receiver and fail the tree
-                # right away so the spout replays without waiting for the
-                # message timeout.
-                self.dropped_count += 1
-                if self._m_shed is not None:
-                    self._m_shed.inc()
-                if tr is not None:
-                    tr.record(
-                        env.now, TUPLE_SHED, dst_task=dst_task,
-                        edge=tup.edge_id, roots=tup.roots,
-                    )
-                if self.ledger is not None:
-                    for root in tup.roots:
-                        self.ledger.fail(root, reason="shed")
-                return
-            queue.put(Envelope(tup, env.now))
-
-        call_later(env, delay, deliver)
+        self.deliver(src_worker, ((dst_task, tup),))
 
     def send_batch(
         self, src_worker: "Worker", sends: List[Tup[int, Tuple]]
     ) -> None:
-        """Deliver several tuples emitted back-to-back, batching events.
+        """Deliver several tuples emitted back-to-back.
 
-        ``sends`` is an ordered list of ``(dst_task, tup)`` pairs produced
-        by one emission (one :meth:`BaseExecutor.route_emission` call).
+        .. deprecated:: thin shim over :meth:`deliver` (the semantics
+           moved there unchanged); call :meth:`deliver` directly.
+        """
+        self.deliver(src_worker, sends)
+
+    def deliver(
+        self, src_worker: "Worker", sends: List[Tup[int, Tuple]]
+    ) -> None:
+        """Unified delivery entry point for one emission's sends.
+
+        ``sends`` is an ordered list of ``(dst_task, tup)`` pairs
+        produced by one emission (one :meth:`BaseExecutor.route_emission`
+        call); a single-tuple send is just a length-one list.  This is
+        the *one* seam chaos faults hook: loss and jitter draws happen
+        here, per tuple, in list order — one RNG draw sequence no matter
+        how the caller grouped its sends.
+
         All surviving transfers with the same placement latency share a
         single delivery event instead of one event each, cutting the
-        per-event allocation of multi-consumer emissions.
-
-        Order preservation: the sends were scheduled back-to-back (their
+        per-event allocation of multi-consumer emissions.  Order
+        preservation: the sends were scheduled back-to-back (their
         sequence numbers are consecutive, so no foreign event can sort
         between them at equal ``(time, priority)``), hence delivering a
         same-delay group in list order from one event is observably
-        identical to delivering each from its own event.  Loss and jitter
-        draws happen here, per tuple, in list order — the same RNG draw
-        sequence as per-tuple :meth:`send`.
+        identical to delivering each from its own event.
+
+        Delivery uses fire-and-forget puts: if a destination queue is
+        full under the ``buffer`` policy, the put waits in the store's
+        putter list, which models the receiver-side transfer buffer
+        growing (visible to the metrics layer as ``backlog``).
         """
         env = self.env
         shed = self.config.overflow_policy == "shed"
@@ -280,6 +230,7 @@ class Transport:
             inter_worker = dst_worker is not src_worker
             if inter_worker and self.loss_probability > 0.0:
                 if self.rng.random() < self.loss_probability:
+                    # Lost on the wire: the tree times out and replays.
                     self.lost_count += 1
                     if self._m_lost_loss is not None:
                         self._m_lost_loss.inc()
@@ -308,9 +259,42 @@ class Transport:
             )
 
     def _deliver_batch(self, batch: List[Tup[int, Tuple]], shed: bool) -> None:
-        """Arrival of one same-delay delivery group, in emission order."""
+        """Arrival of one same-delay delivery group, in emission order.
+
+        The common configuration — no tracer, ``buffer`` overflow policy
+        — takes a vectorized path: consecutive same-destination runs are
+        enqueued with one :meth:`~repro.des.stores.Store.put_many` per
+        run (and crash losses counted per run), which preserves the
+        per-tuple arrival order exactly while skipping the per-tuple
+        put-event machinery on same-tick bursts.
+        """
         env = self.env
         tr = self.tracer
+        if tr is None and not shed:
+            now = env.now
+            queues = self.queues
+            placement = self.placement
+            i = 0
+            n = len(batch)
+            while i < n:
+                dst_task = batch[i][0]
+                j = i + 1
+                while j < n and batch[j][0] == dst_task:
+                    j += 1
+                if placement[dst_task].crashed:
+                    # Connection to a died worker: the transfers vanish;
+                    # the acker's timeout sweep fails the trees and the
+                    # spout replays after recovery.
+                    lost = j - i
+                    self.lost_count += lost
+                    if self._m_lost_crash is not None:
+                        self._m_lost_crash.inc(lost)
+                else:
+                    queues[dst_task].put_many(
+                        [Envelope(tup, now) for _, tup in batch[i:j]]
+                    )
+                i = j
+            return
         for dst_task, tup in batch:
             if self.placement[dst_task].crashed:
                 self.lost_count += 1
@@ -324,6 +308,9 @@ class Transport:
                 continue
             queue = self.queues[dst_task]
             if shed and queue.is_full:
+                # Load shedding: drop at the receiver and fail the tree
+                # right away so the spout replays without waiting for the
+                # message timeout.
                 self.dropped_count += 1
                 if self._m_shed is not None:
                     self._m_shed.inc()
@@ -451,12 +438,10 @@ class BaseExecutor:
                     self.ledger.emit(root, edge)
                 sends.append((dst, out))
                 self.emitted_count += 1
-        # Multi-target emissions share delivery events (see send_batch);
-        # the single-target hot path keeps the direct send.
-        if len(sends) == 1:
-            self.transport.send(self.worker, sends[0][0], sends[0][1])
-        elif sends:
-            self.transport.send_batch(self.worker, sends)
+        # One deliver() per emission: same-latency targets share delivery
+        # events and chaos faults hook the single transport seam.
+        if sends:
+            self.transport.deliver(self.worker, sends)
         return edges
 
     def purge_queue(self, ledger: Optional["AckLedger"] = None) -> int:

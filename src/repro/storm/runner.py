@@ -250,12 +250,13 @@ class StormSimulation:
         metrics_interval: float = 1.0,
         faults: Sequence[Fault] = (),
         observability: Union[ObservabilityConfig, Observability, None] = None,
+        scheduler: str = "heap",
     ) -> None:
         # Fresh edge-id space per simulation keeps runs independent even
         # within one process (pytest runs many simulations back to back).
         reset_edge_ids()
         self.obs = Observability(observability)
-        self.env = Environment()
+        self.env = Environment(queue=scheduler)
         if self.obs.profiler is not None:
             self.env.set_profiler(self.obs.profiler)
         self.cluster = Cluster(

@@ -120,3 +120,21 @@ def test_checked_in_bench_pr5_speedup():
             f"{doc['env']['cpu_count']}, jobs={res['jobs']})"
         )
     assert doc["speedups"]["campaign_fanout"] >= 1.8
+
+
+def test_checked_in_bench_pr6_cluster_speedup():
+    """Acceptance pin: BENCH_pr6.json shows >=2x calendar-vs-heap
+    speedup on the full-scale cluster_scale pair (interleaved
+    min-ratio, so the number is load-drift-immune; see
+    docs/scheduler.md)."""
+    import pytest
+
+    path = Path(__file__).parents[2] / "BENCH_pr6.json"
+    if not path.exists():
+        pytest.skip("BENCH_pr6.json not generated in this checkout")
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro-bench/2"
+    if doc["scale"] != "full":
+        pytest.skip("cluster_scale acceptance is pinned at --scale full")
+    assert "cluster_scale_heap" in doc["results"]
+    assert doc["speedups"]["cluster_scale"] >= 2.0

@@ -55,9 +55,10 @@ def test_lanes_partition_the_stream_space(root, run, lanes):
     if lanes:
         bare = derive_seed(root, run)
         laned = derive_seed(root, run, *lanes)
-        # SeedSequence entropy [root, run] vs [root, run, *lanes] differ
-        # unless hashing collides; a collision here would silently reuse
-        # one run's faults as another's schedule stream.
+        # Laned entropy is length-prefixed ([root, run, len, *lanes])
+        # because SeedSequence ignores trailing zero words; without the
+        # prefix a 0-valued lane aliases the bare stream and silently
+        # reuses one run's faults as another's schedule stream.
         assert bare != laned or lanes == []
 
 

@@ -1,0 +1,89 @@
+"""Scheduler-choice golden pins: byte-identical results under any queue.
+
+Two guarantees ride on the pluggable EventQueue API (see
+``docs/scheduler.md``):
+
+* the chaos-smoke golden (``tests/golden/chaos_smoke.json``) must be
+  reproduced byte-for-byte with ``scheduler="calendar"`` — the same
+  campaign the heap-backed golden test replays;
+* a 100-node / 2000-executor cluster run (``tests/golden/
+  cluster_scale.json``) must produce the same summary under both
+  schedulers — the calendar queue's target regime, pinned so a future
+  "optimisation" cannot trade determinism for speed at exactly the
+  scale the ``cluster_scale`` benchmark quotes.
+
+Regenerate ``cluster_scale.json`` by running ``_cluster_summary`` (either
+scheduler — the point is they agree) and dumping it with
+``json.dump(..., sort_keys=True, indent=2)`` plus a trailing newline.
+"""
+
+import json
+from pathlib import Path
+
+from repro.apps import build_url_count_topology
+from repro.experiments.reliability import run_chaos_campaign
+from repro.obs.export import summary_to_json
+from repro.storm import ChaosSpec, SimulationBuilder
+from repro.storm.cluster import NodeSpec
+from repro.storm.topology import TopologyConfig
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+CLUSTER_NODES = 100
+CLUSTER_EXECUTORS = 2000
+
+
+def test_chaos_smoke_golden_holds_under_calendar_scheduler(tmp_path):
+    report = run_chaos_campaign(
+        app="url_count",
+        spec=ChaosSpec(crashes=1, losses=1),
+        seed=7,
+        runs=3,
+        horizon=90.0,
+        base_rate=120.0,
+        scheduler="calendar",
+    )
+    out = tmp_path / "chaos_smoke_calendar.json"
+    summary_to_json(report.summary(), out)
+    golden = (GOLDEN_DIR / "chaos_smoke.json").read_text()
+    assert out.read_text() == golden, (
+        "calendar scheduler diverged from the heap-backed golden — the "
+        "EventQueue implementations no longer pop the same order"
+    )
+
+
+def _cluster_summary(scheduler: str) -> dict:
+    topology = build_url_count_topology(
+        spout_parallelism=100,
+        parse_parallelism=900,
+        count_parallelism=999,
+        config=TopologyConfig(num_workers=200, tick_interval=1.0),
+    )
+    total = sum(spec.parallelism for spec in topology.specs.values())
+    assert total == CLUSTER_EXECUTORS
+    sim = (
+        SimulationBuilder(topology)
+        .nodes([
+            NodeSpec(f"n{i:03d}", cores=4, slots=2)
+            for i in range(CLUSTER_NODES)
+        ])
+        .seed(7)
+        .scheduler(scheduler)
+        .build()
+    )
+    return sim.run(duration=5.0).summary()
+
+
+def test_cluster_scale_summary_pinned_under_both_schedulers():
+    golden = json.loads((GOLDEN_DIR / "cluster_scale.json").read_text())
+    heap = _cluster_summary("heap")
+    calendar = _cluster_summary("calendar")
+    assert json.dumps(heap, sort_keys=True) == json.dumps(
+        calendar, sort_keys=True
+    ), "schedulers disagree at cluster scale"
+    assert json.dumps(heap, sort_keys=True) == json.dumps(
+        golden, sort_keys=True
+    ), (
+        "cluster-scale run drifted from tests/golden/cluster_scale.json; "
+        "if intentional, regenerate it (see module docstring) and commit"
+    )
