@@ -16,8 +16,9 @@ Two checks run per benchmark, both with the same ``tolerance``:
   ``repro.bench.harness``), but separate runs on a shared machine can
   still drift apart, so this check alone is not enough.
 * paired speedup — for benchmarks with a frozen ``_legacy`` (or
-  same-code ``_serial``) twin, the interleaved current-vs-twin speedup
-  must not drop below the baseline's by more than ``tolerance``.
+  same-code ``_serial`` / ``_heap`` / ``_fullbatch``) twin, the
+  interleaved current-vs-twin speedup must not drop below the
+  baseline's by more than ``tolerance``.
   Because both sides run interleaved in one process, this ratio is
   immune to machine-load drift and is the reliable signal on busy CI
   runners.
@@ -44,7 +45,8 @@ import sys
 LEGACY_SUFFIX = "_legacy"
 SERIAL_SUFFIX = "_serial"
 HEAP_SUFFIX = "_heap"
-TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX, HEAP_SUFFIX)
+FULLBATCH_SUFFIX = "_fullbatch"
+TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX, HEAP_SUFFIX, FULLBATCH_SUFFIX)
 
 
 def _best_time(result: dict) -> float:

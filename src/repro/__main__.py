@@ -12,7 +12,10 @@ Commands
     ``--emit-snapshots`` export the structured trace and snapshot
     streams as JSONL; ``--profile`` prints the DES kernel profile.
 ``predict``
-    Collect a trace and run the DRNN/ARIMA/SVR comparison on it.
+    Collect a trace and run the model-zoo comparison on it (DRNN-LSTM/
+    GRU, TCN, SVR, ARIMA, Holt-Winters, ensemble); ``--grid`` evaluates
+    a ``(model x app x fault-profile)`` grid and can write the
+    byte-stable grid report JSON.
 ``reliability``
     Run one misbehaving-worker scenario (baseline / reactive / drnn).
 ``chaos``
@@ -173,6 +176,36 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         format_table,
     )
 
+    if args.grid:
+        from repro.experiments.prediction import ALL_MODELS, run_prediction_grid
+        from repro.obs.report import grid_summary, report_to_json
+
+        grid = run_prediction_grid(
+            apps=tuple(args.apps) if args.apps else (args.app,),
+            profiles=tuple(args.profiles),
+            models=tuple(args.models) if args.models else ALL_MODELS,
+            duration=args.duration,
+            base_rate=args.rate,
+            window=args.window,
+            horizon=args.horizon,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+            drnn_epochs=args.epochs,
+        )
+        print(
+            format_table(
+                ["app", "profile", "model", "MAPE %", "RMSE (s)", "MAE (s)"],
+                grid.table_rows(),
+                title=f"model grid: {args.horizon}-interval-ahead prediction",
+            )
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report_to_json(grid_summary(grid)))
+            print(f"wrote grid report to {args.out}")
+        return 0
+
     bundle = collect_trace(
         app=args.app, duration=args.duration, base_rate=args.rate, seed=args.seed
     )
@@ -181,6 +214,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         app=args.app,
         window=args.window,
         horizon=args.horizon,
+        models=(
+            tuple(args.models) if args.models else ("drnn", "arima", "svr")
+        ),
         drnn_epochs=args.epochs,
         seed=args.seed,
         jobs=args.jobs,
@@ -245,6 +281,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=args.cache,
         scheduler=args.scheduler,
+        retrain_interval=args.retrain_interval,
     )
     print(f"app          : {args.app}  arm: {args.arm}")
     print(f"campaign     : seed={args.seed} runs={args.runs}"
@@ -377,11 +414,25 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(p)
     p.set_defaults(func=_cmd_trace)
 
-    p = sub.add_parser("predict", help="DRNN vs ARIMA vs SVR on a trace")
+    p = sub.add_parser("predict", help="model zoo comparison on a trace")
     common(p, 360.0)
     p.add_argument("--window", type=int, default=8)
     p.add_argument("--horizon", type=int, default=5)
     p.add_argument("--epochs", type=int, default=60)
+    p.add_argument("--models", nargs="*", default=None,
+                   help="model subset (default: drnn arima svr; the grid "
+                        "defaults to all seven families)")
+    p.add_argument("--grid", action="store_true",
+                   help="run the (model x app x fault-profile) grid "
+                        "instead of a single-trace comparison")
+    p.add_argument("--apps", nargs="*", default=None,
+                   help="grid apps (default: just --app)")
+    p.add_argument("--profiles", nargs="*",
+                   default=("interference", "slowdown"),
+                   help="grid fault profiles "
+                        "(interference/calm/slowdown/crash)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the byte-stable grid report JSON here")
     _parallel_flags(p)
     p.set_defaults(func=_cmd_predict)
 
@@ -401,7 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=3,
                    help="simulations in the campaign")
     p.add_argument("--arm", default="baseline",
-                   choices=("baseline", "reactive"))
+                   choices=("baseline", "reactive", "online"))
+    p.add_argument("--retrain-interval", type=float, default=30.0,
+                   help="online arm: sim-seconds between in-run predictor "
+                        "refits (ignored by other arms)")
     p.add_argument("--crashes", type=int, default=1)
     p.add_argument("--losses", type=int, default=1)
     p.add_argument("--delays", type=int, default=0)
@@ -445,7 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload size preset (default: smoke)")
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--repeats", type=int, default=5)
-    p.add_argument("--out", default="BENCH_pr6.json",
+    p.add_argument("--out", default="BENCH_pr7.json",
                    help="output JSON path")
     p.add_argument("--only", nargs="*", default=None,
                    help="subset of benchmark names to run")

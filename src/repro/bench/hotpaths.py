@@ -57,6 +57,9 @@ SCALES: Dict[str, Dict[str, int]] = {
         "drnn_epochs": 2,
         "drnn_hidden": 12,
         "predict_samples": 128,
+        "minibatch_samples": 96,
+        "minibatch_batch": 16,
+        "minibatch_epochs": 2,
         "campaign_runs": 4,
         "campaign_horizon": 30,
         "campaign_rate": 60,
@@ -77,6 +80,9 @@ SCALES: Dict[str, Dict[str, int]] = {
         "drnn_epochs": 6,
         "drnn_hidden": 16,
         "predict_samples": 512,
+        "minibatch_samples": 256,
+        "minibatch_batch": 32,
+        "minibatch_epochs": 3,
         "campaign_runs": 16,
         "campaign_horizon": 60,
         "campaign_rate": 120,
@@ -293,6 +299,61 @@ def make_drnn_predict(scale: Dict[str, int]) -> Callable[[], int]:
     return run
 
 
+def _minibatch_updates(scale: Dict[str, int]) -> int:
+    n, B = scale["minibatch_samples"], scale["minibatch_batch"]
+    return scale["minibatch_epochs"] * ((n + B - 1) // B)
+
+
+def make_drnn_minibatch(scale: Dict[str, int]) -> Callable[[], int]:
+    """Mini-batched BPTT on the float32 path — the grid-training hotpath.
+
+    Work units are *optimizer updates*: the ``_fullbatch`` twin performs
+    the same number of updates with ``batch_size=n`` (each update seeing
+    the whole set), so the speedup documents the per-update cost
+    advantage of mini-batching at grid-training scale, not a change in
+    optimization trajectory length.
+    """
+    n = scale["minibatch_samples"]
+    X, y = _drnn_data(scale, n)
+    updates = _minibatch_updates(scale)
+
+    def run() -> int:
+        model = DRNNRegressor(
+            input_dim=13,
+            hidden_sizes=(scale["drnn_hidden"], scale["drnn_hidden"]),
+            epochs=scale["minibatch_epochs"],
+            batch_size=scale["minibatch_batch"],
+            patience=0,  # fixed update count: identical work every repeat
+            seed=0,
+            dtype="float32",
+        )
+        model.fit(X, y)
+        return updates
+
+    return run
+
+
+def make_drnn_minibatch_fullbatch(scale: Dict[str, int]) -> Callable[[], int]:
+    n = scale["minibatch_samples"]
+    X, y = _drnn_data(scale, n)
+    updates = _minibatch_updates(scale)
+
+    def run() -> int:
+        model = DRNNRegressor(
+            input_dim=13,
+            hidden_sizes=(scale["drnn_hidden"], scale["drnn_hidden"]),
+            epochs=updates,  # one full-batch update per epoch
+            batch_size=n,
+            patience=0,
+            seed=0,
+            dtype="float32",
+        )
+        model.fit(X, y)
+        return updates
+
+    return run
+
+
 # -- cluster-scale scheduler -------------------------------------------------------
 
 #: Hold times (integer microseconds on the 1 ms tick grid) for the
@@ -430,8 +491,9 @@ def make_campaign_fanout_serial(
     return lambda: _campaign_workload(scale, 1)
 
 
-#: name -> factory; ``*_legacy`` / ``*_serial`` / ``*_heap`` entries are
-#: paired with their base name by the harness to derive speedup ratios.
+#: name -> factory; ``*_legacy`` / ``*_serial`` / ``*_heap`` /
+#: ``*_fullbatch`` entries are paired with their base name by the
+#: harness to derive speedup ratios.
 BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
     "des_event_loop": make_des_event_loop,
     "des_event_loop_legacy": make_des_event_loop_legacy,
@@ -440,6 +502,8 @@ BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
     "monitor_observe_extract_legacy": make_monitor_observe_extract_legacy,
     "drnn_fit": make_drnn_fit,
     "drnn_predict": make_drnn_predict,
+    "drnn_minibatch": make_drnn_minibatch,
+    "drnn_minibatch_fullbatch": make_drnn_minibatch_fullbatch,
     "cluster_scale": make_cluster_scale,
     "cluster_scale_heap": make_cluster_scale_heap,
     "campaign_fanout": make_campaign_fanout,

@@ -27,13 +27,21 @@ from repro.core.detector import MisbehaviorDetector
 from repro.core.monitor import StatsMonitor
 from repro.core.planner import SplitRatioPlanner
 from repro.core.predictor import PerformancePredictor
+from repro.core.retraining import (
+    OnlineModelFactory,
+    RetrainEvent,
+    RetrainingPredictor,
+)
 
 __all__ = [
     "ControlAction",
     "ControllerConfig",
     "MisbehaviorDetector",
+    "OnlineModelFactory",
     "PerformancePredictor",
     "PredictiveController",
+    "RetrainEvent",
+    "RetrainingPredictor",
     "SplitRatioPlanner",
     "StatsMonitor",
 ]

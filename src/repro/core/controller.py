@@ -197,6 +197,16 @@ class PredictiveController:
             )
         self.sim = sim
         self._proc = sim.env.process(self._loop(), name="predictive-controller")
+        # Online retraining runs as its own DES process, registered
+        # *after* the control loop: at ticks where both fire, the
+        # controller predicts with the previous model, then the refit
+        # runs — fixed order, so campaigns stay byte-deterministic.
+        from repro.core.retraining import RetrainingPredictor
+
+        if isinstance(self.predictor, RetrainingPredictor):
+            self._retrain_proc = sim.env.process(
+                self._retrain_loop(), name="predictor-retrain"
+            )
 
     def _require_attached(self) -> "StormSimulation":
         if self.sim is None:
@@ -218,6 +228,20 @@ class PredictiveController:
                 self._m_step_wall.add(time.perf_counter() - t0)
             else:
                 self._step()
+
+    def _retrain_loop(self):
+        """Periodic refit process for a :class:`RetrainingPredictor`.
+
+        Trains on whatever the monitor has ingested up to the last
+        control step — metrics ingestion stays the control loop's job, so
+        the data the refit sees is exactly what the controller acted on.
+        """
+        env = self._require_attached().env
+        assert self.monitor is not None
+        interval = self.predictor.retrain_interval
+        while True:
+            yield env.timeout(interval)
+            self.predictor.maybe_retrain(self.monitor, env.now)
 
     def _step(self) -> None:
         sim = self._require_attached()

@@ -322,7 +322,7 @@ class StatsMonitor:
         }
 
     def pooled_training_data(
-        self, window: int, horizon: int = 1
+        self, window: int, horizon: int = 1, last: Optional[int] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Stack supervised windows of *all* workers into one dataset.
 
@@ -332,9 +332,16 @@ class StatsMonitor:
         observation: leading intervals where the worker had executed
         nothing carry a padded 0.0 target that would otherwise teach the
         model a fictitious zero-latency regime.
+
+        ``last`` restricts each worker's history to its most recent
+        ``last`` intervals — the rolling-window view used by online
+        retraining, where stale regimes should age out of the training
+        set instead of anchoring the model forever.
         """
         from repro.models.preprocessing import make_supervised_windows
 
+        if last is not None and last < 1:
+            raise ValueError("last must be >= 1 when given")
         n = self._n
         xs, ys = [], []
         for wid in self._worker_ids:
@@ -342,6 +349,8 @@ class StatsMonitor:
             start = int(self._first_real[r])
             if start < 0:
                 continue  # never executed: nothing real to learn from
+            if last is not None:
+                start = max(start, n - last)
             F = self._F[start:n, r]
             t = self._y[start:n, r]
             if F.shape[0] < window + horizon:

@@ -5,8 +5,10 @@ experiment index):
 
 * :mod:`~repro.experiments.traces` — run an application and collect its
   multilevel-statistics trace (the raw material of E1–E3, E8, E9).
-* :mod:`~repro.experiments.prediction` — train/evaluate DRNN vs ARIMA vs
-  SVR on collected traces (E1–E3, E8, E9).
+* :mod:`~repro.experiments.prediction` — train/evaluate the predictor
+  model zoo (DRNN-LSTM/GRU, TCN, SVR, ARIMA, Holt-Winters, ensemble) on
+  collected traces, single-trace or as a ``(model × app ×
+  fault-profile)`` grid (E1–E3, E8, E9).
 * :mod:`~repro.experiments.reliability` — misbehaving-worker scenarios:
   plain-Storm baseline vs the predictive framework (E5–E7, E10).
 * :mod:`~repro.experiments.tables` — plain-text table rendering for the
@@ -14,9 +16,12 @@ experiment index):
 """
 
 from repro.experiments.prediction import (
+    ALL_MODELS,
+    PredictionGrid,
     PredictionResult,
     evaluate_models_on_trace,
     prediction_comparison,
+    run_prediction_grid,
 )
 from repro.experiments.reliability import (
     ReliabilityResult,
@@ -27,6 +32,8 @@ from repro.experiments.tables import format_table
 from repro.experiments.traces import TraceBundle, collect_trace
 
 __all__ = [
+    "ALL_MODELS",
+    "PredictionGrid",
     "PredictionResult",
     "ReliabilityResult",
     "TraceBundle",
@@ -35,5 +42,5 @@ __all__ = [
     "evaluate_models_on_trace",
     "format_table",
     "prediction_comparison",
-    "run_reliability_scenario",
+    "run_prediction_grid",
 ]

@@ -1,4 +1,11 @@
-"""Prediction-accuracy experiments: DRNN vs ARIMA vs SVR (E1–E3, E8, E9).
+"""Prediction-accuracy experiments: the model zoo (E1–E3, E8, E9).
+
+The comparison covers seven model families: the paper's three (DRNN-LSTM,
+ARIMA, SVR) plus DRNN-GRU, Holt-Winters exponential smoothing, a causal
+temporal-convolution regressor (TCN), and a rolling-error ensemble
+auto-selector over the rest — the wider family Gontarska et al. argue an
+honest load-prediction benchmark needs.  :func:`run_prediction_grid`
+evaluates them as a ``(model × app × fault-profile)`` grid.
 
 Protocol (mirroring the paper's model comparison):
 
@@ -8,13 +15,18 @@ Protocol (mirroring the paper's model comparison):
   actionable, and this is where model quality separates — at 1-step-ahead
   every method degenerates to "repeat the last value" on a persistent
   series;
-* DRNN and SVR consume windows of multilevel statistics ending ``horizon``
-  intervals before the target (chronological 70/30 train/test split,
-  pooled over workers, scalers fitted on train only);
-* ARIMA is univariate: fitted per worker on the training portion of the
-  target series, then walked forward over the test portion, issuing an
-  ``horizon``-step forecast from each point (frozen parameters, true
-  values appended as they arrive — the standard walk-forward protocol);
+* windowed models (DRNN-LSTM/GRU, TCN, SVR) consume windows of multilevel
+  statistics ending ``horizon`` intervals before the target
+  (chronological 70/30 train/test split, pooled over workers, scalers
+  fitted on train only);
+* series models (ARIMA, Holt-Winters) are univariate: fitted per worker
+  on the training portion of the target series, then walked forward over
+  the test portion, issuing an ``horizon``-step forecast from each point
+  (frozen parameters, true values appended as they arrive — the standard
+  walk-forward protocol);
+* the ensemble is a strictly-causal per-point auto-selector over the
+  other requested models' test predictions (rolling MAE, see
+  :mod:`repro.models.ensemble`);
 * accuracy is reported as MAPE (headline), RMSE and MAE over the pooled
   test predictions.
 """
@@ -33,11 +45,21 @@ from repro.models import (
     DRNNRegressor,
     StandardScaler,
     SVRegressor,
+    TCNRegressor,
+    auto_smoothing,
     mae,
     mape,
     rmse,
+    rolling_selection,
 )
 from repro.models.preprocessing import make_supervised_windows
+
+#: Models that consume multilevel-statistics windows (one fan-out shard).
+WINDOWED_MODELS = ("drnn", "drnn_gru", "svr", "tcn")
+#: Univariate series models (one fan-out shard per worker series).
+SERIES_MODELS = ("arima", "holt")
+#: Every selectable model name, ensemble included.
+ALL_MODELS = WINDOWED_MODELS + SERIES_MODELS + ("ensemble",)
 
 
 @dataclass
@@ -50,6 +72,8 @@ class PredictionResult:
     scores: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: model -> (y_true, y_pred) pooled over workers, test portion
     traces: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    #: auxiliary per-model facts (e.g. the ensemble's selection counts)
+    meta: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def table_rows(self) -> List[List[object]]:
         rows = []
@@ -136,13 +160,23 @@ def _fit_predict_windowed(
     drnn_hidden: Tuple[int, ...],
     drnn_epochs: int,
     seed: int,
+    tcn_channels: Tuple[int, ...] = (16, 16),
 ) -> np.ndarray:
     """Fan-out worker: fit one windowed model on pre-scaled arrays and
     return its (still-scaled) test predictions."""
-    if name == "drnn":
+    if name in ("drnn", "drnn_gru"):
         model = DRNNRegressor(
             input_dim=X_tr.shape[2],
             hidden_sizes=tuple(drnn_hidden),
+            epochs=drnn_epochs,
+            seed=seed,
+            patience=20,
+            cell="gru" if name == "drnn_gru" else "lstm",
+        )
+    elif name == "tcn":
+        model = TCNRegressor(
+            input_dim=X_tr.shape[2],
+            channels=tuple(tcn_channels),
             epochs=drnn_epochs,
             seed=seed,
             patience=20,
@@ -186,6 +220,31 @@ def _arima_fold(t: np.ndarray, cut: int, horizon: int) -> np.ndarray:
     return worker_preds
 
 
+def _holt_fold(t: np.ndarray, cut: int, horizon: int) -> np.ndarray:
+    """Fan-out worker: Holt-Winters h-step walk-forward over one series.
+
+    Variant selection (simple vs trend) happens once on the training
+    portion by AIC (:func:`repro.models.smoothing.auto_smoothing`); the
+    walk-forward then re-runs the smoothing recursion over each growing
+    history with the *frozen* fitted weights — the same information
+    boundary the other models get.
+    """
+    train, test = t[:cut], t[cut:]
+    fallback = float(np.mean(train))
+    try:
+        model = auto_smoothing(train)
+    except ValueError:  # degenerate / too-short training series
+        return np.full(len(test), fallback)
+    preds = np.empty(len(test))
+    for j in range(len(test)):
+        history = t[: cut + j - horizon + 1]
+        if len(history) < model.min_history:
+            preds[j] = fallback
+        else:
+            preds[j] = model.forecast_from(history, steps=horizon)[-1]
+    return preds
+
+
 def _array_digest(arr: np.ndarray) -> str:
     """Content digest of an input array, for cache key material."""
     import hashlib
@@ -209,24 +268,33 @@ def evaluate_models_on_trace(
     seed: int = 0,
     jobs: int = 1,
     cache=None,
+    tcn_channels: Tuple[int, ...] = (16, 16),
+    ensemble_window: int = 8,
 ) -> PredictionResult:
     """Train and score the requested models on one collected trace.
 
     The model grid fans out per ``(model, fold)`` across ``jobs`` worker
-    processes (``0`` = all cores): each windowed model (DRNN, SVR) is one
-    shard, ARIMA is one shard per worker series.  Every shard is seeded
-    and scaled identically to the serial path, so scores are bit-equal at
-    any ``jobs``.  ``cache`` (path or
-    :class:`~repro.parallel.ResultCache`) keys shard results on the model
-    configuration *and* a content digest of the input arrays, so editing
-    only the plotting/tables layer re-uses every fit.
+    processes (``0`` = all cores): each windowed model (DRNN-LSTM/GRU,
+    TCN, SVR) is one shard, each series model (ARIMA, Holt-Winters) one
+    shard per worker series.  Every shard is seeded and scaled
+    identically to the serial path, so scores are bit-equal at any
+    ``jobs``.  ``cache`` (path or :class:`~repro.parallel.ResultCache`)
+    keys shard results on the model configuration *and* a content digest
+    of the input arrays, so editing only the plotting/tables layer
+    re-uses every fit.  ``"ensemble"`` adds the causal rolling-error
+    auto-selector over the other requested models (at least two needed);
+    it is free — pure post-processing of predictions already computed.
     """
     from repro.parallel import ResultCache, RunSpec, key_material, run_sharded
 
-    known = {"drnn", "svr", "arima"}
-    unknown = set(models) - known
+    unknown = set(models) - set(ALL_MODELS)
     if unknown:
         raise ValueError(f"unknown model {sorted(unknown)[0]!r}")
+    base_models = [m for m in models if m != "ensemble"]
+    if "ensemble" in models and len(base_models) < 2:
+        raise ValueError(
+            "the ensemble needs at least 2 other models to select among"
+        )
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     result = PredictionResult(app=app, window=window, horizon=horizon)
@@ -255,15 +323,18 @@ def evaluate_models_on_trace(
     specs: List[RunSpec] = []
     #: model -> list of spec positions whose results pool (in order)
     spec_slots: Dict[str, List[int]] = {}
-    for name in models:
-        if name in ("drnn", "svr"):
+    for name in base_models:
+        if name in WINDOWED_MODELS:
+            uses_hidden = name in ("drnn", "drnn_gru")
+            trains = name != "svr"
             key = None
             if cache is not None:
                 key = key_material(
                     "prediction-model",
                     model=name,
-                    drnn_hidden=list(drnn_hidden) if name == "drnn" else None,
-                    drnn_epochs=drnn_epochs if name == "drnn" else None,
+                    drnn_hidden=list(drnn_hidden) if uses_hidden else None,
+                    drnn_epochs=drnn_epochs if trains else None,
+                    tcn_channels=list(tcn_channels) if name == "tcn" else None,
                     data={
                         "X_tr": _array_digest(X_tr_s),
                         "y_tr": _array_digest(y_tr_s),
@@ -278,13 +349,14 @@ def evaluate_models_on_trace(
                     kwargs=dict(
                         name=name, X_tr=X_tr_s, y_tr=y_tr_s, X_te=X_te_s,
                         drnn_hidden=drnn_hidden, drnn_epochs=drnn_epochs,
-                        seed=seed,
+                        seed=seed, tcn_channels=tcn_channels,
                     ),
                     key=key,
                     label=f"predict-{name}",
                 )
             )
-        else:  # arima: one fold per worker series, pooled in worker order
+        else:  # series models: one fold per worker series, pooled in order
+            fold_fn = _arima_fold if name == "arima" else _holt_fold
             slots = []
             for wid in monitor.worker_ids:
                 t = monitor.target_series(wid)
@@ -292,7 +364,7 @@ def evaluate_models_on_trace(
                 key = None
                 if cache is not None:
                     key = key_material(
-                        "prediction-arima-fold",
+                        f"prediction-{name}-fold",
                         fold=int(wid),
                         cut=cut,
                         data=_array_digest(t),
@@ -301,25 +373,57 @@ def evaluate_models_on_trace(
                 slots.append(len(specs))
                 specs.append(
                     RunSpec(
-                        fn=_arima_fold,
+                        fn=fold_fn,
                         kwargs=dict(t=t, cut=cut, horizon=horizon),
                         key=key,
-                        label=f"predict-arima-w{wid}",
+                        label=f"predict-{name}-w{wid}",
                     )
                 )
             spec_slots[name] = slots
 
     outputs = run_sharded(specs, jobs=jobs, cache=cache)
 
-    for name in models:
+    for name in base_models:
         slots = spec_slots[name]
-        if name in ("drnn", "svr"):
+        if name in WINDOWED_MODELS:
             pred = _from_log(sy.inverse_transform(outputs[slots[0]]))
         else:
             pred = np.concatenate([outputs[i] for i in slots])
         pred = np.maximum(np.asarray(pred, dtype=float), 0.0)
         result.scores[name] = _score(y_te, pred)
         result.traces[name] = (y_te.copy(), pred)
+
+    if "ensemble" in models:
+        # Per-point causal selection must respect worker boundaries: the
+        # pooled test vector is a concatenation of per-worker segments,
+        # and a model's error on worker A says nothing about worker B.
+        seg_lens = [
+            len(monitor.target_series(wid))
+            - _split_index(len(monitor.target_series(wid)), train_fraction)
+            for wid in monitor.worker_ids
+        ]
+        parts: List[np.ndarray] = []
+        counts: Dict[str, int] = {}
+        off = 0
+        for seg in seg_lens:
+            seg_preds = {
+                name: result.traces[name][1][off : off + seg]
+                for name in base_models
+            }
+            combined, chosen = rolling_selection(
+                seg_preds, y_te[off : off + seg], window=ensemble_window
+            )
+            parts.append(combined)
+            for c in chosen:
+                counts[c] = counts.get(c, 0) + 1
+            off += seg
+        pred = np.concatenate(parts)
+        result.scores["ensemble"] = _score(y_te, pred)
+        result.traces["ensemble"] = (y_te.copy(), pred)
+        result.meta["ensemble"] = {
+            "window": ensemble_window,
+            "selection_counts": {k: counts[k] for k in sorted(counts)},
+        }
     result.traces["actual"] = (y_te.copy(), y_te.copy())
     return result
 
@@ -339,3 +443,124 @@ def prediction_comparison(
         bundle.monitor, app=app, window=window, horizon=horizon, seed=seed,
         **eval_kw,
     )
+
+
+#: Fault profiles selectable as a grid axis.
+GRID_FAULT_PROFILES = ("interference", "calm", "slowdown", "crash")
+
+
+def _profile_faults(profile: str, duration: float):
+    """Fault list for one grid fault-profile (``None`` = trace default)."""
+    if profile == "interference":
+        return None  # collect_trace's default interference episodes
+    if profile == "calm":
+        return []
+    from repro.storm import SlowdownFault, WorkerCrashFault
+
+    if profile == "slowdown":
+        return [
+            SlowdownFault(
+                start=duration * 0.4, duration=duration * 0.3,
+                worker_id=2, factor=8.0,
+            )
+        ]
+    if profile == "crash":
+        return [
+            WorkerCrashFault(
+                start=duration * 0.4, duration=duration * 0.2, worker_id=2,
+            )
+        ]
+    raise ValueError(
+        f"unknown fault profile {profile!r}; choose from {GRID_FAULT_PROFILES}"
+    )
+
+
+@dataclass
+class PredictionGrid:
+    """Results of one ``(model × app × fault-profile)`` grid run."""
+
+    apps: Tuple[str, ...]
+    profiles: Tuple[str, ...]
+    models: Tuple[str, ...]
+    window: int
+    horizon: int
+    duration: float
+    seed: int
+    cells: Dict[Tuple[str, str], PredictionResult] = field(default_factory=dict)
+
+    def table_rows(self) -> List[List[object]]:
+        """``[app, profile, model, mape, rmse, mae]`` rows, sorted."""
+        rows = []
+        for (app, profile) in sorted(self.cells):
+            res = self.cells[(app, profile)]
+            for model in sorted(res.scores):
+                s = res.scores[model]
+                rows.append(
+                    [app, profile, model, s["mape"], s["rmse"], s["mae"]]
+                )
+        return rows
+
+    def best_model(self, app: str, profile: str, metric: str = "mape") -> str:
+        scores = self.cells[(app, profile)].scores
+        return min(sorted(scores), key=lambda m: scores[m][metric])
+
+
+def run_prediction_grid(
+    apps: Sequence[str] = ("url_count", "continuous_query"),
+    profiles: Sequence[str] = ("interference", "slowdown"),
+    models: Sequence[str] = ALL_MODELS,
+    duration: float = 240.0,
+    base_rate: float = 200.0,
+    window: int = 8,
+    horizon: int = 5,
+    seed: int = 0,
+    jobs: int = 1,
+    cache=None,
+    **eval_kw,
+) -> PredictionGrid:
+    """Evaluate the model zoo as a ``(model × app × fault-profile)`` grid.
+
+    Each ``(app, profile)`` cell collects one deterministic trace and
+    scores every requested model on it via
+    :func:`evaluate_models_on_trace`, reusing that function's sharded
+    fan-out (``jobs``) and content-addressed ``cache`` — so a warm-cache
+    grid rerun costs only the trace simulations, and the scores are
+    byte-identical at any ``jobs``.  Surface the result through
+    ``repro predict --grid`` or :func:`repro.obs.report.grid_summary`.
+    """
+    for p in profiles:
+        if p not in GRID_FAULT_PROFILES:
+            raise ValueError(
+                f"unknown fault profile {p!r}; choose from "
+                f"{GRID_FAULT_PROFILES}"
+            )
+    grid = PredictionGrid(
+        apps=tuple(apps),
+        profiles=tuple(profiles),
+        models=tuple(models),
+        window=window,
+        horizon=horizon,
+        duration=duration,
+        seed=seed,
+    )
+    for app in apps:
+        for profile in profiles:
+            bundle = collect_trace(
+                app=app,
+                duration=duration,
+                base_rate=base_rate,
+                seed=seed,
+                faults=_profile_faults(profile, duration),
+            )
+            grid.cells[(app, profile)] = evaluate_models_on_trace(
+                bundle.monitor,
+                app=f"{app}/{profile}",
+                window=window,
+                horizon=horizon,
+                models=models,
+                seed=seed,
+                jobs=jobs,
+                cache=cache,
+                **eval_kw,
+            )
+    return grid

@@ -10,6 +10,12 @@ Arms (``control``):
   workers, so the model has seen elevated service times without seeing
   the evaluation scenario).
 
+Chaos campaigns additionally accept ``control="online"``: the
+online-retraining arm, whose DRNN is periodically refit *inside* the
+simulation on the monitor's rolling window
+(:class:`~repro.core.retraining.RetrainingPredictor`) — no pre-trained
+calibration model at all.
+
 The default fault scenario slows ``k`` workers hard enough that the
 baseline cannot keep up (queues grow, tuples time out and replay, the
 spout throttles) while the framework should degrade only mildly — the
@@ -171,6 +177,43 @@ class ReactiveControllerFactory:
         )
 
 
+@dataclass(frozen=True)
+class OnlineControllerFactory:
+    """Picklable online-retraining controller factory.
+
+    Builds a :class:`~repro.core.retraining.RetrainingPredictor` around a
+    small DRNN rebuilt from scratch at every in-sim refit — no
+    pre-trained calibration model ships into the run; the controller
+    learns the topology from its own monitor history as it goes.
+    """
+
+    control_interval: float
+    window: int
+    retrain_interval: float = 30.0
+    max_history: int = 48
+    hidden: Tuple[int, ...] = (8,)
+    epochs: int = 25
+    model_seed: int = 0
+
+    def __call__(self):
+        from repro.core.retraining import OnlineModelFactory, RetrainingPredictor
+
+        predictor = RetrainingPredictor(
+            OnlineModelFactory(
+                hidden=self.hidden, epochs=self.epochs, seed=self.model_seed
+            ),
+            window=self.window,
+            retrain_interval=self.retrain_interval,
+            max_history=self.max_history,
+        )
+        return PredictiveController(
+            predictor,
+            ControllerConfig(
+                control_interval=self.control_interval, window=self.window
+            ),
+        )
+
+
 def run_chaos_campaign(
     app: str = "url_count",
     spec: Optional[ChaosSpec] = None,
@@ -185,12 +228,16 @@ def run_chaos_campaign(
     jobs: int = 1,
     cache=None,
     scheduler: str = "heap",
+    retrain_interval: float = 30.0,
 ) -> CampaignReport:
     """Run a seeded chaos campaign over one evaluation app.
 
     ``control=None`` runs the uncontrolled arm; ``"reactive"`` attaches a
     last-observation controller per run (its crash reaction reroutes
-    around dead workers even before the statistics window fills).  The
+    around dead workers even before the statistics window fills);
+    ``"online"`` attaches the online-retraining controller, whose DRNN is
+    refit every ``retrain_interval`` simulation seconds on the monitor's
+    rolling window inside the run (no pre-trained model).  The
     report is a pure function of the arguments — rerunning reproduces it
     bit-for-bit, and sharding it across ``jobs`` worker processes (``0``
     = all cores) or serving runs from ``cache`` changes wall-clock only,
@@ -199,13 +246,19 @@ def run_chaos_campaign(
     implementation pops the identical event order (see
     ``docs/scheduler.md``), pinned by the golden byte-identity tests.
     """
-    if control not in (None, "reactive"):
+    if control not in (None, "reactive", "online"):
         raise ValueError(f"unknown chaos control arm {control!r}")
     spec = spec if spec is not None else ChaosSpec(crashes=1, losses=1)
     controller_factory = None
     if control == "reactive":
         controller_factory = ReactiveControllerFactory(
             control_interval=control_interval, window=window
+        )
+    elif control == "online":
+        controller_factory = OnlineControllerFactory(
+            control_interval=control_interval,
+            window=window,
+            retrain_interval=retrain_interval,
         )
     campaign = ChaosCampaign(
         ChaosTopologyFactory(app=app, base_rate=base_rate),

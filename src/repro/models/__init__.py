@@ -6,6 +6,12 @@
 * :mod:`~repro.models.arima` — ARIMA(p, d, q) baseline fitted by
   conditional sum of squares, with AIC-driven order selection.
 * :mod:`~repro.models.svr` — epsilon-SVR baseline with RBF/linear kernels.
+* :mod:`~repro.models.smoothing` — simple/double/triple exponential
+  smoothing (additive Holt-Winters) with AIC-driven variant selection.
+* :mod:`~repro.models.tcn` — causal dilated temporal-convolution
+  regressor sharing the DRNN's optimizer/early-stopping machinery.
+* :mod:`~repro.models.ensemble` — rolling-error auto-selector over any
+  set of base predictors.
 * :mod:`~repro.models.preprocessing` — scaling and sliding-window dataset
   construction from multilevel-statistics time series.
 * :mod:`~repro.models.metrics` — forecast accuracy metrics (MAPE, sMAPE,
@@ -19,32 +25,48 @@ from repro.models.drnn import (
     DRNNRegressor,
     GRULayer,
     LSTMLayer,
+    fit_regressor,
     gradient_check,
 )
+from repro.models.ensemble import EnsemblePredictor, rolling_selection
 from repro.models.metrics import mae, mape, r2_score, rmse, smape
 from repro.models.preprocessing import (
     StandardScaler,
     make_supervised_windows,
     train_test_split_series,
 )
+from repro.models.smoothing import (
+    ExponentialSmoothing,
+    SmoothingFit,
+    auto_smoothing,
+)
 from repro.models.svr import SVRegressor
+from repro.models.tcn import CausalConv1D, TCNRegressor
 
 __all__ = [
     "Adam",
     "Arima",
+    "CausalConv1D",
     "DRNNRegressor",
     "Dense",
+    "EnsemblePredictor",
+    "ExponentialSmoothing",
     "GRULayer",
     "LSTMLayer",
     "SVRegressor",
+    "SmoothingFit",
     "StandardScaler",
+    "TCNRegressor",
     "auto_arima",
+    "auto_smoothing",
+    "fit_regressor",
     "gradient_check",
     "mae",
     "make_supervised_windows",
     "mape",
     "r2_score",
     "rmse",
+    "rolling_selection",
     "smape",
     "train_test_split_series",
 ]

@@ -420,6 +420,130 @@ class TrainHistory:
     train_loss: List[float] = field(default_factory=list)
     val_loss: List[float] = field(default_factory=list)
     stopped_epoch: int = 0
+    #: learning rate in effect after each epoch (changes only when the
+    #: validation-driven decay schedule is enabled)
+    lr: List[float] = field(default_factory=list)
+
+
+def fit_regressor(model, X: np.ndarray, y: np.ndarray, verbose: bool = False):
+    """Shared mini-batch training loop for the from-scratch regressors.
+
+    Drives any model exposing ``params`` / ``loss_and_grads`` / ``forward``
+    plus the optimisation attributes (``lr``, ``epochs``, ``batch_size``,
+    ``clip_norm``, ``patience``, ``val_fraction``, ``rng``, ``dtype``,
+    ``history``) — the DRNN and the TCN share this loop so training
+    discipline (Adam, global-norm clipping, chronological validation tail,
+    best-checkpoint restore) is implemented exactly once.
+
+    Two optional attributes extend the basic loop:
+
+    ``accum_steps``
+        Accumulate gradients over that many consecutive mini-batches and
+        apply one (averaged) optimiser step per group — large effective
+        batches without the memory of materialising them.  ``1`` (the
+        default) takes the original one-step-per-batch path, byte-for-byte.
+    ``lr_decay`` / ``decay_patience``
+        When the validation loss has not improved for ``decay_patience``
+        consecutive epochs, multiply the learning rate by ``lr_decay``
+        (and keep training; early stopping still uses ``patience``).
+        ``lr_decay=1.0`` or ``decay_patience=0`` disables the schedule.
+    """
+    X = np.asarray(X, dtype=model.dtype)
+    y = np.asarray(y, dtype=model.dtype).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X/y length mismatch")
+    if X.shape[0] < 4:
+        raise ValueError("need at least 4 training samples")
+    n_val = (
+        max(1, int(X.shape[0] * model.val_fraction)) if model.patience > 0 else 0
+    )
+    if n_val and X.shape[0] - n_val < 2:
+        n_val = 0
+    X_tr, y_tr = (X[:-n_val], y[:-n_val]) if n_val else (X, y)
+    X_val, y_val = (X[-n_val:], y[-n_val:]) if n_val else (None, None)
+
+    accum_steps = int(getattr(model, "accum_steps", 1))
+    lr_decay = float(getattr(model, "lr_decay", 1.0))
+    decay_patience = int(getattr(model, "decay_patience", 0))
+    decay_on = lr_decay < 1.0 and decay_patience > 0
+
+    opt = Adam(model.params, lr=model.lr)
+    best_val = np.inf
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    bad_epochs = 0
+    decay_bad = 0
+    n = X_tr.shape[0]
+    for epoch in range(model.epochs):
+        order = model.rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        if accum_steps <= 1:
+            for start in range(0, n, model.batch_size):
+                idx = order[start : start + model.batch_size]
+                loss, grads = model.loss_and_grads(X_tr[idx], y_tr[idx])
+                clip_by_global_norm(grads, model.clip_norm)
+                opt.step(grads)
+                epoch_loss += loss
+                batches += 1
+        else:
+            # Gradient accumulation: sum grads over ``accum_steps``
+            # consecutive mini-batches, then apply one averaged step.
+            # ``loss_and_grads`` returns fresh arrays, so the first
+            # batch's dict is taken over as the accumulator in place.
+            acc: Optional[Dict[str, np.ndarray]] = None
+            acc_count = 0
+            for start in range(0, n, model.batch_size):
+                idx = order[start : start + model.batch_size]
+                loss, grads = model.loss_and_grads(X_tr[idx], y_tr[idx])
+                if acc is None:
+                    acc = grads
+                else:
+                    for k in acc:
+                        acc[k] += grads[k]
+                acc_count += 1
+                epoch_loss += loss
+                batches += 1
+                if acc_count == accum_steps:
+                    for k in acc:
+                        acc[k] /= acc_count
+                    clip_by_global_norm(acc, model.clip_norm)
+                    opt.step(acc)
+                    acc = None
+                    acc_count = 0
+            if acc is not None:  # trailing partial accumulation group
+                for k in acc:
+                    acc[k] /= acc_count
+                clip_by_global_norm(acc, model.clip_norm)
+                opt.step(acc)
+        model.history.train_loss.append(epoch_loss / max(1, batches))
+        if n_val:
+            val_pred = model.forward(X_val)
+            val_loss = float(np.mean((val_pred - y_val) ** 2))
+            model.history.val_loss.append(val_loss)
+            if val_loss < best_val - 1e-12:
+                best_val = val_loss
+                best_state = {k: v.copy() for k, v in model.params.items()}
+                bad_epochs = 0
+                decay_bad = 0
+            else:
+                bad_epochs += 1
+                decay_bad += 1
+                if decay_on and decay_bad >= decay_patience:
+                    opt.lr *= lr_decay
+                    decay_bad = 0
+                if bad_epochs >= model.patience:
+                    model.history.lr.append(opt.lr)
+                    model.history.stopped_epoch = epoch + 1
+                    break
+        model.history.lr.append(opt.lr)
+        if verbose:  # pragma: no cover - debugging aid
+            print(f"epoch {epoch}: loss={model.history.train_loss[-1]:.5f}")
+    if best_state is not None:
+        for k in model.params:
+            model.params[k][...] = best_state[k]
+    if not model.history.stopped_epoch:
+        model.history.stopped_epoch = len(model.history.train_loss)
+    return model
 
 
 class DRNNRegressor:
@@ -438,6 +562,15 @@ class DRNNRegressor:
         Early-stopping patience on the validation tail (0 disables).
     val_fraction:
         Chronological tail of the training set held out for early stopping.
+    accum_steps:
+        Mini-batches whose gradients are accumulated (then averaged) per
+        optimiser step.  ``1`` (default) keeps the original
+        one-step-per-batch behaviour byte-for-byte; larger values give
+        large effective batches at mini-batch memory cost.
+    lr_decay, decay_patience:
+        Validation-driven learning-rate schedule: after ``decay_patience``
+        epochs without validation improvement, multiply the learning rate
+        by ``lr_decay``.  Disabled by default (``lr_decay=1.0``).
     seed:
         Initialisation/shuffling seed.
     cell:
@@ -465,6 +598,9 @@ class DRNNRegressor:
         seed: int = 0,
         cell: str = "lstm",
         dtype: str = "float64",
+        accum_steps: int = 1,
+        lr_decay: float = 1.0,
+        decay_patience: int = 0,
     ) -> None:
         if not hidden_sizes:
             raise ValueError("need at least one recurrent layer")
@@ -474,6 +610,12 @@ class DRNNRegressor:
             raise ValueError(
                 f"dtype must be 'float64' or 'float32', got {dtype!r}"
             )
+        if accum_steps < 1:
+            raise ValueError("accum_steps must be >= 1")
+        if not 0.0 < lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+        if decay_patience < 0:
+            raise ValueError("decay_patience must be >= 0")
         self.cell = cell
         self.dtype = np.dtype(dtype)
         self.input_dim = input_dim
@@ -485,6 +627,9 @@ class DRNNRegressor:
         self.l2 = l2
         self.patience = patience
         self.val_fraction = val_fraction
+        self.accum_steps = int(accum_steps)
+        self.lr_decay = float(lr_decay)
+        self.decay_patience = int(decay_patience)
         self.rng = np.random.default_rng(seed)
         layer_cls = LSTMLayer if cell == "lstm" else GRULayer
         self.layers: List = []
@@ -546,58 +691,7 @@ class DRNNRegressor:
     # -- training -------------------------------------------------------------------
 
     def fit(self, X: np.ndarray, y: np.ndarray, verbose: bool = False) -> "DRNNRegressor":
-        X = np.asarray(X, dtype=self.dtype)
-        y = np.asarray(y, dtype=self.dtype).ravel()
-        if X.shape[0] != y.shape[0]:
-            raise ValueError("X/y length mismatch")
-        if X.shape[0] < 4:
-            raise ValueError("need at least 4 training samples")
-        n_val = (
-            max(1, int(X.shape[0] * self.val_fraction)) if self.patience > 0 else 0
-        )
-        if n_val and X.shape[0] - n_val < 2:
-            n_val = 0
-        X_tr, y_tr = (X[:-n_val], y[:-n_val]) if n_val else (X, y)
-        X_val, y_val = (X[-n_val:], y[-n_val:]) if n_val else (None, None)
-
-        opt = Adam(self.params, lr=self.lr)
-        best_val = np.inf
-        best_state: Optional[Dict[str, np.ndarray]] = None
-        bad_epochs = 0
-        n = X_tr.shape[0]
-        for epoch in range(self.epochs):
-            order = self.rng.permutation(n)
-            epoch_loss = 0.0
-            batches = 0
-            for start in range(0, n, self.batch_size):
-                idx = order[start : start + self.batch_size]
-                loss, grads = self.loss_and_grads(X_tr[idx], y_tr[idx])
-                clip_by_global_norm(grads, self.clip_norm)
-                opt.step(grads)
-                epoch_loss += loss
-                batches += 1
-            self.history.train_loss.append(epoch_loss / max(1, batches))
-            if n_val:
-                val_pred = self.forward(X_val)
-                val_loss = float(np.mean((val_pred - y_val) ** 2))
-                self.history.val_loss.append(val_loss)
-                if val_loss < best_val - 1e-12:
-                    best_val = val_loss
-                    best_state = {k: v.copy() for k, v in self.params.items()}
-                    bad_epochs = 0
-                else:
-                    bad_epochs += 1
-                    if bad_epochs >= self.patience:
-                        self.history.stopped_epoch = epoch + 1
-                        break
-            if verbose:  # pragma: no cover - debugging aid
-                print(f"epoch {epoch}: loss={self.history.train_loss[-1]:.5f}")
-        if best_state is not None:
-            for k in self.params:
-                self.params[k][...] = best_state[k]
-        if not self.history.stopped_epoch:
-            self.history.stopped_epoch = len(self.history.train_loss)
-        return self
+        return fit_regressor(self, X, y, verbose=verbose)
 
     @property
     def n_parameters(self) -> int:

@@ -1,0 +1,150 @@
+"""Rolling-error ensemble: pick the best base predictor per point.
+
+Rather than averaging, the ensemble is an *auto-selector* (the policy
+Gontarska et al. find most robust for stream-processing load
+prediction): at each evaluation point it follows whichever base model
+has the lowest rolling mean-absolute-error over the last ``window``
+points whose actuals are already known.  Selection is strictly causal —
+the error history for point ``t`` only covers points ``< t`` — so the
+combined series is an honest forecast, not a hindsight blend.
+
+Two entry points:
+
+* :func:`rolling_selection` — vectorless post-hoc combiner over aligned
+  per-model prediction arrays (used by the experiment grid, where every
+  base model's walk-forward predictions already exist);
+* :class:`EnsemblePredictor` — the online form: register named predict
+  callables, interleave :meth:`predict` / :meth:`observe` calls, and the
+  selector tracks rolling errors incrementally.
+
+Determinism contract: ties on rolling error are broken by sorted model
+name, and the cold-start (no scored history yet) prediction is the
+plain mean of all base predictions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_WINDOW = 8
+
+
+def rolling_selection(
+    predictions: Dict[str, np.ndarray],
+    actual: np.ndarray,
+    window: int = DEFAULT_WINDOW,
+) -> Tuple[np.ndarray, List[str]]:
+    """Causally combine aligned per-model predictions by rolling MAE.
+
+    Parameters
+    ----------
+    predictions:
+        Mapping of model name to a 1-D prediction array; all arrays must
+        share the length of ``actual``.
+    actual:
+        Realised values, aligned with the prediction arrays.
+    window:
+        Number of most recent scored points in each model's rolling MAE.
+
+    Returns
+    -------
+    (combined, chosen):
+        The selected prediction per point, and the name of the model
+        followed at each point (``"<mean>"`` during cold start).
+    """
+    if len(predictions) < 2:
+        raise ValueError("ensemble needs at least 2 base models")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    names = sorted(predictions)
+    actual = np.asarray(actual, dtype=float).ravel()
+    n = actual.shape[0]
+    preds = np.empty((len(names), n), dtype=float)
+    for i, name in enumerate(names):
+        p = np.asarray(predictions[name], dtype=float).ravel()
+        if p.shape[0] != n:
+            raise ValueError(
+                f"prediction length mismatch for {name!r}: "
+                f"{p.shape[0]} != {n}"
+            )
+        preds[i] = p
+    errors = np.abs(preds - actual)
+    combined = np.empty(n, dtype=float)
+    chosen: List[str] = []
+    for t in range(n):
+        lo = max(0, t - window)
+        if t == 0:
+            combined[t] = preds[:, 0].mean()
+            chosen.append("<mean>")
+            continue
+        mae = errors[:, lo:t].mean(axis=1)
+        best = int(np.argmin(mae))  # argmin ties -> lowest index = sorted-name order
+        combined[t] = preds[best, t]
+        chosen.append(names[best])
+    return combined, chosen
+
+
+class EnsemblePredictor:
+    """Online auto-selector over named predict callables.
+
+    Register base models (anything callable on the shared input), then
+    alternate :meth:`predict` and :meth:`observe`; the selector follows
+    the base model with the lowest rolling MAE over the last ``window``
+    observed points.
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, Callable[..., float]],
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if len(models) < 2:
+            raise ValueError("ensemble needs at least 2 base models")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._names = sorted(models)
+        self._models = dict(models)
+        self._errors: Dict[str, deque] = {
+            name: deque(maxlen=self.window) for name in self._names
+        }
+        self._pending: Dict[str, float] = {}
+        self.last_choice: str = "<mean>"
+
+    @property
+    def names(self) -> Sequence[str]:
+        return tuple(self._names)
+
+    def predict(self, *args, **kwargs) -> float:
+        """Query every base model; return the current selection's value."""
+        self._pending = {
+            name: float(self._models[name](*args, **kwargs))
+            for name in self._names
+        }
+        scored = [n for n in self._names if self._errors[n]]
+        if not scored:
+            self.last_choice = "<mean>"
+            return float(np.mean([self._pending[n] for n in self._names]))
+        best = min(
+            scored,
+            key=lambda n: (float(np.mean(self._errors[n])), n),
+        )
+        self.last_choice = best
+        return self._pending[best]
+
+    def observe(self, actual: float) -> None:
+        """Record the realised value for the most recent predictions."""
+        if not self._pending:
+            raise RuntimeError("observe() without a preceding predict()")
+        for name, pred in self._pending.items():
+            self._errors[name].append(abs(pred - float(actual)))
+        self._pending = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"EnsemblePredictor(models={list(self._names)}, "
+            f"window={self.window})"
+        )

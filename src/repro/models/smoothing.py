@@ -1,0 +1,297 @@
+"""Exponential-smoothing forecasters: simple, double (Holt), triple
+(Holt-Winters with additive seasonality).
+
+The classical low-cost baselines from the load-prediction literature
+(Gontarska et al. benchmark them against learned models for distributed
+stream processing).  The API mirrors :class:`repro.models.arima.Arima` so
+the experiment grid reuses the same per-worker walk-forward protocol:
+
+* :meth:`ExponentialSmoothing.fit` estimates the smoothing weights on a
+  training series (coarse deterministic grid search by one-step-ahead
+  SSE when weights are not given);
+* :meth:`ExponentialSmoothing.forecast_from` re-runs the smoothing
+  recursion over an arbitrary history with the *frozen* fitted weights
+  and extrapolates ``steps`` ahead — the h-step walk-forward primitive.
+
+All recursions follow the standard additive formulation
+
+.. math::
+
+    l_t &= \\alpha (y_t - s_{t-m}) + (1-\\alpha)(l_{t-1} + b_{t-1}) \\\\
+    b_t &= \\beta (l_t - l_{t-1}) + (1-\\beta) b_{t-1} \\\\
+    s_t &= \\gamma (y_t - l_t) + (1-\\gamma) s_{t-m}
+
+with the trend term dropped for simple smoothing and the seasonal term
+dropped unless ``seasonal_periods >= 2``.  The implementation is pinned
+against a naive loop-based reference to 1e-10 by property tests
+(``tests/models/test_smoothing.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Coarse smoothing-weight grids searched when weights are not given.
+#: Deterministic and intentionally small: per-worker fits run inside the
+#: model grid's walk-forward folds, where a fine grid would dominate
+#: runtime without changing the comparison's story.
+_ALPHA_GRID = (0.1, 0.3, 0.5, 0.7, 0.9)
+_BETA_GRID = (0.05, 0.1, 0.3)
+_GAMMA_GRID = (0.05, 0.1, 0.3)
+
+
+@dataclass(frozen=True)
+class SmoothingFit:
+    """Frozen fitted state of an :class:`ExponentialSmoothing` model."""
+
+    alpha: float
+    beta: float
+    gamma: float
+    sse: float
+    aic: float
+    n_obs: int
+
+
+def _init_state(
+    y: np.ndarray, trend: bool, m: int
+) -> Tuple[float, float, np.ndarray]:
+    """Initial (level, trend, seasonal) state for a series.
+
+    Seasonal initialisation uses the first season's mean as the level and
+    the first-vs-second season mean difference for the trend (the
+    classical Holt-Winters start); non-seasonal models start from the
+    first observation with a first-difference trend.
+    """
+    if m >= 2:
+        level = float(np.mean(y[:m]))
+        if trend:
+            b = float((np.mean(y[m : 2 * m]) - np.mean(y[:m])) / m)
+        else:
+            b = 0.0
+        season = y[:m] - level
+        return level, b, np.asarray(season, dtype=float)
+    level = float(y[0])
+    b = float(y[1] - y[0]) if trend else 0.0
+    return level, b, np.zeros(0)
+
+
+def _run_recursion(
+    y: np.ndarray,
+    alpha: float,
+    beta: float,
+    gamma: float,
+    trend: bool,
+    m: int,
+) -> Tuple[float, float, np.ndarray, float]:
+    """Run the smoothing recursion over ``y``; return final state + SSE.
+
+    The first ``m`` observations (or 1 when non-seasonal) are consumed by
+    state initialisation; one-step-ahead errors are accumulated over the
+    remainder only, so grid-searched weights are scored on genuine
+    forecasts.
+    """
+    level, b, season = _init_state(y, trend, m)
+    season = season.copy()
+    sse = 0.0
+    start = m if m >= 2 else 1
+    for t in range(start, len(y)):
+        s_prev = season[t % m] if m >= 2 else 0.0
+        yhat = level + b + s_prev
+        err = y[t] - yhat
+        sse += err * err
+        l_prev = level
+        level = alpha * (y[t] - s_prev) + (1.0 - alpha) * (level + b)
+        if trend:
+            b = beta * (level - l_prev) + (1.0 - beta) * b
+        if m >= 2:
+            season[t % m] = gamma * (y[t] - level) + (1.0 - gamma) * s_prev
+    return level, b, season, sse
+
+
+def _forecast_from_state(
+    level: float, b: float, season: np.ndarray, n_obs: int, m: int, steps: int
+) -> np.ndarray:
+    """Extrapolate ``steps`` ahead from a final smoothing state."""
+    h = np.arange(1, steps + 1, dtype=float)
+    out = level + h * b
+    if m >= 2:
+        # season slot of y[n_obs + h - 1] under the t % m indexing
+        idx = (n_obs + np.arange(steps)) % m
+        out = out + season[idx]
+    return out
+
+
+class ExponentialSmoothing:
+    """Simple / double / triple (additive Holt-Winters) smoothing.
+
+    Parameters
+    ----------
+    trend:
+        Include Holt's linear trend term.
+    seasonal_periods:
+        Season length ``m``; ``0`` (default) disables seasonality, values
+        ``>= 2`` enable the additive seasonal component.
+    alpha, beta, gamma:
+        Smoothing weights in ``(0, 1]``.  Any left as ``None`` is chosen
+        by a coarse deterministic grid search minimising one-step-ahead
+        SSE at :meth:`fit` time.
+    """
+
+    def __init__(
+        self,
+        trend: bool = False,
+        seasonal_periods: int = 0,
+        alpha: Optional[float] = None,
+        beta: Optional[float] = None,
+        gamma: Optional[float] = None,
+    ) -> None:
+        if seasonal_periods == 1 or seasonal_periods < 0:
+            raise ValueError("seasonal_periods must be 0 or >= 2")
+        for name, v in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if v is not None and not 0.0 < v <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {v}")
+        self.trend = bool(trend)
+        self.m = int(seasonal_periods)
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma = gamma
+        self.fit_result: Optional[SmoothingFit] = None
+        self._train: Optional[np.ndarray] = None
+        self._state: Optional[Tuple[float, float, np.ndarray]] = None
+
+    @property
+    def min_history(self) -> int:
+        """Shortest series the recursion can be initialised on."""
+        if self.m >= 2:
+            return 2 * self.m if self.trend else self.m + 1
+        return 2
+
+    # -- fitting ---------------------------------------------------------------------
+
+    def _weight_grid(self):
+        alphas = (self._alpha,) if self._alpha is not None else _ALPHA_GRID
+        betas = (
+            ((self._beta,) if self._beta is not None else _BETA_GRID)
+            if self.trend else (0.0,)
+        )
+        gammas = (
+            ((self._gamma,) if self._gamma is not None else _GAMMA_GRID)
+            if self.m >= 2 else (0.0,)
+        )
+        for a in alphas:
+            for b in betas:
+                for g in gammas:
+                    yield a, b, g
+
+    def fit(self, series: Sequence[float]) -> "ExponentialSmoothing":
+        y = np.asarray(series, dtype=float).ravel()
+        if not np.all(np.isfinite(y)):
+            raise ValueError("series contains NaN/inf")
+        if len(y) < self.min_history:
+            raise ValueError(
+                f"series too short ({len(y)}) for this smoothing model "
+                f"(needs >= {self.min_history})"
+            )
+        best: Optional[Tuple[float, float, float, float]] = None
+        for a, b, g in self._weight_grid():
+            _, _, _, sse = _run_recursion(y, a, b, g, self.trend, self.m)
+            if best is None or sse < best[3] - 1e-15:
+                best = (a, b, g, sse)
+        assert best is not None
+        alpha, beta, gamma, sse = best
+        start = self.m if self.m >= 2 else 1
+        n_scored = len(y) - start
+        k = 1 + (1 if self.trend else 0) + (1 if self.m >= 2 else 0)
+        sigma2 = sse / max(n_scored, 1)
+        aic = n_scored * np.log(max(sigma2, 1e-300)) + 2 * k
+        self.fit_result = SmoothingFit(
+            alpha=alpha, beta=beta, gamma=gamma, sse=float(sse),
+            aic=float(aic), n_obs=len(y),
+        )
+        level, b_state, season, _ = _run_recursion(
+            y, alpha, beta, gamma, self.trend, self.m
+        )
+        self._state = (level, b_state, season)
+        self._train = y.copy()
+        return self
+
+    # -- forecasting -----------------------------------------------------------------
+
+    def forecast(self, steps: int = 1) -> np.ndarray:
+        """Forecast ``steps`` values past the end of the training series."""
+        if self.fit_result is None or self._state is None:
+            raise RuntimeError("fit() first")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        level, b, season = self._state
+        return _forecast_from_state(
+            level, b, season, self.fit_result.n_obs, self.m, steps
+        )
+
+    def forecast_from(
+        self, history: Sequence[float], steps: int = 1
+    ) -> np.ndarray:
+        """Multi-step forecast continuing an arbitrary ``history`` with the
+        frozen fitted weights (the h-step walk-forward primitive)."""
+        fr = self.fit_result
+        if fr is None:
+            raise RuntimeError("fit() first")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        hist = np.asarray(history, dtype=float).ravel()
+        if len(hist) < self.min_history:
+            raise ValueError(
+                f"history too short ({len(hist)} < {self.min_history})"
+            )
+        level, b, season, _ = _run_recursion(
+            hist, fr.alpha, fr.beta, fr.gamma, self.trend, self.m
+        )
+        return _forecast_from_state(level, b, season, len(hist), self.m, steps)
+
+    def __repr__(self) -> str:
+        kind = (
+            "holt_winters" if self.m >= 2
+            else ("holt" if self.trend else "ses")
+        )
+        return (
+            f"ExponentialSmoothing(kind={kind}, trend={self.trend}, "
+            f"m={self.m})"
+        )
+
+
+def auto_smoothing(
+    series: Sequence[float], seasonal_periods: int = 0
+) -> ExponentialSmoothing:
+    """Fit simple/double(/triple when ``seasonal_periods >= 2`` and the
+    series is long enough) smoothing and return the best model by AIC."""
+    y = np.asarray(series, dtype=float).ravel()
+    candidates = [
+        ExponentialSmoothing(trend=False),
+        ExponentialSmoothing(trend=True),
+    ]
+    if seasonal_periods >= 2:
+        for trend in (False, True):
+            candidates.append(
+                ExponentialSmoothing(
+                    trend=trend, seasonal_periods=seasonal_periods
+                )
+            )
+    best: Optional[ExponentialSmoothing] = None
+    best_aic = np.inf
+    for model in candidates:
+        if len(y) < model.min_history:
+            continue
+        model.fit(y)
+        assert model.fit_result is not None
+        if model.fit_result.aic < best_aic - 1e-12:
+            best_aic = model.fit_result.aic
+            best = model
+    if best is None:
+        raise ValueError(
+            f"series of {len(y)} observations too short for any smoothing "
+            "variant"
+        )
+    return best

@@ -174,6 +174,7 @@ class Observability:
 
 from repro.obs.report import (
     build_report,
+    grid_summary,
     report_to_html,
     report_to_json,
     write_report_html,
@@ -216,6 +217,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "build_report",
+    "grid_summary",
     "group_tuple_spans",
     "load_snapshots_jsonl",
     "load_trace_jsonl",

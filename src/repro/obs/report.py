@@ -79,6 +79,49 @@ def write_report_json(report: Dict[str, Any], path: str) -> None:
         fh.write(report_to_json(report))
 
 
+# -- model-grid reports ------------------------------------------------------------------
+
+GRID_SCHEMA = "repro-grid/1"
+
+
+def grid_summary(grid) -> Dict[str, Any]:
+    """Reduce a :class:`~repro.experiments.prediction.PredictionGrid` to a
+    byte-stable report dict (serialize with :func:`report_to_json`).
+
+    Scores come straight from the deterministic evaluation, so the same
+    grid configuration always produces identical bytes — the
+    ``model-grid-smoke`` CI job uploads this artifact.
+    """
+    cells = []
+    for (app, profile) in sorted(grid.cells):
+        res = grid.cells[(app, profile)]
+        cell: Dict[str, Any] = {
+            "app": app,
+            "profile": profile,
+            "scores": {
+                model: {k: float(v) for k, v in sorted(s.items())}
+                for model, s in sorted(res.scores.items())
+            },
+        }
+        if res.meta:
+            cell["meta"] = {
+                model: dict(sorted(m.items()))
+                for model, m in sorted(res.meta.items())
+            }
+        cells.append(cell)
+    return {
+        "schema": GRID_SCHEMA,
+        "apps": list(grid.apps),
+        "profiles": list(grid.profiles),
+        "models": list(grid.models),
+        "window": grid.window,
+        "horizon": grid.horizon,
+        "duration": grid.duration,
+        "seed": grid.seed,
+        "cells": cells,
+    }
+
+
 # -- HTML rendering ---------------------------------------------------------------------
 
 _CSS = """

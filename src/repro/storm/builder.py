@@ -162,6 +162,11 @@ class SimulationBuilder:
         Pass either a ready (detached) :class:`PredictiveController`, or
         a :class:`PerformancePredictor` plus its loop options and the
         builder constructs the controller at ``build()`` time.
+
+        A :class:`~repro.core.retraining.RetrainingPredictor` selects
+        the online-retraining mode: attaching its controller also
+        registers the periodic in-sim refit process (see
+        :mod:`repro.core.retraining` for the determinism contract).
         """
         from repro.core.controller import PredictiveController
 

@@ -138,3 +138,19 @@ def test_checked_in_bench_pr6_cluster_speedup():
         pytest.skip("cluster_scale acceptance is pinned at --scale full")
     assert "cluster_scale_heap" in doc["results"]
     assert doc["speedups"]["cluster_scale"] >= 2.0
+
+
+def test_checked_in_bench_pr7_minibatch_speedup():
+    """Acceptance pin: BENCH_pr7.json shows >=1.5x minibatch-vs-
+    fullbatch training throughput on the drnn_minibatch pair
+    (interleaved min-ratio per optimizer update — the reason grid-scale
+    training uses mini-batched BPTT; see docs/predictors.md)."""
+    import pytest
+
+    path = Path(__file__).parents[2] / "BENCH_pr7.json"
+    if not path.exists():
+        pytest.skip("BENCH_pr7.json not generated in this checkout")
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro-bench/2"
+    assert "drnn_minibatch_fullbatch" in doc["results"]
+    assert doc["speedups"]["drnn_minibatch"] >= 1.5

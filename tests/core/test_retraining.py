@@ -1,0 +1,107 @@
+"""Tests for online predictor retraining inside the simulation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import RateProfile, build_url_count_topology
+from repro.core import (
+    ControllerConfig,
+    OnlineModelFactory,
+    PredictiveController,
+    RetrainingPredictor,
+)
+from repro.storm import SimulationBuilder
+
+
+def _factory():
+    return OnlineModelFactory(hidden=(6,), epochs=8, seed=0)
+
+
+def _build_sim(seed=3, window=4, retrain_interval=20.0, max_history=None):
+    topo = build_url_count_topology(profile=RateProfile(base=150))
+    predictor = RetrainingPredictor(
+        _factory(),
+        window=window,
+        retrain_interval=retrain_interval,
+        max_history=max_history,
+    )
+    ctrl = PredictiveController(
+        predictor, ControllerConfig(control_interval=5.0, window=window)
+    )
+    sim = SimulationBuilder(topo).seed(seed).controller(ctrl).build()
+    return sim, predictor, ctrl
+
+
+# --- construction -----------------------------------------------------------------
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="retrain_interval"):
+        RetrainingPredictor(_factory(), retrain_interval=0.0)
+    with pytest.raises(ValueError, match="max_history"):
+        RetrainingPredictor(_factory(), window=8, max_history=8)
+
+
+def test_starts_unfitted_despite_model_none():
+    # model=None normally means the reactive (last-observation) ablation,
+    # which reports fitted from birth; the retraining predictor overrides
+    # that — it must not act before its first successful refit.
+    pred = RetrainingPredictor(_factory(), window=4)
+    assert pred.model is None
+    assert not pred.fitted
+    assert pred.min_intervals == 8  # defaults to 2 * window
+    assert pred.n_retrains == 0
+
+
+def test_factory_is_picklable_and_builds_fresh_models():
+    import pickle
+
+    factory = pickle.loads(pickle.dumps(_factory()))
+    m1, m2 = factory(5), factory(5)
+    assert m1 is not m2
+    assert m1.hidden_sizes == (6,)
+    for k in m1.params:  # same seed -> identical fresh weights
+        np.testing.assert_array_equal(m1.params[k], m2.params[k])
+
+
+# --- in-sim behaviour --------------------------------------------------------------
+
+
+def test_periodic_refit_inside_simulation():
+    sim, predictor, ctrl = _build_sim(max_history=24)
+    sim.run(duration=90.0)
+    # Refit attempts at t=20,40,60,80; the first may be skipped while the
+    # monitor warms up, the later ones must have trained.
+    assert len(predictor.retrain_log) == 4
+    assert [e.time for e in predictor.retrain_log] == [20.0, 40.0, 60.0, 80.0]
+    assert predictor.n_retrains >= 3
+    assert predictor.fitted
+    assert predictor.retrain_log[-1].trained
+    # The rolling window caps training-set growth: with max_history=24
+    # intervals per worker, row counts stop growing once history exceeds it.
+    trained = [e for e in predictor.retrain_log if e.trained]
+    rows = [e.n_rows for e in trained]
+    assert rows[-1] == rows[-2]  # saturated at the cap
+    # The controller actually used the refit model.
+    assert any(a.predictions for a in ctrl.actions)
+
+
+def test_refit_skipped_during_warmup():
+    sim, predictor, _ = _build_sim(retrain_interval=5.0)
+    sim.run(duration=8.0)
+    # At t=5 the monitor (one interval per metrics second) holds ~5
+    # intervals, below min_intervals=8: the attempt must be a skip.
+    assert [e.trained for e in predictor.retrain_log] == [False]
+    assert not predictor.fitted
+
+
+def test_in_sim_retraining_is_deterministic():
+    summaries = []
+    logs = []
+    for _ in range(2):
+        sim, predictor, _ = _build_sim()
+        result = sim.run(duration=60.0)
+        summaries.append(repr(result.summary()))
+        logs.append(predictor.retrain_log)
+    assert summaries[0] == summaries[1]
+    assert logs[0] == logs[1]  # RetrainEvents are frozen dataclasses

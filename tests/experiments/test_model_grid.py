@@ -1,0 +1,178 @@
+"""Tests for the (model × app × fault-profile) prediction grid.
+
+The fast tests exercise the cheap model families, the grid plumbing, and
+the byte-stable summary document.  Training-heavy coverage — all seven
+families at once, sharded/cached grid equivalence — is marked
+``@pytest.mark.slow`` and runs in the ``model-grid-smoke`` CI job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_MODELS,
+    collect_trace,
+    evaluate_models_on_trace,
+    run_prediction_grid,
+)
+from repro.experiments.prediction import (
+    GRID_FAULT_PROFILES,
+    SERIES_MODELS,
+    WINDOWED_MODELS,
+    _profile_faults,
+)
+from repro.obs.report import GRID_SCHEMA, grid_summary, report_to_json
+from repro.parallel import ResultCache
+
+CHEAP_MODELS = ("svr", "holt", "ensemble")
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return collect_trace(app="url_count", duration=100, base_rate=150, seed=1)
+
+
+# --- model-name registry ----------------------------------------------------------
+
+
+def test_model_registry_covers_seven_families():
+    assert len(ALL_MODELS) == 7
+    assert set(WINDOWED_MODELS) == {"drnn", "drnn_gru", "svr", "tcn"}
+    assert set(SERIES_MODELS) == {"arima", "holt"}
+    assert "ensemble" in ALL_MODELS
+
+
+def test_ensemble_requires_two_base_models(small_trace):
+    with pytest.raises(ValueError, match="at least 2"):
+        evaluate_models_on_trace(
+            small_trace.monitor, models=("svr", "ensemble"), window=4,
+            horizon=2,
+        )
+
+
+# --- cheap families + ensemble post-processing ------------------------------------
+
+
+def test_holt_and_ensemble_on_trace(small_trace):
+    res = evaluate_models_on_trace(
+        small_trace.monitor,
+        app="url_count",
+        window=4,
+        horizon=2,
+        models=CHEAP_MODELS,
+        ensemble_window=4,
+    )
+    assert set(res.scores) == set(CHEAP_MODELS)
+    for s in res.scores.values():
+        assert np.isfinite(s["mape"]) and s["mape"] >= 0
+    y_te = res.traces["actual"][0]
+    # The ensemble's selection counts account for every test point.
+    meta = res.meta["ensemble"]
+    assert meta["window"] == 4
+    assert sum(meta["selection_counts"].values()) == len(y_te)
+    assert set(meta["selection_counts"]) <= {"svr", "holt", "<mean>"}
+    # Every ensemble point is one of the base predictions (or the
+    # cold-start mean) — the selector never invents values.
+    ens = res.traces["ensemble"][1]
+    base = np.stack([res.traces[m][1] for m in ("svr", "holt")])
+    mean = base.mean(axis=0)
+    candidates = np.vstack([base, mean[None]])
+    assert np.all(np.min(np.abs(candidates - ens), axis=0) < 1e-9)
+
+
+# --- fault profiles ----------------------------------------------------------------
+
+
+def test_profile_faults_shapes():
+    from repro.storm import SlowdownFault, WorkerCrashFault
+
+    assert _profile_faults("interference", 100.0) is None
+    assert _profile_faults("calm", 100.0) == []
+    (slow,) = _profile_faults("slowdown", 100.0)
+    assert isinstance(slow, SlowdownFault) and slow.start == 40.0
+    (crash,) = _profile_faults("crash", 100.0)
+    assert isinstance(crash, WorkerCrashFault)
+    with pytest.raises(ValueError, match="unknown fault profile"):
+        _profile_faults("bogus", 100.0)
+    assert set(GRID_FAULT_PROFILES) == {
+        "interference", "calm", "slowdown", "crash"
+    }
+
+
+def test_grid_rejects_unknown_profile():
+    with pytest.raises(ValueError, match="unknown fault profile"):
+        run_prediction_grid(profiles=("bogus",), duration=60)
+
+
+# --- the grid + its byte-stable summary -------------------------------------------
+
+
+def _tiny_grid(jobs=1, cache=None):
+    return run_prediction_grid(
+        apps=("url_count",),
+        profiles=("calm", "slowdown"),
+        models=CHEAP_MODELS,
+        duration=100.0,
+        base_rate=150.0,
+        window=4,
+        horizon=2,
+        seed=1,
+        jobs=jobs,
+        cache=cache,
+        ensemble_window=4,
+    )
+
+
+def test_grid_cells_tables_and_summary(tmp_path):
+    grid = _tiny_grid()
+    assert set(grid.cells) == {
+        ("url_count", "calm"), ("url_count", "slowdown")
+    }
+    rows = grid.table_rows()
+    assert len(rows) == 2 * len(CHEAP_MODELS)
+    assert rows[0][:2] == ["url_count", "calm"]
+    best = grid.best_model("url_count", "slowdown")
+    assert best in CHEAP_MODELS
+
+    doc = grid_summary(grid)
+    assert doc["schema"] == GRID_SCHEMA
+    assert doc["models"] == list(CHEAP_MODELS)
+    assert len(doc["cells"]) == 2
+    for cell in doc["cells"]:
+        assert set(cell["scores"]) == set(CHEAP_MODELS)
+        assert cell["meta"]["ensemble"]["window"] == 4
+    # Serialisation is byte-stable: same grid -> same document text.
+    assert report_to_json(doc) == report_to_json(grid_summary(_tiny_grid()))
+
+
+@pytest.mark.slow
+def test_all_seven_families_score(small_trace):
+    res = evaluate_models_on_trace(
+        small_trace.monitor,
+        app="url_count",
+        window=6,
+        horizon=3,
+        models=ALL_MODELS,
+        drnn_hidden=(8,),
+        drnn_epochs=8,
+        tcn_channels=(8,),
+        seed=0,
+    )
+    assert set(res.scores) == set(ALL_MODELS)
+    for name, s in res.scores.items():
+        assert np.isfinite(s["mape"]), name
+        assert s["rmse"] >= 0 and s["mae"] >= 0
+    lengths = {len(t[1]) for t in res.traces.values()}
+    assert len(lengths) == 1  # every family predicted the same test vector
+
+
+@pytest.mark.slow
+def test_grid_byte_identical_across_jobs_and_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    serial = report_to_json(grid_summary(_tiny_grid(jobs=1)))
+    sharded = report_to_json(grid_summary(_tiny_grid(jobs=2)))
+    cold = report_to_json(grid_summary(_tiny_grid(jobs=2, cache=cache)))
+    warm = report_to_json(grid_summary(_tiny_grid(jobs=1, cache=cache)))
+    assert serial == sharded
+    assert serial == cold == warm
+    assert cache.hits > 0  # the warm pass actually served from disk

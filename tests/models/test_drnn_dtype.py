@@ -55,6 +55,25 @@ def test_save_load_round_trips_dtype(tmp_path, dtype):
     np.testing.assert_array_equal(model.predict(X), loaded.predict(X))
 
 
+def test_float32_minibatch_tracks_float64_within_tolerance():
+    # The float32 mini-batch/accumulation path starts from the same
+    # rounded weights as float64 (see above) and must stay within single
+    # precision round-off of the float64 reference over a short training
+    # run — the pinned tolerance for the fast path used by the
+    # ``drnn_minibatch`` benchmark.
+    X, y = _data(n=32)
+    preds = {}
+    for dtype in ("float64", "float32"):
+        model = DRNNRegressor(
+            input_dim=4, hidden_sizes=(6,), epochs=3, patience=0,
+            seed=5, batch_size=8, accum_steps=2, dtype=dtype,
+        )
+        model.fit(X, y)
+        preds[dtype] = model.predict(X).astype(np.float64)
+    scale = float(np.std(y))
+    assert np.max(np.abs(preds["float32"] - preds["float64"])) < 1e-3 * scale
+
+
 def test_buffer_reuse_does_not_leak_state_between_batches():
     # forward/backward scratch buffers are cached per (kind, n, T): runs
     # with different shapes interleaved must not contaminate each other.

@@ -1,0 +1,152 @@
+"""Equivalence tests for mini-batched BPTT with gradient accumulation.
+
+Three contracts:
+
+* ``accum_steps`` with a single batch per epoch is *byte-identical* to
+  the plain path — the accumulation machinery must be a no-op when there
+  is nothing to accumulate;
+* accumulating ``k`` equal-size mini-batches and applying one averaged
+  step is numerically the full-batch gradient over those ``k*b`` samples
+  (same permutation, same Adam state), so the two trainings track each
+  other to float64 round-off;
+* the validation-driven LR decay schedule halves the rate exactly when
+  the validation loss stalls, and never when disabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import DRNNRegressor, TCNRegressor
+
+
+def _data(n=32, T=5, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, T, d))
+    y = np.tanh(X[:, -1, 0]) + 0.3 * X[:, :, 1].mean(axis=1)
+    return X, y
+
+
+def _params_bytes(model):
+    return b"".join(model.params[k].tobytes() for k in sorted(model.params))
+
+
+def _train(model_cls, X, y, **kw):
+    defaults = dict(
+        input_dim=X.shape[2], epochs=4, patience=0, seed=7, lr=5e-3
+    )
+    if model_cls is DRNNRegressor:
+        defaults["hidden_sizes"] = (6,)
+    else:
+        defaults["channels"] = (6,)
+    defaults.update(kw)
+    model = model_cls(**defaults)
+    model.fit(X, y)
+    return model
+
+
+# --- byte identity -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model_cls", [DRNNRegressor, TCNRegressor])
+def test_single_batch_accumulation_is_byte_identical(model_cls):
+    # One batch per epoch: the accumulation group holds exactly one
+    # gradient, the average divides by 1.0 (exact in IEEE754), and the
+    # resulting weights must match the plain path byte for byte.
+    X, y = _data()
+    plain = _train(model_cls, X, y, batch_size=len(X), accum_steps=1)
+    accum = _train(model_cls, X, y, batch_size=len(X), accum_steps=4)
+    assert _params_bytes(plain) == _params_bytes(accum)
+    np.testing.assert_array_equal(plain.predict(X), accum.predict(X))
+
+
+def test_accum_default_leaves_history_shape_unchanged():
+    X, y = _data()
+    model = _train(DRNNRegressor, X, y, batch_size=8, accum_steps=1)
+    # 4 epochs, 4 mini-batches each: one loss entry and one lr entry per epoch
+    assert len(model.history.train_loss) == 4
+    assert len(model.history.lr) == 4
+    assert all(lr == model.lr for lr in model.history.lr)
+
+
+# --- accumulated steps == full-batch gradient --------------------------------------
+
+
+@pytest.mark.parametrize("model_cls", [DRNNRegressor, TCNRegressor])
+def test_accumulated_minibatches_match_large_batch(model_cls):
+    # n=32 with b=8, k=4 partitions every permuted epoch into exactly one
+    # accumulation group of the whole epoch, so the averaged gradient is
+    # analytically the batch-32 gradient; only summation order differs.
+    X, y = _data(n=32)
+    small = _train(model_cls, X, y, batch_size=8, accum_steps=4)
+    large = _train(model_cls, X, y, batch_size=32, accum_steps=1)
+    for k in small.params:
+        np.testing.assert_allclose(
+            small.params[k], large.params[k], rtol=1e-7, atol=1e-9
+        )
+
+
+def test_partial_trailing_group_still_steps():
+    # 20 samples, batch 8, accum 2: groups (8+8) and a trailing (4) —
+    # the trailing partial group must still produce an optimiser step.
+    X, y = _data(n=20)
+    model = _train(DRNNRegressor, X, y, batch_size=8, accum_steps=2)
+    init = DRNNRegressor(
+        input_dim=X.shape[2], epochs=4, patience=0, seed=7, lr=5e-3,
+        batch_size=8, accum_steps=2,
+    )
+    assert _params_bytes(model) != _params_bytes(init)
+    assert np.all(np.isfinite(model.predict(X)))
+
+
+# --- validation-driven LR decay ----------------------------------------------------
+
+
+def test_lr_decay_halves_on_validation_plateau():
+    # The chronological validation tail gets the *negated* mapping of the
+    # training head: every step of training progress makes validation
+    # worse, so with decay_patience=1 each post-first epoch halves the rate.
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(40, 4, 2))
+    y = X[:, -1, 0].copy()
+    y[-8:] = -y[-8:]
+    model = DRNNRegressor(
+        input_dim=2, hidden_sizes=(4,), epochs=10, seed=1, lr=8e-3,
+        patience=10, val_fraction=0.2, lr_decay=0.5, decay_patience=1,
+    )
+    model.fit(X, y)
+    lrs = model.history.lr
+    assert lrs[-1] < model.lr  # at least one decay fired
+    # Every recorded rate is the base rate times a power of the factor.
+    for lr in lrs:
+        ratio = lr / model.lr
+        k = round(np.log(ratio) / np.log(0.5)) if ratio < 1.0 else 0
+        assert np.isclose(ratio, 0.5**k, rtol=1e-12)
+    # The schedule only ever decays.
+    assert all(b <= a + 1e-18 for a, b in zip(lrs, lrs[1:]))
+
+
+def test_lr_decay_disabled_by_default():
+    X, y = _data()
+    model = _train(
+        DRNNRegressor, X, y, patience=5, epochs=6, batch_size=8
+    )
+    assert all(lr == model.lr for lr in model.history.lr)
+
+
+def test_lr_decay_validation():
+    with pytest.raises(ValueError, match="lr_decay"):
+        DRNNRegressor(input_dim=2, lr_decay=1.5)
+    with pytest.raises(ValueError, match="accum_steps"):
+        DRNNRegressor(input_dim=2, accum_steps=0)
+
+
+def test_minibatch_options_survive_save_load(tmp_path):
+    X, y = _data()
+    model = _train(
+        DRNNRegressor, X, y, batch_size=8, accum_steps=2,
+        lr_decay=0.5, decay_patience=2,
+    )
+    path = tmp_path / "m.npz"
+    model.save(path)
+    restored = DRNNRegressor.load(path)
+    np.testing.assert_array_equal(model.predict(X), restored.predict(X))

@@ -1,0 +1,119 @@
+"""Tests for the rolling-error ensemble auto-selector."""
+
+import numpy as np
+import pytest
+
+from repro.models import EnsemblePredictor, rolling_selection
+
+
+def test_selector_switches_to_the_better_model():
+    n = 30
+    actual = np.linspace(0.0, 3.0, n)
+    good = actual + 0.01
+    bad = actual + 5.0
+    combined, chosen = rolling_selection(
+        {"good": good, "bad": bad}, actual, window=4
+    )
+    assert chosen[0] == "<mean>"
+    assert all(c == "good" for c in chosen[1:])
+    np.testing.assert_array_equal(combined[1:], good[1:])
+    # Cold-start point is the plain mean of the base predictions.
+    assert combined[0] == pytest.approx((good[0] + bad[0]) / 2)
+
+
+def test_selection_is_strictly_causal():
+    # Model "late" is perfect except for a huge error at point t=5; the
+    # selector may only react *after* observing it, so point 5 itself
+    # still follows "late" (its rolling error through point 4 is zero).
+    actual = np.zeros(12)
+    late = np.zeros(12)
+    late[5] = 100.0
+    other = np.full(12, 0.5)
+    combined, chosen = rolling_selection(
+        {"late": late, "other": other}, actual, window=3
+    )
+    assert chosen[5] == "late"
+    assert combined[5] == 100.0
+    assert chosen[6] == "other"  # reacts one point later
+    # The window forgets: 3 points after the spike, "late" is best again.
+    assert chosen[9] == "late"
+
+
+def test_rolling_selection_tie_breaks_by_sorted_name():
+    actual = np.zeros(6)
+    same = np.ones(6)
+    combined, chosen = rolling_selection(
+        {"b": same.copy(), "a": same.copy()}, actual, window=2
+    )
+    assert all(c == "a" for c in chosen[1:])
+
+
+def test_rolling_selection_validation():
+    with pytest.raises(ValueError, match="at least 2"):
+        rolling_selection({"only": np.ones(3)}, np.zeros(3))
+    with pytest.raises(ValueError, match="window"):
+        rolling_selection(
+            {"a": np.ones(3), "b": np.ones(3)}, np.zeros(3), window=0
+        )
+    with pytest.raises(ValueError, match="length mismatch"):
+        rolling_selection({"a": np.ones(3), "b": np.ones(4)}, np.zeros(3))
+
+
+def test_combined_never_worse_than_worst_base_model():
+    rng = np.random.default_rng(0)
+    actual = np.sin(np.arange(50) / 5.0)
+    preds = {
+        "m1": actual + rng.normal(0, 0.05, 50),
+        "m2": actual + rng.normal(0, 0.5, 50),
+        "m3": np.full(50, actual.mean()),
+    }
+    combined, _ = rolling_selection(preds, actual, window=6)
+    worst = max(np.mean(np.abs(p - actual)) for p in preds.values())
+    assert np.mean(np.abs(combined - actual)) < worst
+
+
+# --- online form -------------------------------------------------------------------
+
+
+def test_online_predictor_follows_rolling_winner():
+    ens = EnsemblePredictor(
+        {"good": lambda x: x, "bad": lambda x: x + 10.0}, window=4
+    )
+    assert ens.names == ("bad", "good")
+    # Cold start: no scored history -> mean of both predictions.
+    assert ens.predict(1.0) == pytest.approx(6.0)
+    assert ens.last_choice == "<mean>"
+    ens.observe(1.0)
+    assert ens.predict(2.0) == pytest.approx(2.0)
+    assert ens.last_choice == "good"
+
+
+def test_online_predictor_matches_posthoc_selection():
+    # Interleaved predict/observe over aligned series must reproduce the
+    # post-hoc combiner (same window, same tie-break rules).
+    actual = np.sin(np.arange(25) / 3.0)
+    pred_a = actual + 0.3
+    pred_b = np.roll(actual, 1)
+    combined_ref, chosen_ref = rolling_selection(
+        {"a": pred_a, "b": pred_b}, actual, window=5
+    )
+    series = {"a": iter(pred_a), "b": iter(pred_b)}
+    ens = EnsemblePredictor(
+        {name: lambda it=it: next(it) for name, it in series.items()},
+        window=5,
+    )
+    online = []
+    for t in range(len(actual)):
+        online.append(ens.predict())
+        ens.observe(actual[t])
+    np.testing.assert_allclose(online, combined_ref, atol=1e-12)
+
+
+def test_online_predictor_validation():
+    with pytest.raises(ValueError, match="at least 2"):
+        EnsemblePredictor({"a": lambda: 0.0})
+    with pytest.raises(ValueError, match="window"):
+        EnsemblePredictor({"a": lambda: 0.0, "b": lambda: 1.0}, window=0)
+    ens = EnsemblePredictor({"a": lambda: 0.0, "b": lambda: 1.0})
+    with pytest.raises(RuntimeError, match="predict"):
+        ens.observe(1.0)

@@ -1,0 +1,125 @@
+"""Tests for the causal temporal-convolution regressor."""
+
+import numpy as np
+import pytest
+
+from repro.models import CausalConv1D, TCNRegressor, gradient_check
+
+
+def toy_data(n=48, T=8, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, T, d))
+    y = np.tanh(X[:, -1, 0]) + 0.5 * X[:, :, 1].mean(axis=1)
+    return X, y
+
+
+# --- gradients (the same bar the recurrent cells are held to) ---------------------
+
+
+def test_tcn_gradients_match_finite_differences():
+    X, y = toy_data(n=6, T=6, d=2)
+    model = TCNRegressor(input_dim=2, channels=(5,), seed=1, l2=0.0)
+    assert gradient_check(model, X, y, n_checks=15) < 1e-5
+
+
+def test_tcn_deep_dilated_gradients_exact():
+    X, y = toy_data(n=5, T=8, d=2)
+    model = TCNRegressor(
+        input_dim=2, channels=(4, 3), kernel_size=3, seed=2, l2=1e-4
+    )
+    assert gradient_check(model, X, y, n_checks=15) < 1e-5
+
+
+# --- causality ---------------------------------------------------------------------
+
+
+def test_conv_layer_is_causal():
+    # Perturbing input at time t must not change outputs at times < t.
+    rng = np.random.default_rng(3)
+    layer = CausalConv1D(2, 4, kernel_size=3, dilation=2, rng=rng, name="c")
+    X = rng.normal(size=(2, 10, 2))
+    base = layer.forward(X).copy()
+    X2 = X.copy()
+    X2[:, 7, :] += 10.0
+    out = layer.forward(X2)
+    np.testing.assert_array_equal(out[:, :7], base[:, :7])
+    assert not np.allclose(out[:, 7:], base[:, 7:])
+
+
+def test_receptive_field_formula():
+    model = TCNRegressor(input_dim=2, channels=(4, 4, 4), kernel_size=2)
+    # kernel 2, dilations 1, 2, 4 -> 1 + 1 + 2 + 4 = 8 timesteps
+    assert model.receptive_field == 8
+    assert model.layers[0].receptive_field == 2
+    assert model.layers[2].receptive_field == 5
+
+
+# --- training / prediction --------------------------------------------------------
+
+
+def test_tcn_learns_a_simple_function():
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(256, 6, 2))
+    y = 1.5 * X[:, -1, 0] - 0.5 * X[:, -1, 1]
+    model = TCNRegressor(
+        input_dim=2, channels=(16,), epochs=120, lr=5e-3, patience=0, seed=4
+    )
+    model.fit(X, y)
+    resid = np.mean((model.predict(X) - y) ** 2) / np.var(y)
+    assert resid < 0.08
+
+
+def test_tcn_uses_shared_training_loop_history():
+    X, y = toy_data(n=32)
+    model = TCNRegressor(input_dim=3, channels=(4,), epochs=3, patience=0)
+    model.fit(X, y)
+    assert len(model.history.train_loss) == 3
+    assert len(model.history.lr) == 3
+    assert model.history.stopped_epoch == 3
+
+
+def test_tcn_float32_path():
+    X, y = toy_data(n=24)
+    model = TCNRegressor(
+        input_dim=3, channels=(4,), epochs=2, patience=0, dtype="float32"
+    )
+    assert all(p.dtype == np.float32 for p in model.params.values())
+    model.fit(X, y)
+    pred = model.predict(X)
+    assert pred.dtype == np.float32
+    assert np.all(np.isfinite(pred))
+
+
+def test_tcn_validation():
+    with pytest.raises(ValueError, match="at least one"):
+        TCNRegressor(input_dim=2, channels=())
+    with pytest.raises(ValueError, match="dtype"):
+        TCNRegressor(input_dim=2, dtype="float16")
+    with pytest.raises(ValueError, match="accum_steps"):
+        TCNRegressor(input_dim=2, accum_steps=0)
+    with pytest.raises(ValueError, match="lr_decay"):
+        TCNRegressor(input_dim=2, lr_decay=0.0)
+    model = TCNRegressor(input_dim=3)
+    with pytest.raises(ValueError, match="expected"):
+        model.forward(np.zeros((2, 5, 4)))
+
+
+def test_conv_layer_validation_and_backward_guard():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="channel"):
+        CausalConv1D(0, 4, 2, 1, rng, "c")
+    with pytest.raises(ValueError, match="kernel_size"):
+        CausalConv1D(2, 4, 0, 1, rng, "c")
+    layer = CausalConv1D(2, 3, 2, 1, rng, "c")
+    with pytest.raises(RuntimeError, match="forward"):
+        layer.backward(np.zeros((1, 4, 3)))
+
+
+def test_tcn_parameter_count():
+    model = TCNRegressor(input_dim=3, channels=(4, 5), kernel_size=2)
+    expected = (
+        (2 * 3 * 4 + 4)  # layer 0: K*ci*co + biases
+        + (2 * 4 * 5 + 5)  # layer 1
+        + (5 * 1 + 1)  # dense head
+    )
+    assert model.n_parameters == expected

@@ -10,12 +10,36 @@ import dataclasses
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.experiments.reliability import run_chaos_campaign
 from repro.obs.export import summary_to_json
 from repro.parallel import ResultCache
 from repro.storm import ChaosSpec
 
 GOLDEN = Path(__file__).resolve().parents[1] / "golden" / "chaos_smoke.json"
+ONLINE_GOLDEN = (
+    Path(__file__).resolve().parents[1] / "golden" / "online_retraining.json"
+)
+
+
+def _online_campaign(jobs=1, cache=None, scheduler="heap"):
+    """Online-retraining arm: the DRNN is refit *inside* each run."""
+    return run_chaos_campaign(
+        app="url_count",
+        spec=ChaosSpec(crashes=1, losses=0),
+        seed=11,
+        runs=2,
+        horizon=80.0,
+        base_rate=120.0,
+        control="online",
+        control_interval=5.0,
+        window=4,
+        retrain_interval=20.0,
+        jobs=jobs,
+        cache=cache,
+        scheduler=scheduler,
+    )
 
 
 def _small_campaign(jobs=1, cache=None):
@@ -62,6 +86,26 @@ def test_golden_campaign_survives_sharding(tmp_path):
         "sharded chaos campaign drifted from tests/golden/chaos_smoke.json "
         "— the parallel engine must be byte-identical to serial"
     )
+
+
+@pytest.mark.slow
+def test_online_retraining_campaign_golden_across_jobs_and_cache(tmp_path):
+    # In-sim model training is the riskiest payload for the engine's
+    # byte-identity contract (NumPy training state, fresh models per
+    # refit): the sharded and cache-served runs must still reproduce the
+    # pinned golden exactly.
+    golden = ONLINE_GOLDEN.read_bytes()
+    sharded = _online_campaign(jobs=2)
+    assert _json_bytes(sharded, tmp_path, "online_j2.json") == golden, (
+        "online-retraining campaign drifted from "
+        "tests/golden/online_retraining.json under jobs=2"
+    )
+    cache = ResultCache(tmp_path / "cache")
+    cold = _online_campaign(cache=cache)
+    assert _json_bytes(cold, tmp_path, "online_cold.json") == golden
+    warm = _online_campaign(cache=cache)
+    assert _json_bytes(warm, tmp_path, "online_warm.json") == golden
+    assert cache.hits == 2  # every warm run served from disk
 
 
 def test_warm_cache_serves_identical_results_fast(tmp_path):

@@ -20,6 +20,8 @@ scheduler — the point is they agree) and dumping it with
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.apps import build_url_count_topology
 from repro.experiments.reliability import run_chaos_campaign
 from repro.obs.export import summary_to_json
@@ -49,6 +51,32 @@ def test_chaos_smoke_golden_holds_under_calendar_scheduler(tmp_path):
     assert out.read_text() == golden, (
         "calendar scheduler diverged from the heap-backed golden — the "
         "EventQueue implementations no longer pop the same order"
+    )
+
+
+@pytest.mark.slow
+def test_online_retraining_golden_holds_under_calendar_scheduler(tmp_path):
+    # Heaviest per-event payload in the suite: in-sim DRNN refits riding
+    # on the calendar queue must still pop the identical event order.
+    report = run_chaos_campaign(
+        app="url_count",
+        spec=ChaosSpec(crashes=1, losses=0),
+        seed=11,
+        runs=2,
+        horizon=80.0,
+        base_rate=120.0,
+        control="online",
+        control_interval=5.0,
+        window=4,
+        retrain_interval=20.0,
+        scheduler="calendar",
+    )
+    out = tmp_path / "online_calendar.json"
+    summary_to_json(report.summary(), out)
+    golden = (GOLDEN_DIR / "online_retraining.json").read_text()
+    assert out.read_text() == golden, (
+        "calendar scheduler diverged from the heap-backed online-"
+        "retraining golden — schedulers no longer pop the same order"
     )
 
 

@@ -74,6 +74,59 @@ def test_jobs_not_an_int_is_a_usage_error(capsys):
     assert exc_info.value.code == 2
 
 
+def test_predict_grid_command_writes_report(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "grid.json"
+    rc = main(
+        [
+            "predict",
+            "--grid",
+            "--models", "svr", "holt", "ensemble",
+            "--profiles", "calm",
+            "--duration", "100",
+            "--rate", "150",
+            "--seed", "1",
+            "--window", "4",
+            "--horizon", "2",
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "model grid" in captured
+    assert "url_count" in captured and "holt" in captured
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro-grid/1"
+    assert doc["models"] == ["svr", "holt", "ensemble"]
+    (cell,) = doc["cells"]
+    assert set(cell["scores"]) == {"svr", "holt", "ensemble"}
+
+
+def test_predict_grid_rejects_unknown_profile(capsys):
+    with pytest.raises(ValueError, match="unknown fault profile"):
+        main(["predict", "--grid", "--profiles", "bogus", "--duration", "60"])
+
+
+def test_chaos_command_online_arm(capsys):
+    rc = main(
+        [
+            "chaos",
+            "--arm", "online",
+            "--runs", "1",
+            "--duration", "30",
+            "--rate", "60",
+            "--seed", "9",
+            "--retrain-interval", "10",
+            "--losses", "0",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "arm: online" in captured
+    assert "tuple conservation holds" in captured
+
+
 def test_chaos_command_with_jobs_and_cache(capsys, tmp_path):
     args = [
         "chaos",
