@@ -312,6 +312,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import run_scenario_campaign
+    from repro.obs import summary_to_json
+
+    report = run_scenario_campaign(
+        scenario=args.name,
+        seed=args.seed,
+        runs=args.runs,
+        horizon=args.duration,
+        arms=tuple(args.arms),
+        jobs=args.jobs,
+        cache=args.cache,
+        scheduler=args.scheduler,
+    )
+    spec = report.scenario
+    print(f"scenario     : {spec.name}  ({spec.description})")
+    print(f"campaign     : seed={args.seed} runs={args.runs}"
+          f" horizon={report.horizon:.0f}s  slo={spec.latency_slo:.2f}s")
+    header = (
+        f"{'arm':>12}  {'run':>3}  {'breach %':>8}  {'p99 s':>7}"
+        f"  {'tput/s':>7}  {'pool':>8}  {'out/in':>6}  {'min rate':>8}"
+        f"  {'conserved':>9}"
+    )
+    print(header)
+    for r in report.runs:
+        pool = f"{r.workers_min}-{r.workers_max}"
+        print(
+            f"{r.arm:>12}  {r.run_index:>3}"
+            f"  {100 * r.slo_breach_fraction:8.1f}"
+            f"  {r.p99_complete_latency:7.3f}"
+            f"  {r.mean_throughput:7.1f}  {pool:>8}"
+            f"  {r.scale_outs:>3}/{r.scale_ins:<2}"
+            f"  {r.min_admission_rate:8.2f}  {str(r.conserved):>9}"
+        )
+    summary = report.summary()
+    for arm in report.arms:
+        agg = summary["arms"][arm]
+        print(f"{arm:>12}: mean breach "
+              f"{100 * agg['mean_slo_breach_fraction']:.1f} %  "
+              f"mean p99 {agg['mean_p99_latency']:.3f} s  "
+              f"max pool {agg['max_pool']}")
+    all_conserved = all(r.conserved for r in report.runs)
+    print(f"tuple conservation"
+          f"{' holds' if all_conserved else ' VIOLATED'} across all cells")
+    if args.out:
+        summary_to_json(summary, args.out)
+        print(f"wrote scenario report to {args.out}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.reliability import run_reliability_scenario
     from repro.obs import (
@@ -452,7 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=3,
                    help="simulations in the campaign")
     p.add_argument("--arm", default="baseline",
-                   choices=("baseline", "reactive", "online"))
+                   choices=("baseline", "reactive", "online", "autoscale"))
     p.add_argument("--retrain-interval", type=float, default=30.0,
                    help="online arm: sim-seconds between in-run predictor "
                         "refits (ignored by other arms)")
@@ -469,6 +519,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "under either (default: heap)")
     _parallel_flags(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "scenario",
+        help="elasticity scenario campaign (workload shapes, paired arms)",
+    )
+    p.add_argument("--name", default="flash_crowd",
+                   help="scenario from the pack (see docs/elasticity.md): "
+                        "diurnal_ramp, flash_crowd, hot_key_storm, "
+                        "slow_burn")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--runs", type=int, default=2,
+                   help="paired runs per arm")
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds per run (default: the "
+                        "scenario's own horizon)")
+    p.add_argument("--arms", nargs="+", default=["fixed", "autoscale"],
+                   choices=("fixed", "autoscale", "rate_control"),
+                   help="control arms to run (each replays the same "
+                        "per-run seeds)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the campaign report JSON here")
+    p.add_argument("--scheduler", default="heap",
+                   choices=("heap", "calendar"),
+                   help="kernel event-queue implementation; reports are "
+                        "byte-identical under either (default: heap)")
+    _parallel_flags(p)
+    p.set_defaults(func=_cmd_scenario)
 
     p = sub.add_parser(
         "report", help="instrumented run -> byte-stable JSON/HTML report"

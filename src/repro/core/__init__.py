@@ -24,8 +24,16 @@ The closed loop, as described in the paper:
 from repro.core.config import ControllerConfig
 from repro.core.controller import ControlAction, PredictiveController
 from repro.core.detector import MisbehaviorDetector
+from repro.core.elasticity import (
+    AutoscaleController,
+    AutoscalePolicy,
+    RateControlConfig,
+    RateEvent,
+    ScaleEvent,
+    SpoutRateController,
+)
 from repro.core.monitor import StatsMonitor
-from repro.core.planner import SplitRatioPlanner
+from repro.core.planner import SplitRatioPlanner, floor_and_normalise
 from repro.core.predictor import PerformancePredictor
 from repro.core.retraining import (
     OnlineModelFactory,
@@ -34,14 +42,21 @@ from repro.core.retraining import (
 )
 
 __all__ = [
+    "AutoscaleController",
+    "AutoscalePolicy",
     "ControlAction",
     "ControllerConfig",
     "MisbehaviorDetector",
     "OnlineModelFactory",
     "PerformancePredictor",
     "PredictiveController",
+    "RateControlConfig",
+    "RateEvent",
     "RetrainEvent",
     "RetrainingPredictor",
+    "ScaleEvent",
     "SplitRatioPlanner",
+    "SpoutRateController",
     "StatsMonitor",
+    "floor_and_normalise",
 ]

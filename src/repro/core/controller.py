@@ -140,6 +140,7 @@ class PredictiveController:
         self.monitor: Optional[StatsMonitor] = None
         self.edges: List[Tuple[str, str, str]] = []
         self._task_worker: Dict[int, int] = {}
+        self._membership_epoch = -1
         self._seen_snapshots = 0
         self._tracer: Optional["Tracer"] = None
         # registry instruments (resolved at _bind; None ⇒ metrics disabled)
@@ -179,10 +180,7 @@ class PredictiveController:
                 "to actuate"
             )
         self.edges = edges
-        self._task_worker = {
-            task_id: ex.worker.worker_id
-            for task_id, ex in sim.cluster.executors.items()
-        }
+        self._refresh_task_worker(sim)
         self._tracer = sim.obs.tracer
         registry = sim.obs.metrics
         if registry is not None:
@@ -207,6 +205,23 @@ class PredictiveController:
             self._retrain_proc = sim.env.process(
                 self._retrain_loop(), name="predictor-retrain"
             )
+
+    def _refresh_task_worker(self, sim: "StormSimulation") -> None:
+        """(Re)build the task→worker map when cluster membership moved.
+
+        The map is a snapshot for planning speed; the cluster bumps its
+        ``membership_epoch`` whenever the elastic scheduler adds/removes
+        a worker or migrates executors, and the controller resyncs here
+        instead of trusting a bind-time view forever.
+        """
+        epoch = sim.cluster.membership_epoch
+        if epoch == self._membership_epoch:
+            return
+        self._task_worker = {
+            task_id: ex.worker.worker_id
+            for task_id, ex in sim.cluster.executors.items()
+        }
+        self._membership_epoch = epoch
 
     def _require_attached(self) -> "StormSimulation":
         if self.sim is None:
@@ -252,6 +267,7 @@ class PredictiveController:
         # worker is a liveness fact (the supervisor knows), not something
         # to infer from latency history — so it can act even during
         # warmup, when the monitor window is still filling.
+        self._refresh_task_worker(sim)
         crashed = set(sim.cluster.crashed_workers())
         snapshots = sim.metrics.snapshots
         new = snapshots[self._seen_snapshots :]
@@ -321,7 +337,10 @@ class PredictiveController:
             time=now,
             predictions=dict(predictions),
             flagged=set(flagged),
-            crashed=crashed,
+            # defensive copy: ``crashed`` is recomputed per step today,
+            # but a recorded action must never alias caller state that
+            # could mutate after the fact
+            crashed=set(crashed),
         )
         if tr is not None:
             tr.record(
@@ -351,6 +370,7 @@ class PredictiveController:
                 health_ratios=self.detector.ratios,
                 flagged=avoid,
                 prev_ratios=control.ratios,
+                crashed=crashed,
             )
             sim.cluster.set_split_ratios(source, consumer, ratios, stream)
             action.ratios[edge] = ratios

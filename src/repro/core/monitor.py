@@ -79,6 +79,12 @@ TOPOLOGY_FEATURES = ("emit_rate", "in_flight")
 #: Initial ring capacity (intervals); doubles on overflow.
 _INITIAL_CAPACITY = 64
 
+#: Padding rows for departed workers (see ``_sync_membership``).
+_ZERO_ROW_INTERFERENCE = (0.0,) * (
+    len(OWN_FEATURES) + len(INTERFERENCE_FEATURES) + len(TOPOLOGY_FEATURES)
+)
+_ZERO_ROW_PLAIN = (0.0,) * (len(OWN_FEATURES) + len(TOPOLOGY_FEATURES))
+
 
 class StatsMonitor:
     """Rolling per-worker feature/target history built from snapshots."""
@@ -123,6 +129,15 @@ class StatsMonitor:
         ]
         n_workers = len(self._worker_ids)
         d = len(self.feature_names)
+        self._d = d
+        #: per row: is the worker still in the pool?  Rows are never
+        #: deleted (histories stay aligned); a removed worker's row goes
+        #: inactive and keeps padding until the end of the run.
+        self._row_active: List[bool] = [True] * n_workers
+        #: per row: interval index at which the worker left the pool, or
+        #: -1 while it is still a member (caps its training range).
+        self._deactivated: List[int] = [-1] * n_workers
+        self._any_inactive = False
         self._cap = _INITIAL_CAPACITY
         self._n = 0
         # Time-major layout: one snapshot is a contiguous (W, d) block, so
@@ -153,12 +168,53 @@ class StatsMonitor:
         t[:n] = self._t[:n]
         self._F, self._y, self._t, self._cap = F, y, t, new_cap
 
+    def _sync_membership(self, snapshot: MultilevelSnapshot) -> None:
+        """Register joins/leaves so rows track the snapshot's worker set.
+
+        Driven by snapshot *contents*, not live cluster state: snapshots
+        are ingested in batches at control steps, so one taken before a
+        scale-out must not see the new worker yet.  New workers append a
+        row (zero-padded history prefix); departed workers keep their row
+        but go inactive — every interval still writes all rows, so the
+        feature matrices stay aligned across a membership epoch.
+        Worker ids are never reused, so a leave is permanent.
+        """
+        present = snapshot.workers.keys()
+        registered = self._wid_row.keys()
+        added = sorted(wid for wid in present if wid not in registered)
+        for wid in added:
+            row = len(self._worker_ids)
+            node = snapshot.workers[wid].node_name
+            self._worker_ids.append(wid)  # ids grow monotonically: sorted
+            self._wid_row[wid] = row
+            self._worker_node[wid] = node
+            self._node_workers.setdefault(node, []).append(wid)
+            self._row_nodes.append(node)
+            self._row_active.append(True)
+            self._deactivated.append(-1)
+            self._last_y.append(0.0)
+            self._first_real = np.append(self._first_real, -1)
+            self._F = np.concatenate(
+                [self._F, np.zeros((self._cap, 1, self._d))], axis=1
+            )
+            self._y = np.concatenate(
+                [self._y, np.zeros((self._cap, 1))], axis=1
+            )
+        for wid, row in self._wid_row.items():
+            if self._row_active[row] and wid not in present:
+                self._row_active[row] = False
+                self._deactivated[row] = self._n
+                self._any_inactive = True
+
     def observe(self, snapshot: MultilevelSnapshot) -> None:
         """Append one metrics snapshot to every worker's history.
 
-        The snapshot must cover every registered worker (the metrics
-        collector always does); a missing worker raises ``KeyError``.
+        The snapshot must cover every *active* registered worker; worker
+        joins/leaves relative to the registered set are synced first
+        (see :meth:`_sync_membership`).
         """
+        if snapshot.workers.keys() != self._wid_row.keys():
+            self._sync_membership(snapshot)
         n = self._n
         if n == self._cap:
             self._grow()
@@ -185,7 +241,15 @@ class StatsMonitor:
                 name: [0.0, 0, 0] for name in self._node_workers
             }
             row_nodes = self._row_nodes
+            row_active = self._row_active
             for wid in self._worker_ids:
+                if not row_active[r]:
+                    # Departed worker: the row pads with zero features
+                    # and a carried target so histories stay aligned.
+                    flat += _ZERO_ROW_INTERFERENCE
+                    targets.append(last[r])
+                    r += 1
+                    continue
                 ws = workers[wid]
                 executed = ws.executed
                 backlog = ws.backlog
@@ -224,17 +288,27 @@ class StatsMonitor:
             utilization = {
                 name: nodes[name].utilization for name in node_totals
             }
+            d = self._d
             base = 7  # offset of node_utilization within each row
             for r in range(len(targets)):
+                if not row_active[r]:
+                    base += d  # padded row: keep the zeros
+                    continue
                 node = row_nodes[r]
                 tot = node_totals[node]
                 flat[base] = utilization[node]
                 flat[base + 1] = tot[0] - flat[base + 1]
                 flat[base + 2] = tot[1] - flat[base + 2]
                 flat[base + 3] = tot[2] - flat[base + 3]
-                base += 13
+                base += d
         else:
+            row_active = self._row_active
             for wid in self._worker_ids:
+                if not row_active[r]:
+                    flat += _ZERO_ROW_PLAIN
+                    targets.append(last[r])
+                    r += 1
+                    continue
                 ws = workers[wid]
                 executed = ws.executed
                 flat += (
@@ -273,7 +347,9 @@ class StatsMonitor:
 
     @property
     def worker_ids(self) -> List[int]:
-        return list(self._worker_ids)
+        """Ids of workers currently in the pool (departed rows excluded)."""
+        active = self._row_active
+        return [wid for r, wid in enumerate(self._worker_ids) if active[r]]
 
     @staticmethod
     def _readonly(view: np.ndarray) -> np.ndarray:
@@ -303,22 +379,28 @@ class StatsMonitor:
         )
 
     def latest_backlogs(self) -> Dict[int, float]:
-        """Instantaneous queue backlog per worker (for the stall guard)."""
+        """Instantaneous queue backlog per *active* worker (stall guard)."""
+        active = self._row_active
         n = self._n
         if n == 0:
-            return {wid: 0.0 for wid in self._worker_ids}
+            return {wid: 0.0 for wid in self.worker_ids}
         col = self._F[n - 1, :, self._backlog_col]
         return {
-            wid: float(col[r]) for wid, r in self._wid_row.items()
+            wid: float(col[r])
+            for wid, r in self._wid_row.items()
+            if active[r]
         }
 
     def latest_latencies(self) -> Dict[int, float]:
+        active = self._row_active
         n = self._n
         if n == 0:
-            return {wid: 0.0 for wid in self._worker_ids}
+            return {wid: 0.0 for wid in self.worker_ids}
         col = self._y[n - 1]
         return {
-            wid: float(col[r]) for wid, r in self._wid_row.items()
+            wid: float(col[r])
+            for wid, r in self._wid_row.items()
+            if active[r]
         }
 
     def pooled_training_data(
@@ -349,10 +431,15 @@ class StatsMonitor:
             start = int(self._first_real[r])
             if start < 0:
                 continue  # never executed: nothing real to learn from
+            # A departed worker's history stops where it left the pool:
+            # the zero-padded tail would otherwise teach a fictitious
+            # zero-feature/frozen-target regime.
+            dead_at = self._deactivated[r]
+            end = n if dead_at < 0 else min(n, dead_at)
             if last is not None:
-                start = max(start, n - last)
-            F = self._F[start:n, r]
-            t = self._y[start:n, r]
+                start = max(start, end - last)
+            F = self._F[start:end, r]
+            t = self._y[start:end, r]
             if F.shape[0] < window + horizon:
                 continue
             X, y = make_supervised_windows(F, t, window=window, horizon=horizon)

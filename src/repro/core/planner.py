@@ -8,10 +8,22 @@ heterogeneous executor mixes, so raw predicted latencies are not
 comparable across workers, but ratios are (1.0 = nominal for everyone).
 Tasks on flagged workers additionally have their score multiplied by
 ``misbehaving_penalty``.
+
 Target ratios are the normalised scores, floored at ``min_ratio`` (so a
 throttled worker keeps receiving a trickle of tuples — otherwise its
 statistics go silent and recovery could never be observed), then damped
-toward the previous ratios by ``smoothing`` to avoid oscillation.
+toward the previous ratios by ``smoothing``.  Two hard guarantees hold on
+the *final* ratios, not just the pre-damping target:
+
+* tasks on **crashed** workers get exactly 0.  The probe-trickle
+  rationale is wrong for a dead process: its queue purges every tuple,
+  so a floor there is pure loss until the supervisor restart.  The
+  crashed set is passed separately from ``flagged`` because it zeroes
+  rather than floors.
+* every other task's ratio is at least ``min_ratio`` — re-imposed after
+  the smoothing blend, which can otherwise drag a floored entry back
+  below the floor (property-tested in
+  ``tests/core/test_planner_regressions.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +33,58 @@ from typing import Dict, Optional, Sequence, Set
 import numpy as np
 
 from repro.core.config import ControllerConfig
+
+
+def floor_and_normalise(
+    target: np.ndarray, floor: float, dead: np.ndarray
+) -> np.ndarray:
+    """Project ``target`` onto the constrained simplex.
+
+    The result sums to 1 with every ``dead`` entry exactly 0 and every
+    live entry at least ``floor`` (when feasible).  Iterative clamping:
+    entries that fall below the floor after rescaling are pinned there and
+    the remaining mass is redistributed proportionally over the rest —
+    unlike a one-shot ``maximum`` + renormalise, the floor is *exact*.
+    Entries already at or above the floor after rescaling keep their
+    proportions.  When the floor alone is infeasible (``floor * n_live >=
+    1``) the live entries fall back to uniform.
+    """
+    n = target.shape[0]
+    live = ~dead
+    n_live = int(live.sum())
+    if n_live == 0:
+        # Degenerate: every candidate is dead.  Nothing good can happen;
+        # spread uniformly (the tuples are lost either way) rather than
+        # produce an all-zero vector downstream consumers cannot use.
+        return np.full(n, 1.0 / n)
+    out = np.zeros(n)
+    t = np.where(live, np.maximum(target, 0.0), 0.0)
+    if floor <= 0.0 or n_live * floor >= 1.0:
+        s = t.sum()
+        if s <= 0.0:
+            out[live] = 1.0 / n_live
+        else:
+            out[live] = t[live] / s
+        return out
+    clamped = np.zeros(n, dtype=bool)
+    for _ in range(n):
+        free = live & ~clamped
+        free_mass = 1.0 - floor * int(clamped.sum())
+        s = t[free].sum()
+        if s <= 0.0:
+            out[free] = free_mass / int(free.sum())
+            break
+        if free_mass == 1.0:
+            scaled = t / s  # bitwise-identical to plain renormalisation
+        else:
+            scaled = t * (free_mass / s)
+        below = free & (scaled < floor)
+        if not below.any():
+            out[free] = scaled[free]
+            break
+        clamped |= below
+    out[live & clamped] = floor
+    return out
 
 
 class SplitRatioPlanner:
@@ -37,34 +101,44 @@ class SplitRatioPlanner:
         health_ratios: Dict[int, float],
         flagged: Set[int],
         prev_ratios: Optional[np.ndarray] = None,
+        crashed: Optional[Set[int]] = None,
     ) -> np.ndarray:
         """Compute normalised ratios for ``tasks`` (in task order).
 
         ``health_ratios`` maps worker id -> normalised predicted latency
         (1.0 = nominal); workers without a ratio (not enough history yet)
         are treated as nominal — neither favoured nor punished.
+        ``crashed`` holds worker ids whose tasks must get *zero* (their
+        queues purge every delivery); ``flagged`` workers are penalised
+        and floored, crashed ones are excluded outright.
         """
         cfg = self.config
         n = len(tasks)
         if n == 0:
             raise ValueError("no tasks to plan for")
+        crashed = crashed or set()
         eps = 1e-9
         scores = np.empty(n)
+        dead = np.zeros(n, dtype=bool)
         for i, t in enumerate(tasks):
             wid = task_worker[t]
+            if wid in crashed:
+                dead[i] = True
+                scores[i] = 0.0
+                continue
             ratio = health_ratios.get(wid, 1.0)
             ratio = ratio if ratio > 0 else 1.0
             score = 1.0 / max(ratio, eps)
             if wid in flagged:
                 score *= cfg.misbehaving_penalty
             scores[i] = score
-        target = scores / scores.sum()
-        # Floor then renormalise (keeps the floor approximately honoured;
-        # exact only when the floor mass is small, which min_ratio < 0.5/n
-        # guarantees in practice).
-        if cfg.min_ratio > 0:
-            target = np.maximum(target, cfg.min_ratio)
-            target = target / target.sum()
+        if dead.all():
+            # Every worker hosting this edge is dead: planning cannot
+            # save anything, so keep the uniform spread (replays recover
+            # the tuples once a restart lands).
+            dead = np.zeros(n, dtype=bool)
+            scores[:] = 1.0
+        target = floor_and_normalise(scores, cfg.min_ratio, dead)
         if prev_ratios is not None:
             prev = np.asarray(prev_ratios, dtype=float)
             if prev.shape != target.shape:
@@ -72,5 +146,8 @@ class SplitRatioPlanner:
                     f"prev_ratios shape {prev.shape} != {target.shape}"
                 )
             target = (1.0 - cfg.smoothing) * prev + cfg.smoothing * target
-            target = target / target.sum()
+            # The blend can re-leak mass onto crashed tasks (prev had
+            # some) and drag floored entries below the floor — project
+            # again so the *applied* ratios honour both guarantees.
+            target = floor_and_normalise(target, cfg.min_ratio, dead)
         return target

@@ -11,6 +11,9 @@ experiment index):
   fault-profile)`` grid (E1–E3, E8, E9).
 * :mod:`~repro.experiments.reliability` — misbehaving-worker scenarios:
   plain-Storm baseline vs the predictive framework (E5–E7, E10).
+* :mod:`~repro.experiments.scenarios` — elasticity scenario pack:
+  workload shapes (diurnal ramp, flash crowd, hot-key storm, slow burn)
+  run as paired fixed/autoscale/rate-control campaigns.
 * :mod:`~repro.experiments.tables` — plain-text table rendering for the
   benchmark output (the "rows the paper reports").
 """
@@ -28,6 +31,13 @@ from repro.experiments.reliability import (
     degradation_sweep,
     run_reliability_scenario,
 )
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioCampaign,
+    ScenarioReport,
+    ScenarioSpec,
+    run_scenario_campaign,
+)
 from repro.experiments.tables import format_table
 from repro.experiments.traces import TraceBundle, collect_trace
 
@@ -36,6 +46,10 @@ __all__ = [
     "PredictionGrid",
     "PredictionResult",
     "ReliabilityResult",
+    "SCENARIOS",
+    "ScenarioCampaign",
+    "ScenarioReport",
+    "ScenarioSpec",
     "TraceBundle",
     "collect_trace",
     "degradation_sweep",
@@ -43,4 +57,5 @@ __all__ = [
     "format_table",
     "prediction_comparison",
     "run_prediction_grid",
+    "run_scenario_campaign",
 ]

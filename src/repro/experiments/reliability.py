@@ -214,6 +214,42 @@ class OnlineControllerFactory:
         )
 
 
+@dataclass(frozen=True)
+class AutoscaleControllerFactory:
+    """Picklable elastic-autoscaling controller factory.
+
+    Builds an :class:`~repro.core.elasticity.AutoscaleController` that
+    scales the worker pool on backlog/SLO pressure instead of (or in
+    addition to) re-splitting ratios — the elasticity arm of chaos and
+    scenario campaigns.
+    """
+
+    interval: float = 5.0
+    latency_slo: float = 1.0
+    backlog_high: float = 50.0
+    backlog_low: float = 5.0
+    consecutive: int = 2
+    cooldown: float = 15.0
+    min_workers: int = 1
+    max_workers: int = 8
+
+    def __call__(self):
+        from repro.core.elasticity import AutoscaleController, AutoscalePolicy
+
+        return AutoscaleController(
+            AutoscalePolicy(
+                interval=self.interval,
+                latency_slo=self.latency_slo,
+                backlog_high=self.backlog_high,
+                backlog_low=self.backlog_low,
+                consecutive=self.consecutive,
+                cooldown=self.cooldown,
+                min_workers=self.min_workers,
+                max_workers=self.max_workers,
+            )
+        )
+
+
 def run_chaos_campaign(
     app: str = "url_count",
     spec: Optional[ChaosSpec] = None,
@@ -237,7 +273,10 @@ def run_chaos_campaign(
     around dead workers even before the statistics window fills);
     ``"online"`` attaches the online-retraining controller, whose DRNN is
     refit every ``retrain_interval`` simulation seconds on the monitor's
-    rolling window inside the run (no pre-trained model).  The
+    rolling window inside the run (no pre-trained model); ``"autoscale"``
+    attaches the elastic pool autoscaler, which adds/removes workers on
+    backlog/SLO pressure instead of re-splitting ratios (see
+    :mod:`repro.core.elasticity` and ``docs/elasticity.md``).  The
     report is a pure function of the arguments — rerunning reproduces it
     bit-for-bit, and sharding it across ``jobs`` worker processes (``0``
     = all cores) or serving runs from ``cache`` changes wall-clock only,
@@ -246,7 +285,7 @@ def run_chaos_campaign(
     implementation pops the identical event order (see
     ``docs/scheduler.md``), pinned by the golden byte-identity tests.
     """
-    if control not in (None, "reactive", "online"):
+    if control not in (None, "reactive", "online", "autoscale"):
         raise ValueError(f"unknown chaos control arm {control!r}")
     spec = spec if spec is not None else ChaosSpec(crashes=1, losses=1)
     controller_factory = None
@@ -259,6 +298,10 @@ def run_chaos_campaign(
             control_interval=control_interval,
             window=window,
             retrain_interval=retrain_interval,
+        )
+    elif control == "autoscale":
+        controller_factory = AutoscaleControllerFactory(
+            interval=control_interval
         )
     campaign = ChaosCampaign(
         ChaosTopologyFactory(app=app, base_rate=base_rate),

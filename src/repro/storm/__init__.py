@@ -44,6 +44,7 @@ from repro.storm.chaos import (
     sample_schedule,
 )
 from repro.storm.cluster import Cluster, EvenScheduler, NodeSpec
+from repro.storm.elastic import ElasticScheduler, MembershipEvent
 from repro.storm.faults import (
     CpuHogFault,
     FaultInjector,
@@ -83,9 +84,11 @@ __all__ = [
     "CpuHogFault",
     "DirectGrouping",
     "DynamicGrouping",
+    "ElasticScheduler",
     "Emission",
     "EvenScheduler",
     "FaultInjector",
+    "MembershipEvent",
     "FieldsGrouping",
     "GlobalGrouping",
     "LocalOrShuffleGrouping",

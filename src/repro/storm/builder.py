@@ -159,18 +159,20 @@ class SimulationBuilder:
     ) -> "SimulationBuilder":
         """Attach the predictive control loop to the built simulation.
 
-        Pass either a ready (detached) :class:`PredictiveController`, or
-        a :class:`PerformancePredictor` plus its loop options and the
-        builder constructs the controller at ``build()`` time.
+        Pass either a ready (detached) controller — anything with a
+        ``_bind(sim)`` hook: a :class:`PredictiveController`, an
+        :class:`~repro.core.elasticity.AutoscaleController`, a
+        :class:`~repro.core.elasticity.SpoutRateController` — or a
+        :class:`PerformancePredictor` plus its loop options and the
+        builder constructs the predictive controller at ``build()``
+        time.
 
         A :class:`~repro.core.retraining.RetrainingPredictor` selects
         the online-retraining mode: attaching its controller also
         registers the periodic in-sim refit process (see
         :mod:`repro.core.retraining` for the determinism contract).
         """
-        from repro.core.controller import PredictiveController
-
-        if isinstance(predictor, PredictiveController):
+        if hasattr(predictor, "_bind"):
             if config is not None or edges is not None \
                     or online_fit_after is not None:
                 raise TypeError(
@@ -295,9 +297,7 @@ class SimulationBuilder:
             from repro.core.controller import PredictiveController
 
             for spec in self._controllers:
-                if isinstance(spec, PredictiveController):
-                    sim.attach(spec)
-                else:
+                if isinstance(spec, tuple):
                     predictor, config, edges, online_fit_after = spec
                     sim.attach(
                         PredictiveController(
@@ -307,6 +307,8 @@ class SimulationBuilder:
                             online_fit_after=online_fit_after,
                         )
                     )
+                else:
+                    sim.attach(spec)
         self._built = sim
         return sim
 

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
+    from repro.storm.elastic import ElasticScheduler
     from repro.storm.executor import BaseExecutor
 
 
@@ -119,6 +120,12 @@ class Cluster:
         self.transport: Optional[Transport] = None
         #: (source_component, consumer_component, stream) -> shared control
         self.ratio_controls: Dict[Tup[str, str, str], SplitRatioControl] = {}
+        #: bumped on every worker join/leave; bind-time snapshots elsewhere
+        #: (controller task→worker map, monitor row registry) resync when
+        #: their cached epoch no longer matches
+        self.membership_epoch = 0
+        self._next_worker_id = 0
+        self._elastic = None
 
     # -- topology submission ------------------------------------------------------------
 
@@ -152,6 +159,7 @@ class Cluster:
             Worker(self.env, worker_id=i, node=node)
             for i, node in enumerate(placements)
         ]
+        self._next_worker_id = config.num_workers
         assignment = self.scheduler.assign_executors(topology, self.workers)
 
         # Shared ratio controls for every dynamic edge.
@@ -265,13 +273,86 @@ class Cluster:
     ):
         return self.ratio_controls[(source, consumer, stream)].ratios
 
+    def set_admission_rate(self, rate: float) -> None:
+        """Throttle every spout's emission pacing to ``rate`` (0, 1].
+
+        ``1.0`` is full speed; lower values stretch spout inter-arrival
+        gaps by ``1/rate`` — the actuation path of the spout-side
+        admission controller (:mod:`repro.core.elasticity`).
+        """
+        from repro.storm.executor import SpoutExecutor
+
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"admission rate must be in (0, 1], got {rate}")
+        for ex in self.executors.values():
+            if isinstance(ex, SpoutExecutor):
+                ex.admission_rate = rate
+
+    def admission_rate(self) -> float:
+        """Current spout admission rate (1.0 when never throttled)."""
+        from repro.storm.executor import SpoutExecutor
+
+        for ex in self.executors.values():
+            if isinstance(ex, SpoutExecutor):
+                return ex.admission_rate
+        return 1.0
+
+    # -- elastic membership ------------------------------------------------------------
+
+    @property
+    def elastic(self) -> "ElasticScheduler":
+        """Lazy handle for live worker add/remove (see :mod:`.elastic`)."""
+        if self._elastic is None:
+            from repro.storm.elastic import ElasticScheduler
+
+            self._elastic = ElasticScheduler(self)
+        return self._elastic
+
+    def move_executor(self, task_id: int, worker: Worker) -> None:
+        """Re-home one executor onto ``worker``, queue and all.
+
+        The queue object moves with the executor, so queued tuples are
+        preserved and in-transit tuples — transport resolves placement at
+        delivery time — arrive at the new home.  Callers must bump the
+        membership epoch once the whole rebalance is done.
+        """
+        ex = self.executors[task_id]
+        old = ex.worker
+        if old is worker:
+            return
+        old.executors.remove(ex)
+        worker.executors.append(ex)
+        ex.worker = worker
+        ex.context.worker_id = worker.worker_id
+        ex.context.node_name = worker.node.name
+        assert self.transport is not None
+        self.transport.register(task_id, ex.queue, worker)
+
     # -- introspection helpers --------------------------------------------------------------
+
+    def worker_by_id(self, worker_id: int) -> Worker:
+        """Id-keyed worker lookup, valid across joins/leaves.
+
+        ``cluster.workers[worker_id]`` only works while ids coincide with
+        list positions — which elastic membership breaks permanently once
+        a worker leaves.  Every id-based access must come through here.
+        """
+        for w in self.workers:
+            if w.worker_id == worker_id:
+                return w
+        raise KeyError(
+            f"no worker {worker_id} in cluster (live ids: "
+            f"{[w.worker_id for w in self.workers]})"
+        )
+
+    def has_worker(self, worker_id: int) -> bool:
+        return any(w.worker_id == worker_id for w in self.workers)
 
     def worker_of_task(self, task_id: int) -> Worker:
         return self.executors[task_id].worker
 
     def tasks_of_worker(self, worker_id: int) -> List[int]:
-        return self.workers[worker_id].task_ids
+        return self.worker_by_id(worker_id).task_ids
 
     def crashed_workers(self) -> List[int]:
         """Ids of workers currently dead (crashed, not yet restarted)."""

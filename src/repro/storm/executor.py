@@ -479,6 +479,10 @@ class SpoutExecutor(BaseExecutor):
         self.context = context
         self.pending: Dict[Any, SpoutRecord] = {}
         self.replay_queue: deque[SpoutRecord] = deque()
+        #: admission throttle in (0, 1]: the spout's inter-arrival gaps
+        #: stretch by 1/rate.  Actuated by the spout-side rate controller
+        #: (:mod:`repro.core.elasticity`) via Cluster.set_admission_rate.
+        self.admission_rate = 1.0
         self.dropped_count = 0  # messages beyond max_replays
         self.replayed_count = 0
         self.trees_opened = 0  # reliable emissions (one ack tree each)
@@ -574,7 +578,14 @@ class SpoutExecutor(BaseExecutor):
                     yield self._wake
                     self._wake = None
                     continue
-                yield self.env.timeout(max(0.0, delay))
+                wait = max(0.0, delay)
+                rate = self.admission_rate
+                if rate < 1.0:
+                    # Throttled admission: stretch the gap.  Skipped
+                    # entirely at full rate so unthrottled runs stay
+                    # bitwise identical to the pre-throttle code.
+                    wait = wait / rate
+                yield self.env.timeout(wait)
                 emission = self.spout.next_tuple()
                 if emission is None:
                     continue
@@ -687,7 +698,11 @@ class BoltExecutor(BaseExecutor):
                 roots=tup.roots, wait=wait,
             )
         nominal = 0.2e-3 if is_tick else self.bolt.cpu_cost(tup)
-        dilation = self.worker.node.service_started()
+        # Pin the node across the service yield: an elastic migration can
+        # re-home this executor mid-service, and started/finished must
+        # pair on the same node's demand counter.
+        node = self.worker.node
+        dilation = node.service_started()
         service = (
             max(0.0, nominal)
             * self._service_noise()
@@ -695,7 +710,7 @@ class BoltExecutor(BaseExecutor):
             * self.worker.slow_factor
         )
         yield self.env.timeout(service)
-        self.worker.node.service_finished()
+        node.service_finished()
         if tr is not None and not is_tick:
             tr.record(
                 self.env.now, TUPLE_EXECUTE, task=self.task_id,

@@ -70,16 +70,16 @@ class SlowdownFault(Fault):
 
     def validate(self, cluster: "Cluster") -> None:
         super().validate(cluster)
-        if not 0 <= self.worker_id < len(cluster.workers):
+        if not cluster.has_worker(self.worker_id):
             raise ValueError(f"no worker {self.worker_id}")
         if self.factor < 1.0:
             raise ValueError("slowdown factor must be >= 1")
 
     def apply(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].hold_slowdown(self.factor)
+        cluster.worker_by_id(self.worker_id).hold_slowdown(self.factor)
 
     def revert(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].release_slowdown(self.factor)
+        cluster.worker_by_id(self.worker_id).release_slowdown(self.factor)
 
 
 @dataclass(frozen=True)
@@ -164,14 +164,14 @@ class PauseFault(Fault):
 
     def validate(self, cluster: "Cluster") -> None:
         super().validate(cluster)
-        if not 0 <= self.worker_id < len(cluster.workers):
+        if not cluster.has_worker(self.worker_id):
             raise ValueError(f"no worker {self.worker_id}")
 
     def apply(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].hold_pause()
+        cluster.worker_by_id(self.worker_id).hold_pause()
 
     def revert(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].release_pause()
+        cluster.worker_by_id(self.worker_id).release_pause()
 
 
 @dataclass(frozen=True)
@@ -189,14 +189,14 @@ class WorkerCrashFault(Fault):
 
     def validate(self, cluster: "Cluster") -> None:
         super().validate(cluster)
-        if not 0 <= self.worker_id < len(cluster.workers):
+        if not cluster.has_worker(self.worker_id):
             raise ValueError(f"no worker {self.worker_id}")
 
     def apply(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].crash(cluster.ledger)
+        cluster.worker_by_id(self.worker_id).crash(cluster.ledger)
 
     def revert(self, cluster: "Cluster") -> None:
-        cluster.workers[self.worker_id].restart()
+        cluster.worker_by_id(self.worker_id).restart()
 
 
 @dataclass(frozen=True)

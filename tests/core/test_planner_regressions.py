@@ -1,0 +1,234 @@
+"""Regression tests for the planner's crash-zeroing and floor guarantees.
+
+Two bugs pinned here:
+
+* the planner used to give tasks on *crashed* workers the ``min_ratio``
+  probe floor — every tuple routed there during the crash window was
+  purged by the dead worker's queue and had to replay (pure loss);
+* the smoothing blend damped ratios *after* the floor was applied, so a
+  floored entry could be dragged back below ``min_ratio`` and a
+  throttled worker's probe trickle silently vanished.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ControllerConfig
+from repro.core.planner import SplitRatioPlanner, floor_and_normalise
+
+TASKS = [10, 11, 12, 13]
+TASK_WORKER = {10: 0, 11: 1, 12: 2, 13: 3}
+
+
+def make_planner(min_ratio=0.05, smoothing=0.7):
+    return SplitRatioPlanner(
+        ControllerConfig(min_ratio=min_ratio, smoothing=smoothing)
+    )
+
+
+class TestCrashedZeroing:
+    def test_crashed_workers_get_exactly_zero(self):
+        planner = make_planner()
+        ratios = planner.plan(
+            TASKS,
+            TASK_WORKER,
+            {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0},
+            flagged=set(),
+            crashed={1, 3},
+        )
+        assert ratios[1] == 0.0
+        assert ratios[3] == 0.0
+        assert ratios.sum() == pytest.approx(1.0)
+        assert all(r >= 0.05 for i, r in enumerate(ratios) if i in (0, 2))
+
+    def test_crashed_stays_zero_through_smoothing(self):
+        # prev ratios had mass on the (now crashed) worker; the damped
+        # blend re-leaks some of it — the second projection must strip it.
+        planner = make_planner()
+        prev = np.array([0.25, 0.25, 0.25, 0.25])
+        ratios = planner.plan(
+            TASKS,
+            TASK_WORKER,
+            {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0},
+            flagged=set(),
+            prev_ratios=prev,
+            crashed={2},
+        )
+        assert ratios[2] == 0.0
+        assert ratios.sum() == pytest.approx(1.0)
+
+    def test_crashed_and_flagged_are_distinct(self):
+        # flagged → penalised but floored; crashed → zero.
+        planner = make_planner()
+        ratios = planner.plan(
+            TASKS,
+            TASK_WORKER,
+            {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0},
+            flagged={1},
+            crashed={3},
+        )
+        assert ratios[3] == 0.0
+        assert ratios[1] >= 0.05  # flagged keeps the probe trickle
+
+    def test_all_crashed_falls_back_to_uniform(self):
+        planner = make_planner()
+        ratios = planner.plan(
+            TASKS,
+            TASK_WORKER,
+            {w: 1.0 for w in range(4)},
+            flagged=set(),
+            crashed={0, 1, 2, 3},
+        )
+        np.testing.assert_allclose(ratios, 0.25)
+
+
+class TestFloorAfterSmoothing:
+    def test_blend_cannot_undercut_floor(self):
+        # A task the target floors at min_ratio, with prev ≈ 0 there:
+        # the blend alone would give smoothing * floor < floor.
+        planner = make_planner(min_ratio=0.1, smoothing=0.5)
+        prev = np.array([0.0, 0.5, 0.5, 0.0])
+        ratios = planner.plan(
+            TASKS,
+            TASK_WORKER,
+            {0: 50.0, 1: 1.0, 2: 1.0, 3: 50.0},  # 0 and 3 very unhealthy
+            flagged={0, 3},
+            prev_ratios=prev,
+        )
+        assert ratios.sum() == pytest.approx(1.0)
+        assert all(r >= 0.1 - 1e-12 for r in ratios)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        scores=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=8
+        ),
+        prev_raw=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=8
+        ),
+        crashed_mask=st.lists(st.booleans(), min_size=2, max_size=8),
+        min_ratio=st.floats(min_value=0.0, max_value=0.12),
+        smoothing=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_final_ratios_always_respect_floor(
+        self, scores, prev_raw, crashed_mask, min_ratio, smoothing
+    ):
+        n = min(len(scores), len(prev_raw), len(crashed_mask))
+        scores, prev_raw = scores[:n], prev_raw[:n]
+        crashed_mask = crashed_mask[:n]
+        tasks = list(range(n))
+        task_worker = {t: t for t in tasks}
+        health = {t: max(scores[t], 1e-3) for t in tasks}
+        crashed = {t for t in tasks if crashed_mask[t]}
+        prev = np.asarray(prev_raw, dtype=float)
+        prev = prev / prev.sum() if prev.sum() > 0 else np.full(n, 1.0 / n)
+        planner = make_planner(min_ratio=min_ratio, smoothing=smoothing)
+        ratios = planner.plan(
+            tasks, task_worker, health, flagged=set(),
+            prev_ratios=prev, crashed=crashed,
+        )
+        assert ratios.sum() == pytest.approx(1.0)
+        live = [t for t in tasks if t not in crashed]
+        feasible = min_ratio * len(live) < 1.0
+        if crashed != set(tasks):
+            for t in tasks:
+                if t in crashed:
+                    assert ratios[t] == 0.0
+                elif feasible:
+                    assert ratios[t] >= min_ratio - 1e-12
+
+
+class TestCrashWindowTupleLoss:
+    """End-to-end count of tuples lost into a dead worker.
+
+    With the old floor-for-everyone planner, every controlled edge kept
+    routing a ``min_ratio`` trickle into the crashed worker for the whole
+    crash window; the transport dropped each one (``lost_count``) and the
+    spout replayed it on timeout — pure waste. Now the first control
+    action after the crash zeroes the dead worker's tasks, so the loss
+    counter freezes for the rest of the window.
+    """
+
+    def test_no_tuples_lost_after_controller_zeroes_dead_worker(self):
+        from repro.core import PerformancePredictor, PredictiveController
+        from repro.storm import (
+            NodeSpec,
+            SimulationBuilder,
+            TopologyBuilder,
+            TopologyConfig,
+            WorkerCrashFault,
+        )
+        from tests.storm.helpers import CounterSpout, PassBolt, SinkBolt
+
+        b = TopologyBuilder()
+        b.set_spout("src", CounterSpout(rate=150.0), parallelism=1)
+        b.set_bolt("mid", PassBolt(), parallelism=4).dynamic_grouping("src")
+        b.set_bolt("sink", SinkBolt(), parallelism=2).dynamic_grouping("mid")
+        topology = b.build(
+            "crash-window",
+            TopologyConfig(num_workers=3, message_timeout=5.0, max_replays=8),
+        )
+        sim = (
+            SimulationBuilder(topology)
+            .nodes([NodeSpec(f"n{i}", cores=4, slots=2) for i in range(3)])
+            .seed(11)
+            .controller(
+                PredictiveController(
+                    PerformancePredictor(None, window=3),
+                    ControllerConfig(control_interval=2.0, window=3),
+                )
+            )
+            .faults(
+                # crash *between* control ticks: tuples keep flowing into
+                # the dead worker until the next action zeroes its tasks
+                [WorkerCrashFault(start=10.5, duration=25.0, worker_id=1)]
+            )
+            .build()
+        )
+        # run past the first post-crash control action (crash at 10.5,
+        # actions on the 2s grid) plus a little in-transit slack
+        sim.run(13.0)
+        controller = sim.controller
+        action = next(
+            a for a in controller.actions if 1 in a.crashed
+        )
+        for ratios in action.ratios.values():
+            assert ratios.sum() == pytest.approx(1.0)
+        lost_before = sim.cluster.transport.lost_count
+        assert lost_before > 0  # the pre-reaction window did lose tuples
+        # the rest of the crash window: the planner routes nothing there
+        sim.run(33.0)
+        assert sim.cluster.transport.lost_count == lost_before
+
+
+class TestFloorProjection:
+    def test_exact_floor_not_approximate(self):
+        # One tiny score among giants: a one-shot maximum+renormalise
+        # leaves it *below* the floor after rescaling; the iterative
+        # projection pins it exactly at the floor.
+        target = np.array([100.0, 100.0, 1e-6])
+        out = floor_and_normalise(target, 0.05, np.zeros(3, dtype=bool))
+        assert out[2] == pytest.approx(0.05)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_healthy_path_is_plain_normalisation(self):
+        # No entry below floor: result must be bitwise-identical to t/sum
+        # (the pre-elasticity behaviour, pinned by the chaos golden).
+        target = np.array([1.0, 2.0, 3.0])
+        out = floor_and_normalise(target, 0.02, np.zeros(3, dtype=bool))
+        expected = target / target.sum()
+        assert (out == expected).all()
+
+    def test_infeasible_floor_falls_back_to_proportions(self):
+        target = np.array([3.0, 1.0])
+        out = floor_and_normalise(target, 0.6, np.zeros(2, dtype=bool))
+        np.testing.assert_allclose(out, [0.75, 0.25])
+
+    def test_dead_mass_never_leaks(self):
+        target = np.array([0.5, 0.5, 0.5, 0.5])
+        dead = np.array([False, True, False, True])
+        out = floor_and_normalise(target, 0.1, dead)
+        assert out[1] == 0.0 and out[3] == 0.0
+        assert out.sum() == pytest.approx(1.0)
