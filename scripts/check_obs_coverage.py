@@ -12,7 +12,10 @@ Reads a ``coverage.py`` JSON report and enforces two gates over
 
 * total line coverage across the package must be at least ``--floor``;
 * every individual module must be at least ``--file-floor``, so a new
-  uncovered module cannot hide behind well-tested neighbours.
+  uncovered module cannot hide behind well-tested neighbours;
+* the modules named in ``REQUIRED_MODULES`` must appear in the report at
+  all — a module whose tests were deleted (or never imported) vanishes
+  from coverage JSON entirely and would otherwise skip both gates.
 
 The observability layer gets its own floor (separate from the repo-wide
 ``--cov-fail-under``) because it is the measurement instrument: a blind
@@ -25,6 +28,13 @@ import argparse
 import json
 import sys
 
+#: modules that must be exercised by the suite (per-module floor applies)
+REQUIRED_MODULES = (
+    "spans.py",
+    "attribution.py",
+    "audit.py",
+)
+
 
 def check(report: dict, floor: float, file_floor: float) -> int:
     files = {
@@ -36,6 +46,12 @@ def check(report: dict, floor: float, file_floor: float) -> int:
         print("no repro/obs files in the coverage report — wrong --cov scope?")
         return 2
     failures = []
+    for module in REQUIRED_MODULES:
+        if not any(
+            path.replace("\\", "/").endswith(f"repro/obs/{module}")
+            for path in files
+        ):
+            failures.append(f"required module {module} missing from report")
     total_covered = total_statements = 0
     for path in sorted(files):
         summary = files[path]["summary"]

@@ -108,11 +108,21 @@ def _make_observability(args: argparse.Namespace):
     """Build the run's ObservabilityConfig from CLI flags (or None)."""
     from repro.obs import ObservabilityConfig
 
-    trace = bool(getattr(args, "emit_events", None))
+    trace = bool(
+        getattr(args, "emit_events", None)
+        or getattr(args, "spans", None)
+        or getattr(args, "attribution", False)
+        or getattr(args, "folded", None)
+        or getattr(args, "audit", False)
+    )
     profile = bool(getattr(args, "profile", False))
     if not (trace or profile):
         return None
-    return ObservabilityConfig(trace=trace, profile=profile)
+    return ObservabilityConfig(
+        trace=trace,
+        profile=profile,
+        trace_capacity=int(getattr(args, "trace_capacity", 1 << 16)),
+    )
 
 
 def _export_observability(args: argparse.Namespace, sim) -> None:
@@ -131,6 +141,37 @@ def _export_observability(args: argparse.Namespace, sim) -> None:
     if getattr(args, "live_summary", False):
         print()
         print(render_live_summary(sim.metrics.snapshots))
+    spans = getattr(args, "spans", None)
+    attribution = getattr(args, "attribution", False)
+    folded = getattr(args, "folded", None)
+    audit = getattr(args, "audit", False)
+    if spans or attribution or folded or audit:
+        from repro.obs import build_span_forest, render_folded
+        tracer = sim.obs.tracer
+        assert tracer is not None
+        events = tracer.events()
+        forest = build_span_forest(events)
+        if spans:
+            from repro.obs import render_span_tree
+            acked = forest.acked_trees()
+            print()
+            print(f"span trees ({min(spans, len(acked))} of {len(acked)}"
+                  f" acked, {forest.replays} replays):")
+            for tree in acked[:spans]:
+                print(render_span_tree(tree))
+        if attribution:
+            from repro.obs import attribute_forest
+            print()
+            print(attribute_forest(forest).render_table())
+        if folded:
+            text = render_folded(forest)
+            with open(folded, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {len(text.splitlines())} folded stacks to {folded}")
+        if audit:
+            from repro.obs import DecisionAudit
+            print()
+            print(DecisionAudit.from_events(events).render_table())
     if getattr(args, "profile", False):
         assert sim.obs.profiler is not None
         print()
@@ -363,6 +404,23 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.compare:
+        import json
+
+        from repro.obs import compare_reports, render_compare
+        from repro.obs.report import report_to_json
+
+        path_a, path_b = args.compare
+        with open(path_a, encoding="utf-8") as fh:
+            report_a = json.load(fh)
+        with open(path_b, encoding="utf-8") as fh:
+            report_b = json.load(fh)
+        diff = compare_reports(report_a, report_b)
+        print(render_compare(diff))
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report_to_json(diff))
+        print(f"\nwrote diff to {args.out}")
+        return 0
     from repro.experiments.reliability import run_reliability_scenario
     from repro.obs import (
         AvailabilitySLO,
@@ -393,7 +451,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         fault_start=args.duration / 3,
         fault_duration=args.duration / 2,
         seed=args.seed,
-        observability=ObservabilityConfig(trace=True, metrics=True),
+        # ring sized to hold the whole run, so the attribution and audit
+        # report sections cover every tuple and control interval
+        observability=ObservabilityConfig(
+            trace=True, metrics=True, trace_capacity=1 << 20
+        ),
         slo=policy,
         cache=args.cache,
     )
@@ -457,6 +519,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print an ASCII summary of the last snapshots")
         p.add_argument("--profile", action="store_true",
                        help="profile the DES kernel and print its report")
+        p.add_argument("--spans", type=int, metavar="N", default=None,
+                       help="trace the run and dump the first N acked "
+                            "span trees (critical path marked with *)")
+        p.add_argument("--attribution", action="store_true",
+                       help="trace the run and print the per-component "
+                            "latency attribution table")
+        p.add_argument("--folded", metavar="PATH", default=None,
+                       help="trace the run and write critical-path "
+                            "folded stacks (flamegraph text format)")
+        p.add_argument("--audit", action="store_true",
+                       help="trace the run and print the controller "
+                            "decision-audit table")
+        p.add_argument("--trace-capacity", type=int, default=1 << 16,
+                       metavar="N",
+                       help="trace ring-buffer size (default 65536); "
+                            "size it to the run for full span coverage")
 
     p = sub.add_parser("trace", help="collect a statistics trace")
     common(p, 240.0)
@@ -569,6 +647,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", metavar="DIR", default=None,
                    help="result cache directory (reuses the DRNN arm's "
                         "calibration predictor across runs)")
+    p.add_argument("--compare", nargs=2, metavar=("A.json", "B.json"),
+                   default=None,
+                   help="diff two existing run reports instead of "
+                        "running (latency percentiles, SLO breach "
+                        "fraction, attribution shares); the diff JSON "
+                        "goes to --out")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("bench", help="time the tracked hot paths")

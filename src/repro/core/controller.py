@@ -69,6 +69,11 @@ class ControlAction:
     #: treated as flagged when planning, but recorded separately because
     #: the signal is a hard liveness fact, not a statistical inference
     crashed: Set[int] = field(default_factory=set)
+    #: realized per-worker latency/backlog at decision time — the
+    #: ground truth the *previous* action's predictions are audited
+    #: against (see ``repro.obs.audit``)
+    observed: Dict[int, float] = field(default_factory=dict)
+    backlogs: Dict[int, int] = field(default_factory=dict)
 
 
 class PredictiveController:
@@ -341,6 +346,8 @@ class PredictiveController:
             # but a recorded action must never alias caller state that
             # could mutate after the fact
             crashed=set(crashed),
+            observed=dict(observed or {}),
+            backlogs=dict(backlogs or {}),
         )
         if tr is not None:
             tr.record(

@@ -261,6 +261,8 @@ def run_chaos_campaign(
     control_interval: float = 5.0,
     window: int = 6,
     trace: bool = False,
+    trace_capacity: int = 1 << 16,
+    metrics: bool = False,
     jobs: int = 1,
     cache=None,
     scheduler: str = "heap",
@@ -310,6 +312,8 @@ def run_chaos_campaign(
         runs=runs,
         horizon=horizon,
         trace=trace,
+        trace_capacity=trace_capacity,
+        metrics=metrics,
         app=app,
         controller_factory=controller_factory,
         scheduler=scheduler,

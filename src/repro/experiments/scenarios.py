@@ -296,9 +296,13 @@ class ScenarioRunReport:
     scale_ins: int
     min_admission_rate: float
     tuples_lost_to_scale_in: int
+    #: latency-attribution digest (``repro.obs.attribution``); present
+    #: only for traced campaigns, so untraced reports keep the exact
+    #: historical (golden-pinned) key set
+    attribution: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "arm": self.arm,
             "run_index": self.run_index,
             "seed": self.seed,
@@ -321,6 +325,9 @@ class ScenarioRunReport:
             "min_admission_rate": _round(self.min_admission_rate),
             "tuples_lost_to_scale_in": self.tuples_lost_to_scale_in,
         }
+        if self.attribution is not None:
+            out["attribution"] = self.attribution
+        return out
 
 
 @dataclass
@@ -463,6 +470,8 @@ class ScenarioCampaign:
         nodes: Sequence[NodeSpec] = DEFAULT_NODES,
         metrics_interval: float = 1.0,
         scheduler: str = "heap",
+        trace: bool = False,
+        trace_capacity: int = 1 << 16,
     ) -> None:
         scenario.validate()
         if runs <= 0:
@@ -486,6 +495,8 @@ class ScenarioCampaign:
         self.nodes = tuple(nodes)
         self.metrics_interval = float(metrics_interval)
         self.scheduler = str(scheduler)
+        self.trace = bool(trace)
+        self.trace_capacity = int(trace_capacity)
         self.last_shard_stats = None
 
     def _controller_factory(self, arm: str):
@@ -514,15 +525,26 @@ class ScenarioCampaign:
             .scheduler(self.scheduler)
             .metrics_interval(self.metrics_interval)
         )
+        if self.trace:
+            builder.observability(
+                trace=True, trace_capacity=self.trace_capacity
+            )
         factory = self._controller_factory(arm)
         controller = factory() if factory is not None else None
         if controller is not None:
             builder.controller(controller)
         sim = builder.build()
         result = sim.run(duration=self.horizon)
-        return _run_report(
+        report = _run_report(
             arm, run_index, run_seed, spec, sim, result, controller
         )
+        if self.trace and sim.obs.tracer is not None:
+            from repro.obs.attribution import attribute_forest
+            from repro.obs.spans import build_span_forest
+
+            forest = build_span_forest(sim.obs.tracer.events())
+            report.attribution = attribute_forest(forest).to_dict()
+        return report
 
     def __getstate__(self) -> Dict[str, object]:
         state = dict(self.__dict__)
@@ -542,6 +564,8 @@ class ScenarioCampaign:
             nodes=[vars(n) for n in self.nodes],
             metrics_interval=self.metrics_interval,
             scheduler=self.scheduler,
+            trace=self.trace,
+            trace_capacity=self.trace_capacity,
             campaign_seed=self.seed,
             run_index=run_index,
             seed=derive_run_seed(self.seed, run_index),
@@ -609,8 +633,15 @@ def run_scenario_campaign(
     jobs: int = 1,
     cache=None,
     scheduler: str = "heap",
+    trace: bool = False,
+    trace_capacity: int = 1 << 16,
 ) -> ScenarioReport:
-    """Run one named scenario from :data:`SCENARIOS` (see module docs)."""
+    """Run one named scenario from :data:`SCENARIOS` (see module docs).
+
+    ``trace=True`` traces every cell and attaches a latency-attribution
+    digest to each run report (``attribution`` key; absent — and the
+    report bytes unchanged — when off).
+    """
     if scenario not in SCENARIOS:
         raise ValueError(
             f"unknown scenario {scenario!r}; choose from "
@@ -623,5 +654,7 @@ def run_scenario_campaign(
         horizon=horizon,
         arms=arms,
         scheduler=scheduler,
+        trace=trace,
+        trace_capacity=trace_capacity,
     )
     return campaign.run(jobs=jobs, cache=cache)

@@ -172,26 +172,55 @@ class Observability:
         )
 
 
+from repro.obs.attribution import (
+    AttributionSummary,
+    TreeAttribution,
+    attribute_forest,
+)
+from repro.obs.audit import (
+    AuditConfig,
+    BreachAttribution,
+    DecisionAudit,
+    DecisionRecord,
+)
 from repro.obs.report import (
     build_report,
+    compare_reports,
     grid_summary,
+    render_compare,
     report_to_html,
     report_to_json,
     write_report_html,
     write_report_json,
 )
+from repro.obs.spans import (
+    LatencyBreakdown,
+    SpanForest,
+    SpanHop,
+    SpanTree,
+    build_span_forest,
+    folded_stacks,
+    render_folded,
+    render_span_tree,
+)
 
 __all__ = [
+    "AttributionSummary",
+    "AuditConfig",
     "AvailabilitySLO",
+    "BreachAttribution",
     "CONTROL_APPLY",
     "CONTROL_DECISION",
     "CONTROL_SAMPLE",
     "CONTROL_SKIP",
     "Counter",
+    "DecisionAudit",
+    "DecisionRecord",
     "FAULT_APPLY",
     "FAULT_REVERT",
     "Gauge",
     "KernelProfiler",
+    "LatencyBreakdown",
     "LatencySLO",
     "LogHistogram",
     "MetricsRegistry",
@@ -203,6 +232,9 @@ __all__ = [
     "SLOEngine",
     "SLOPolicy",
     "SLORule",
+    "SpanForest",
+    "SpanHop",
+    "SpanTree",
     "TUPLE_ACK",
     "TUPLE_CLOSE_KINDS",
     "TUPLE_DROP",
@@ -216,12 +248,20 @@ __all__ = [
     "TUPLE_TRANSFER",
     "TraceEvent",
     "Tracer",
+    "TreeAttribution",
+    "attribute_forest",
     "build_report",
+    "build_span_forest",
+    "compare_reports",
+    "folded_stacks",
     "grid_summary",
     "group_tuple_spans",
     "load_snapshots_jsonl",
     "load_trace_jsonl",
+    "render_compare",
+    "render_folded",
     "render_live_summary",
+    "render_span_tree",
     "report_to_html",
     "report_to_json",
     "snapshots_to_csv",

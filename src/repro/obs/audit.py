@@ -1,0 +1,400 @@
+"""Controller decision audit: predicted vs. realized, and breach causes.
+
+The control loop already traces its whole pipeline — one
+``control.decision`` per acted interval (predictions, observed
+latencies, backlogs, flagged/crashed workers) and one ``control.apply``
+per actuated edge (new vs. previous ratios) — and the fault injector and
+SLO engine trace ground truth (``fault.apply``/``fault.revert``,
+``slo.breach``).  :class:`DecisionAudit` replays those events into an
+auditable ledger:
+
+* per decision: the **calibration error** of the *previous* decision's
+  predictions against this decision's observations (the realized load
+  one control interval later), plus a rolling mean relative error;
+* per decision: the actuation applied (how many edges re-routed, the
+  largest ratio delta);
+* per SLO breach: a **cause attribution** with documented precedence —
+
+  1. ``injected-fault``  — a fault was active at (or within
+     ``fault_lookback`` seconds before) the breach: the ground truth
+     explains it;
+  2. ``predictor-miss`` — the rolling calibration error at the latest
+     decision before the breach exceeded ``miss_threshold``: the
+     controller was steering on bad forecasts;
+  3. ``actuation-lag``  — the controller had flagged/crashed workers in
+     the lookback but its last re-route either never happened after the
+     flag or landed less than ``settle`` seconds before the breach: it
+     knew, but acted too late to help;
+  4. ``unattributed``   — none of the above.
+
+Everything derives deterministically from trace events, so audit
+sections in run reports are byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.slo import SLO_BREACH
+from repro.obs.tracer import (
+    CONTROL_APPLY,
+    CONTROL_DECISION,
+    CONTROL_SAMPLE,
+    CONTROL_SKIP,
+    FAULT_APPLY,
+    FAULT_REVERT,
+    TraceEvent,
+)
+
+__all__ = [
+    "AUDIT_SCHEMA",
+    "AuditConfig",
+    "DecisionRecord",
+    "BreachAttribution",
+    "DecisionAudit",
+]
+
+AUDIT_SCHEMA = "repro-audit/1"
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Thresholds of the calibration/attribution rules."""
+
+    #: decisions in the rolling calibration window
+    rolling_window: int = 5
+    #: rolling mean relative error above which a breach is a predictor miss
+    miss_threshold: float = 0.5
+    #: seconds before a breach in which faults/flags are considered causal
+    fault_lookback: float = 30.0
+    #: a re-route closer than this to the breach had no time to settle
+    settle: float = 5.0
+
+    def validate(self) -> None:
+        if self.rolling_window <= 0:
+            raise ValueError(
+                f"rolling_window must be positive, got {self.rolling_window}"
+            )
+        if self.miss_threshold <= 0:
+            raise ValueError(
+                f"miss_threshold must be positive, got {self.miss_threshold}"
+            )
+        if self.fault_lookback < 0 or self.settle < 0:
+            raise ValueError("fault_lookback/settle must be >= 0")
+
+
+@dataclass
+class DecisionRecord:
+    """One audited control interval."""
+
+    time: float
+    predictions: Dict[int, float]
+    observed: Dict[int, float]
+    backlogs: Dict[int, int]
+    flagged: Tuple[int, ...]
+    crashed: Tuple[int, ...]
+    #: per-worker realized-minus-predicted error of the *previous*
+    #: decision's forecasts, evaluated against this interval's observation
+    errors: Dict[int, float] = field(default_factory=dict)
+    #: mean |error| / max(|observed|, eps) over the trailing window
+    rolling_error: Optional[float] = None
+    #: edges whose ratios changed at this decision
+    reroutes: int = 0
+    applies: int = 0
+    max_ratio_delta: float = 0.0
+
+
+@dataclass(frozen=True)
+class BreachAttribution:
+    """Cause attribution of one SLO breach event."""
+
+    time: float
+    rule: str
+    cause: str  # injected-fault | predictor-miss | actuation-lag | unattributed
+    evidence: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "rule": self.rule,
+            "cause": self.cause,
+            "evidence": dict(sorted(self.evidence.items())),
+        }
+
+
+@dataclass
+class _FaultSpan:
+    name: str
+    applied_at: float
+    reverted_at: Optional[float] = None
+
+    def active_near(self, t: float, lookback: float) -> bool:
+        if self.applied_at > t:
+            return False
+        end = self.reverted_at
+        return end is None or end >= t - lookback
+
+
+class DecisionAudit:
+    """Replayed audit ledger of one traced, controlled run."""
+
+    def __init__(self, config: Optional[AuditConfig] = None) -> None:
+        self.config = config or AuditConfig()
+        self.config.validate()
+        self.records: List[DecisionRecord] = []
+        self.samples = 0
+        self.skips: Dict[str, int] = {}
+        self.fault_spans: List[_FaultSpan] = []
+        self.breaches: List[BreachAttribution] = []
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[TraceEvent],
+        config: Optional[AuditConfig] = None,
+    ) -> "DecisionAudit":
+        """Build the audit from trace events in record order."""
+        audit = cls(config)
+        rel_errors: List[float] = []  # per-decision mean relative error
+        breach_events: List[TraceEvent] = []
+        prev: Optional[DecisionRecord] = None
+        for ev in events:
+            kind = ev.kind
+            if kind == CONTROL_SAMPLE:
+                audit.samples += 1
+            elif kind == CONTROL_SKIP:
+                reason = ev.get("reason", "unknown")
+                audit.skips[reason] = audit.skips.get(reason, 0) + 1
+            elif kind == CONTROL_DECISION:
+                rec = DecisionRecord(
+                    time=ev.time,
+                    predictions=dict(ev.get("predictions") or {}),
+                    observed=dict(ev.get("observed") or {}),
+                    backlogs=dict(ev.get("backlogs") or {}),
+                    flagged=tuple(ev.get("flagged") or ()),
+                    crashed=tuple(ev.get("crashed") or ()),
+                )
+                if prev is not None and prev.predictions:
+                    rels: List[float] = []
+                    for w, predicted in prev.predictions.items():
+                        realized = rec.observed.get(w)
+                        if realized is None:
+                            continue
+                        err = realized - predicted
+                        rec.errors[w] = err
+                        rels.append(abs(err) / max(abs(realized), _EPS))
+                    if rels:
+                        rel_errors.append(sum(rels) / len(rels))
+                window = rel_errors[-audit.config.rolling_window:]
+                if window:
+                    rec.rolling_error = sum(window) / len(window)
+                audit.records.append(rec)
+                prev = rec
+            elif kind == CONTROL_APPLY:
+                if audit.records and audit.records[-1].time == ev.time:
+                    rec = audit.records[-1]
+                    rec.applies += 1
+                    ratios = ev.get("ratios") or []
+                    prev_ratios = ev.get("prev_ratios") or []
+                    if list(ratios) != list(prev_ratios):
+                        rec.reroutes += 1
+                        if len(ratios) == len(prev_ratios):
+                            delta = max(
+                                abs(a - b)
+                                for a, b in zip(ratios, prev_ratios)
+                            )
+                            rec.max_ratio_delta = max(
+                                rec.max_ratio_delta, delta
+                            )
+            elif kind == FAULT_APPLY:
+                audit.fault_spans.append(
+                    _FaultSpan(
+                        name=ev.get("fault", "Fault"), applied_at=ev.time
+                    )
+                )
+            elif kind == FAULT_REVERT:
+                name = ev.get("fault", "Fault")
+                for span in reversed(audit.fault_spans):
+                    if span.name == name and span.reverted_at is None:
+                        span.reverted_at = ev.time
+                        break
+            elif kind == SLO_BREACH:
+                breach_events.append(ev)
+        for ev in breach_events:
+            audit.breaches.append(audit._attribute_breach(ev))
+        return audit
+
+    # -- breach attribution ---------------------------------------------------------
+
+    def _attribute_breach(self, ev: TraceEvent) -> BreachAttribution:
+        cfg = self.config
+        t = ev.time
+        evidence: Dict[str, Any] = {
+            "value": ev.get("value"),
+            "threshold": ev.get("threshold"),
+        }
+        active = sorted(
+            {
+                span.name
+                for span in self.fault_spans
+                if span.active_near(t, cfg.fault_lookback)
+            }
+        )
+        if active:
+            evidence["active_faults"] = active
+            return BreachAttribution(
+                time=t, rule=ev.get("rule", ""), cause="injected-fault",
+                evidence=evidence,
+            )
+        last = self._last_decision_before(t)
+        if (
+            last is not None
+            and last.rolling_error is not None
+            and last.rolling_error > cfg.miss_threshold
+        ):
+            evidence["rolling_error"] = last.rolling_error
+            evidence["decision_time"] = last.time
+            return BreachAttribution(
+                time=t, rule=ev.get("rule", ""), cause="predictor-miss",
+                evidence=evidence,
+            )
+        flagged_at = None
+        last_reroute = None
+        for rec in self.records:
+            if rec.time > t:
+                break
+            if rec.time >= t - cfg.fault_lookback and (
+                rec.flagged or rec.crashed
+            ):
+                if flagged_at is None:
+                    flagged_at = rec.time
+            if rec.reroutes:
+                last_reroute = rec.time
+        if flagged_at is not None:
+            lagged = last_reroute is None or last_reroute < flagged_at
+            late = last_reroute is not None and t - last_reroute < cfg.settle
+            if lagged or late:
+                evidence["flagged_at"] = flagged_at
+                evidence["last_reroute"] = last_reroute
+                return BreachAttribution(
+                    time=t, rule=ev.get("rule", ""), cause="actuation-lag",
+                    evidence=evidence,
+                )
+        return BreachAttribution(
+            time=t, rule=ev.get("rule", ""), cause="unattributed",
+            evidence=evidence,
+        )
+
+    def _last_decision_before(
+        self, t: float
+    ) -> Optional[DecisionRecord]:
+        last = None
+        for rec in self.records:
+            if rec.time > t:
+                break
+            last = rec
+        return last
+
+    # -- summaries ------------------------------------------------------------------
+
+    def calibration(self) -> Dict[str, Any]:
+        """Aggregate calibration error: overall and per worker."""
+        per_worker: Dict[int, List[float]] = {}
+        rolling_last: Optional[float] = None
+        for rec in self.records:
+            for w, err in rec.errors.items():
+                per_worker.setdefault(w, []).append(err)
+            if rec.rolling_error is not None:
+                rolling_last = rec.rolling_error
+        workers = {
+            int(w): {
+                "mae": sum(abs(e) for e in errs) / len(errs),
+                "bias": sum(errs) / len(errs),
+                "n": len(errs),
+            }
+            for w, errs in per_worker.items()
+        }
+        all_errs = [e for errs in per_worker.values() for e in errs]
+        return {
+            "mae": (
+                sum(abs(e) for e in all_errs) / len(all_errs)
+                if all_errs
+                else None
+            ),
+            "rolling_last": rolling_last,
+            "per_worker": {w: workers[w] for w in sorted(workers)},
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Byte-stable JSON-able digest (the report's ``audit`` section)."""
+        causes: Dict[str, int] = {}
+        for b in self.breaches:
+            causes[b.cause] = causes.get(b.cause, 0) + 1
+        return {
+            "schema": AUDIT_SCHEMA,
+            "decisions": len(self.records),
+            "samples": self.samples,
+            "skips": dict(sorted(self.skips.items())),
+            "calibration": self.calibration(),
+            "actuation": {
+                "applies": sum(r.applies for r in self.records),
+                "reroutes": sum(r.reroutes for r in self.records),
+                "max_ratio_delta": max(
+                    (r.max_ratio_delta for r in self.records), default=0.0
+                ),
+            },
+            "faults": {
+                "applied": len(self.fault_spans),
+                "reverted": sum(
+                    1 for s in self.fault_spans if s.reverted_at is not None
+                ),
+            },
+            "breaches": [b.to_dict() for b in self.breaches],
+            "breach_causes": dict(sorted(causes.items())),
+        }
+
+    def render_table(self) -> str:
+        """Human decision-audit table: one row per decision, then breaches."""
+        lines = [
+            f"{'t':>8}  {'pred mean':>10}  {'obs mean':>10}"
+            f"  {'roll err':>8}  {'flagged':>12}  {'reroutes':>8}"
+        ]
+        for rec in self.records:
+            pred = (
+                sum(rec.predictions.values()) / len(rec.predictions)
+                if rec.predictions else float("nan")
+            )
+            obs = (
+                sum(rec.observed.values()) / len(rec.observed)
+                if rec.observed else float("nan")
+            )
+            roll = (
+                f"{rec.rolling_error:8.3f}"
+                if rec.rolling_error is not None
+                else f"{'—':>8}"
+            )
+            flagged = ",".join(
+                map(str, sorted(set(rec.flagged) | set(rec.crashed)))
+            ) or "-"
+            lines.append(
+                f"{rec.time:8.1f}  {pred * 1e3:8.3f}ms  {obs * 1e3:8.3f}ms"
+                f"  {roll}  {flagged:>12}  {rec.reroutes:>8}"
+            )
+        if self.breaches:
+            lines.append("")
+            lines.append(f"{'breach t':>8}  {'rule':>16}  cause")
+            for b in self.breaches:
+                lines.append(f"{b.time:8.1f}  {b.rule:>16}  {b.cause}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DecisionAudit decisions={len(self.records)}"
+            f" breaches={len(self.breaches)}"
+            f" faults={len(self.fault_spans)}>"
+        )

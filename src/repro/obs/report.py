@@ -45,6 +45,23 @@ def build_report(
     obs = result.obs
     if obs is None:
         return report
+    if obs.tracer is not None:
+        # Span-tree attribution + decision audit derive purely from the
+        # trace, so both sections are deterministic.  Publishing the
+        # attribution gauges *before* the metrics section renders makes
+        # the decomposition visible next to the raw latency histograms.
+        from repro.obs.attribution import attribute_forest
+        from repro.obs.audit import DecisionAudit
+        from repro.obs.spans import build_span_forest
+
+        events = obs.tracer.events()
+        attribution = attribute_forest(build_span_forest(events))
+        report["attribution"] = attribution.to_dict()
+        if obs.metrics is not None:
+            attribution.publish(obs.metrics)
+        audit = DecisionAudit.from_events(events)
+        if audit.records or audit.samples or audit.skips:
+            report["audit"] = audit.summary()
     if obs.metrics is not None:
         report["metrics"] = obs.metrics.to_dict()
     if obs.slo is not None:
@@ -77,6 +94,132 @@ def report_to_json(report: Dict[str, Any]) -> str:
 def write_report_json(report: Dict[str, Any], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(report_to_json(report))
+
+
+# -- two-run comparison ------------------------------------------------------------------
+
+DIFF_SCHEMA = "repro-report-diff/1"
+
+#: run-summary keys worth diffing arm-vs-arm
+_DIFF_RUN_KEYS = (
+    "mean_complete_latency",
+    "p50_complete_latency",
+    "p99_complete_latency",
+    "mean_throughput",
+    "acked",
+    "failed",
+)
+
+
+def _breach_stats(report: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Breach count + downtime fraction of one report's SLO section.
+
+    Downtime sums per-rule episode spans (an unrecovered episode runs to
+    the end of the segment), so overlapping rules count once each — the
+    fraction is rule-downtime over run duration, comparable between two
+    runs of the same policy.
+    """
+    slo = report.get("slo")
+    if slo is None:
+        return None
+    run = report.get("run", {})
+    end = run.get("start_time", 0.0) + run.get("duration", 0.0)
+    duration = run.get("duration", 0.0)
+    breaches = 0
+    downtime = 0.0
+    for rule in slo.get("rules", []):
+        breaches += rule.get("breaches", 0)
+        for e in rule.get("episodes", []):
+            t1 = e["recover_time"] if e.get("recovered") else end
+            downtime += max(0.0, t1 - e["breach_time"])
+    return {
+        "breaches": breaches,
+        "downtime": downtime,
+        "breach_fraction": downtime / duration if duration > 0 else 0.0,
+    }
+
+
+def compare_reports(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Minimal two-run diff of ``repro-report/1`` dicts (A = baseline).
+
+    Covers the arm-vs-arm questions: latency percentiles and throughput
+    deltas, SLO breach fraction, and attribution share shifts (when both
+    runs were traced).  Sections present in only one report are skipped.
+    """
+    run_a, run_b = a.get("run", {}), b.get("run", {})
+    run: Dict[str, Any] = {}
+    for key in _DIFF_RUN_KEYS:
+        va, vb = run_a.get(key), run_b.get(key)
+        if va is None or vb is None:
+            continue
+        run[key] = {
+            "a": va,
+            "b": vb,
+            "delta": vb - va,
+            "ratio": vb / va if va else None,
+        }
+    diff: Dict[str, Any] = {
+        "schema": DIFF_SCHEMA,
+        "a": a.get("label", ""),
+        "b": b.get("label", ""),
+        "run": run,
+    }
+    sa, sb = _breach_stats(a), _breach_stats(b)
+    if sa is not None and sb is not None:
+        diff["slo"] = {
+            "a": sa,
+            "b": sb,
+            "breach_fraction_delta": (
+                sb["breach_fraction"] - sa["breach_fraction"]
+            ),
+        }
+    at_a, at_b = a.get("attribution"), b.get("attribution")
+    if at_a is not None and at_b is not None:
+        shares: Dict[str, Any] = {}
+        for comp in ("queue", "service", "transit", "replay"):
+            va = at_a.get("shares", {}).get(comp)
+            vb = at_b.get("shares", {}).get(comp)
+            if va is None or vb is None:
+                continue
+            shares[comp] = {"a": va, "b": vb, "delta": vb - va}
+        diff["attribution_shares"] = shares
+    return diff
+
+
+def render_compare(diff: Dict[str, Any]) -> str:
+    """Human-readable table of a :func:`compare_reports` diff."""
+    lines = [
+        f"A: {diff.get('a') or '(unlabelled)'}",
+        f"B: {diff.get('b') or '(unlabelled)'}",
+        "",
+        f"{'metric':>24}  {'A':>12}  {'B':>12}  {'delta':>12}",
+    ]
+    for key, d in diff.get("run", {}).items():
+        lines.append(
+            f"{key:>24}  {d['a']:>12.6g}  {d['b']:>12.6g}"
+            f"  {d['delta']:>+12.6g}"
+        )
+    slo = diff.get("slo")
+    if slo is not None:
+        lines.append(
+            f"{'slo_breach_fraction':>24}  {slo['a']['breach_fraction']:>12.4f}"
+            f"  {slo['b']['breach_fraction']:>12.4f}"
+            f"  {slo['breach_fraction_delta']:>+12.4f}"
+        )
+    shares = diff.get("attribution_shares")
+    if shares:
+        lines.append("")
+        lines.append(
+            f"{'attribution share':>24}  {'A':>12}  {'B':>12}  {'delta':>12}"
+        )
+        for comp, d in shares.items():
+            lines.append(
+                f"{comp:>24}  {d['a']:>12.4f}  {d['b']:>12.4f}"
+                f"  {d['delta']:>+12.4f}"
+            )
+    return "\n".join(lines)
 
 
 # -- model-grid reports ------------------------------------------------------------------
@@ -206,6 +349,83 @@ def report_to_html(report: Dict[str, Any]) -> str:
                     f"<td class=num>{_fmt(e['breach_time'])}</td>"
                     f"<td class=num>{rec}</td>"
                     f"<td class=num>{_fmt(e['breach_value'])}</td></tr>"
+                )
+            parts.append("</table>")
+
+    attribution = report.get("attribution")
+    if attribution is not None:
+        parts.append("<h2>Latency attribution</h2>")
+        parts.append(
+            "<table><tr><th>component</th><th>seconds</th>"
+            "<th>share</th></tr>"
+        )
+        totals = attribution.get("totals", {})
+        shares = attribution.get("shares", {})
+        for comp in ("transit", "queue", "service", "replay"):
+            parts.append(
+                f"<tr><td>{comp}</td>"
+                f"<td class=num>{_fmt(totals.get(comp, 0.0))}</td>"
+                f"<td class=num>{100 * shares.get(comp, 0.0):.2f}%</td></tr>"
+            )
+        parts.append("</table>")
+        exact = (
+            "<span class=ok>exact</span>"
+            if attribution.get("exact")
+            else "<span class=breach>INEXACT</span>"
+        )
+        parts.append(
+            f"<p>{attribution.get('attributed', 0)} trees attributed"
+            f" ({attribution.get('incomplete', 0)} incomplete),"
+            f" decomposition {exact}</p>"
+        )
+        per_comp = attribution.get("per_component", {})
+        if per_comp:
+            parts.append(
+                "<table><tr><th>pipeline stage</th><th>tuples</th>"
+                "<th>queue s</th><th>service s</th><th>transit s</th></tr>"
+            )
+            for comp in sorted(per_comp):
+                b = per_comp[comp]
+                parts.append(
+                    f"<tr><td>{_html.escape(comp)}</td>"
+                    f"<td class=num>{b['tuples']}</td>"
+                    f"<td class=num>{_fmt(b['queue'])}</td>"
+                    f"<td class=num>{_fmt(b['service'])}</td>"
+                    f"<td class=num>{_fmt(b['transit'])}</td></tr>"
+                )
+            parts.append("</table>")
+
+    audit = report.get("audit")
+    if audit is not None:
+        parts.append("<h2>Controller decision audit</h2>")
+        cal = audit.get("calibration", {})
+        act = audit.get("actuation", {})
+        flat = {
+            "decisions": audit.get("decisions"),
+            "samples": audit.get("samples"),
+            "calibration mae (s)": cal.get("mae"),
+            "rolling error (last)": cal.get("rolling_last"),
+            "ratio applies": act.get("applies"),
+            "reroutes": act.get("reroutes"),
+            "max ratio delta": act.get("max_ratio_delta"),
+        }
+        parts.extend(_kv_table({k: v for k, v in flat.items() if v is not None}))
+        breaches = audit.get("breaches", [])
+        if breaches:
+            parts.append("<h2>Breach attribution</h2>")
+            parts.append(
+                "<table><tr><th>breach t</th><th>rule</th>"
+                "<th>cause</th><th>evidence</th></tr>"
+            )
+            for br in breaches:
+                evidence = ", ".join(
+                    f"{k}={_fmt(v)}" for k, v in br.get("evidence", {}).items()
+                )
+                parts.append(
+                    f"<tr><td class=num>{_fmt(br['time'])}</td>"
+                    f"<td>{_html.escape(br['rule'])}</td>"
+                    f"<td class=breach>{_html.escape(br['cause'])}</td>"
+                    f"<td>{_html.escape(evidence)}</td></tr>"
                 )
             parts.append("</table>")
 

@@ -134,7 +134,14 @@ class Tracer:
         side may be omitted.  Windowing composes with the ring buffer:
         events already overwritten are gone regardless of the window
         (check :attr:`dropped` when an old window comes back empty).
+        Raises :class:`ValueError` on an inverted window (``t0 > t1``)
+        rather than silently returning nothing.
         """
+        if t0 is not None and t1 is not None and t0 > t1:
+            raise ValueError(
+                f"inverted time window: t0={t0!r} > t1={t1!r}"
+                " (events() windows are [t0, t1))"
+            )
         if kind is None:
             match = None
         elif kind.endswith("*"):

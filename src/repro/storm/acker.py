@@ -152,7 +152,7 @@ class AckLedger:
                 self.tracer.record(
                     self.env.now, TUPLE_ACK, root=root_id,
                     msg_id=tree.msg_id, spout_task=tree.spout_task,
-                    latency=latency,
+                    latency=latency, edge=edge_id,
                 )
             self.completions.append(
                 CompletionRecord(

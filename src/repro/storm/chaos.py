@@ -446,6 +446,10 @@ class ChaosCampaign:
     trace:
         Attach a tracer to every run (the last run's observability handle
         is kept on ``self.last_obs`` for export).
+    trace_capacity:
+        Ring-buffer size per traced run; size it to the run when the
+        span-tree attribution must cover every tuple (see
+        :mod:`repro.obs.spans`).
     metrics:
         Attach a metrics registry to every run; each
         :class:`ChaosRunReport` then carries a full ``run_report``
@@ -467,6 +471,7 @@ class ChaosCampaign:
         nodes: Sequence[NodeSpec] = DEFAULT_NODES,
         metrics_interval: float = 1.0,
         trace: bool = False,
+        trace_capacity: int = 1 << 16,
         metrics: bool = False,
         app: str = "",
         controller_factory: Optional[Callable[[], object]] = None,
@@ -485,6 +490,7 @@ class ChaosCampaign:
         self.nodes = tuple(nodes)
         self.metrics_interval = float(metrics_interval)
         self.trace = trace
+        self.trace_capacity = int(trace_capacity)
         self.metrics = metrics
         self.app = app
         self.controller_factory = controller_factory
@@ -515,7 +521,10 @@ class ChaosCampaign:
             .faults(schedule)
         )
         if self.trace or self.metrics:
-            builder.observability(trace=self.trace, metrics=self.metrics)
+            builder.observability(
+                trace=self.trace, metrics=self.metrics,
+                trace_capacity=self.trace_capacity,
+            )
         if self.controller_factory is not None:
             builder.controller(self.controller_factory())
         sim = builder.build()
@@ -559,6 +568,7 @@ class ChaosCampaign:
             nodes=[vars(n) for n in self.nodes],
             metrics_interval=self.metrics_interval,
             trace=self.trace,
+            trace_capacity=self.trace_capacity,
             metrics=self.metrics,
             topology=self._factory_token(self.topology_factory),
             controller=self._factory_token(self.controller_factory),

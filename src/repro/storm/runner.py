@@ -278,6 +278,25 @@ class StormSimulation:
                 "cluster.crashed_workers",
                 lambda: len(self.cluster.crashed_workers()),
             )
+            tracer = self.obs.tracer
+            if tracer is not None:
+                registry.register_pull(
+                    "trace.retained", lambda: len(tracer)
+                )
+                registry.register_pull(
+                    "trace.dropped", lambda: tracer.dropped
+                )
+            profiler = self.obs.profiler
+            if profiler is not None:
+                # deterministic counters only (no wall-clock rates)
+                registry.register_pull(
+                    "profiler.events_processed",
+                    lambda: profiler.events_processed,
+                )
+                registry.register_pull(
+                    "profiler.max_heap_depth",
+                    lambda: profiler.max_heap_depth,
+                )
         self.metrics = MetricsCollector(
             self.env, self.cluster, interval=metrics_interval
         )

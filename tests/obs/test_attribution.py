@@ -1,0 +1,218 @@
+"""Latency attribution: the bitwise exact-sum invariant and aggregation.
+
+Property under test (the exactness contract of
+:mod:`repro.obs.spans`): for every acked tuple tree whose critical path
+survived the trace window, the queue/service/transit decomposition sums
+to the acker-recorded latency *bitwise* — ``float`` equality with zero
+tolerance — including trees that were replayed under an active
+:class:`~repro.storm.MessageLossFault` (whose replay penalty is
+additionally resolvable back to the first attempt's emission).
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import attribute_forest, build_span_forest, render_folded
+from repro.obs.metrics import MetricsRegistry
+from repro.storm import (
+    MessageLossFault,
+    NodeSpec,
+    SimulationBuilder,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from tests.obs.test_spans import traced_sim
+from tests.storm.helpers import CounterSpout, PassBolt, SinkBolt
+
+
+def lossy_sim(seed: int, probability: float = 0.08, rate: float = 120.0):
+    """A traced 3-stage pipeline with a mid-run message-loss fault."""
+    b = TopologyBuilder()
+    b.set_spout("src", CounterSpout(rate=rate))
+    b.set_bolt("mid", PassBolt(), parallelism=2).shuffle_grouping("src")
+    b.set_bolt("sink", SinkBolt(), parallelism=2).shuffle_grouping("mid")
+    # short message timeout so lost tuples replay (and re-ack) in-window
+    topo = b.build(
+        "attr-loss", TopologyConfig(num_workers=2, message_timeout=5.0)
+    )
+    return (
+        SimulationBuilder(topo)
+        .nodes(NodeSpec("n0", cores=4, slots=2))
+        .seed(seed)
+        .faults([MessageLossFault(start=5.0, duration=15.0,
+                                  probability=probability)])
+        .observability(trace=True, trace_capacity=1 << 20)
+        .build()
+    )
+
+
+def forest_of(sim):
+    return build_span_forest(sim.obs.tracer.events())
+
+
+# -- the exact-sum invariant -------------------------------------------------------
+
+
+def test_every_acked_tree_sums_bitwise_exactly():
+    sim = traced_sim(seed=1)
+    sim.run(duration=20)
+    forest = forest_of(sim)
+    checked = 0
+    for tree in forest.acked_trees():
+        b = tree.breakdown()
+        assert b is not None, f"root {tree.root} lost its critical path"
+        assert b.sums_exactly_to(tree.latency), (
+            f"root {tree.root}: {b.total()!r} != {tree.latency!r}"
+        )
+        checked += 1
+    assert checked > 100
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_decomposition_exact_under_message_loss(seed):
+    """Satellite invariant: atol=0 sums, replay subtrees included."""
+    sim = lossy_sim(seed)
+    sim.run(duration=35)  # past the fault + ack-timeout replays
+    forest = forest_of(sim)
+    assert forest.losses.get("loss", 0) > 0, "fault never dropped a tuple"
+    summary = attribute_forest(forest)
+    assert summary.attributed > 100
+    assert summary.exact  # every record, bitwise, no epsilon
+    replayed = [r for r in summary.records if r.retries > 0]
+    assert replayed, "no replayed tree completed inside the window"
+    for r in replayed:
+        assert r.replay_known
+        assert r.breakdown.replay > 0
+        # end-to-end = attempt components + replay penalty, strictly
+        # above the attempt latency (the penalty spans an ack timeout)
+        assert r.breakdown.end_to_end() > r.latency
+
+
+def test_replay_penalty_is_first_emit_gap():
+    sim = lossy_sim(seed=3)
+    sim.run(duration=35)
+    forest = forest_of(sim)
+    attempts_by_msg = forest.messages()
+    checked = 0
+    for tree in forest.acked_trees():
+        if tree.retries == 0:
+            continue
+        first = [a for a in attempts_by_msg[tree.msg_id] if a.retries == 0]
+        if not first:
+            continue
+        penalty = forest.replay_penalty(tree)
+        assert penalty == (
+            Fraction(tree.emit_time) - Fraction(first[0].emit_time)
+        )
+        checked += 1
+    assert checked > 0
+
+
+# -- aggregation -------------------------------------------------------------------
+
+
+def test_attribute_forest_rejects_bad_interval():
+    forest = forest_of_run()
+    with pytest.raises(ValueError):
+        attribute_forest(forest, interval=0.0)
+    with pytest.raises(ValueError):
+        attribute_forest(forest, interval=-1.0)
+
+
+def forest_of_run(seed: int = 2, duration: float = 12.0):
+    sim = traced_sim(seed=seed)
+    sim.run(duration=duration)
+    return forest_of(sim)
+
+
+def test_shares_sum_to_one():
+    summary = attribute_forest(forest_of_run())
+    shares = summary.shares()
+    assert set(shares) == {"queue", "service", "transit", "replay"}
+    assert abs(sum(shares.values()) - 1.0) < 1e-12
+
+
+def test_per_interval_buckets_cover_every_record():
+    summary = attribute_forest(forest_of_run(), interval=2.0)
+    assert sum(b.count for b in summary.per_interval.values()) == (
+        summary.attributed
+    )
+    d = summary.to_dict()
+    for row in d["per_interval"]:
+        assert row["t1"] == pytest.approx(row["t0"] + 2.0)
+        assert row["tuples"] > 0
+
+
+def test_per_component_sums_cross_check_totals():
+    """Stage-level sums must telescope to the same exact totals."""
+    summary = attribute_forest(forest_of_run())
+    t = summary.totals
+    for comp_name in ("queue", "service", "transit", "replay"):
+        stage_sum = sum(
+            (getattr(b, comp_name) for b in summary.per_component.values()),
+            Fraction(0),
+        )
+        assert stage_sum == getattr(t, comp_name)
+
+
+def test_publish_sets_registry_gauges():
+    summary = attribute_forest(forest_of_run())
+    registry = MetricsRegistry()
+    summary.publish(registry)
+    d = registry.to_dict()
+    for comp in ("queue", "service", "transit", "replay"):
+        assert d[f"attribution.{comp}_seconds"] == pytest.approx(
+            float(getattr(summary.totals, comp))
+        )
+    assert d["attribution.trees{state=attributed}"] == summary.attributed
+    assert d["attribution.trees{state=incomplete}"] == summary.incomplete
+    assert 'attribution.queue_seconds{component=sink}' in d
+
+
+def test_to_dict_is_byte_stable_and_render_table():
+    a = attribute_forest(forest_of_run(seed=5))
+    b = attribute_forest(forest_of_run(seed=5))
+    assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+        b.to_dict(), sort_keys=True
+    )
+    table = a.render_table()
+    assert "service" in table and "exact=True" in table
+    assert f"attributed {a.attributed} trees" in table
+
+
+def test_render_span_tree_marks_critical_path():
+    from repro.obs import render_span_tree
+
+    sim = traced_sim(seed=6)
+    sim.run(duration=10)
+    forest = forest_of(sim)
+    tree = forest.acked_trees()[0]
+    text = render_span_tree(tree)
+    lines = text.splitlines()
+    assert lines[0].startswith(f"root {tree.root} ")
+    assert "[ack @" in lines[0]
+    # exactly one starred hop per critical-path edge, in path order
+    starred = [l for l in lines if "-*" in l]
+    path = tree.critical_path()
+    assert len(starred) == len(path)
+    for line, hop in zip(starred, path):
+        assert f"edge {hop.edge} ->" in line
+    assert "(unlinked hops" not in text
+
+
+def test_folded_stacks_render():
+    sim = traced_sim(seed=4)
+    sim.run(duration=10)
+    text = render_folded(forest_of(sim))
+    lines = text.splitlines()
+    assert lines == sorted(lines)
+    for line in lines:
+        stack, value = line.rsplit(" ", 1)
+        assert stack.startswith("src")
+        assert int(value) > 0
+    assert any(l.startswith("src;mid;sink ") for l in lines)

@@ -1,0 +1,210 @@
+"""Decision-audit ledger: calibration pairing and breach-cause precedence."""
+
+import pytest
+
+from repro.obs import AuditConfig, DecisionAudit
+from repro.obs.audit import AUDIT_SCHEMA
+from repro.obs.slo import SLO_BREACH
+from repro.obs.tracer import (
+    CONTROL_APPLY,
+    CONTROL_DECISION,
+    CONTROL_SAMPLE,
+    CONTROL_SKIP,
+    FAULT_APPLY,
+    FAULT_REVERT,
+    TraceEvent,
+)
+
+
+def ev(time, kind, **fields):
+    return TraceEvent(time, kind, fields)
+
+
+def decision(time, predictions=None, observed=None, **extra):
+    return ev(
+        time, CONTROL_DECISION,
+        predictions=predictions or {}, observed=observed or {}, **extra,
+    )
+
+
+def breach(time, rule="p99", value=2.0, threshold=1.0):
+    return ev(time, SLO_BREACH, rule=rule, value=value, threshold=threshold)
+
+
+# -- calibration -------------------------------------------------------------------
+
+
+def test_calibration_pairs_previous_prediction_with_next_observation():
+    audit = DecisionAudit.from_events([
+        ev(0.0, CONTROL_SAMPLE),
+        decision(5.0, predictions={0: 1.0, 1: 2.0}),
+        decision(10.0, predictions={0: 1.0}, observed={0: 1.5, 1: 1.0}),
+        ev(12.0, CONTROL_SKIP, reason="window"),
+    ])
+    assert audit.samples == 1
+    assert audit.skips == {"window": 1}
+    first, second = audit.records
+    assert first.errors == {}  # nothing to score the first decision against
+    assert second.errors == {0: pytest.approx(0.5), 1: pytest.approx(-1.0)}
+    # mean of |0.5|/1.5 and |-1.0|/1.0
+    assert second.rolling_error == pytest.approx((0.5 / 1.5 + 1.0) / 2)
+    cal = audit.calibration()
+    assert cal["mae"] == pytest.approx(0.75)
+    assert cal["per_worker"][0]["bias"] == pytest.approx(0.5)
+    assert cal["per_worker"][1]["n"] == 1
+    assert cal["rolling_last"] == second.rolling_error
+
+
+def test_rolling_error_windows_over_recent_decisions():
+    events = []
+    # perfect forecasts, then one wild miss
+    for i, (pred, obs) in enumerate(
+        [(1.0, 1.0), (1.0, 1.0), (1.0, 1.0), (1.0, 4.0)]
+    ):
+        events.append(
+            decision(5.0 * (i + 1), predictions={0: pred}, observed={0: obs})
+        )
+    audit = DecisionAudit.from_events(
+        events, AuditConfig(rolling_window=2)
+    )
+    last = audit.records[-1]
+    # window holds [0.0, |4-1|/4]; the older zeros rolled out
+    assert last.rolling_error == pytest.approx((0.0 + 3.0 / 4.0) / 2)
+
+
+def test_apply_events_fold_into_the_matching_decision():
+    audit = DecisionAudit.from_events([
+        decision(5.0),
+        ev(5.0, CONTROL_APPLY, ratios=[0.5, 0.5], prev_ratios=[0.5, 0.5]),
+        ev(5.0, CONTROL_APPLY, ratios=[0.8, 0.2], prev_ratios=[0.5, 0.5]),
+    ])
+    rec = audit.records[0]
+    assert rec.applies == 2
+    assert rec.reroutes == 1  # unchanged ratios are not a re-route
+    assert rec.max_ratio_delta == pytest.approx(0.3)
+
+
+# -- breach-cause precedence -------------------------------------------------------
+
+
+def test_breach_attributed_to_active_fault_first():
+    # rolling error is also terrible: the ground-truth fault still wins
+    audit = DecisionAudit.from_events([
+        decision(5.0, predictions={0: 9.0}),
+        decision(10.0, predictions={0: 9.0}, observed={0: 1.0}),
+        ev(20.0, FAULT_APPLY, fault="SlowdownFault"),
+        breach(25.0),
+    ])
+    (b,) = audit.breaches
+    assert b.cause == "injected-fault"
+    assert b.evidence["active_faults"] == ["SlowdownFault"]
+    assert b.rule == "p99"
+
+
+def test_reverted_fault_outside_lookback_is_not_causal():
+    audit = DecisionAudit.from_events(
+        [
+            ev(1.0, FAULT_APPLY, fault="CrashFault"),
+            ev(2.0, FAULT_REVERT, fault="CrashFault"),
+            breach(50.0),
+        ],
+        AuditConfig(fault_lookback=30.0),
+    )
+    (b,) = audit.breaches
+    assert b.cause == "unattributed"
+    assert audit.summary()["faults"] == {"applied": 1, "reverted": 1}
+
+
+def test_breach_attributed_to_predictor_miss():
+    audit = DecisionAudit.from_events([
+        decision(5.0, predictions={0: 10.0}),
+        decision(10.0, predictions={0: 10.0}, observed={0: 1.0}),
+        breach(12.0),
+    ])
+    (b,) = audit.breaches
+    assert b.cause == "predictor-miss"
+    assert b.evidence["rolling_error"] == pytest.approx(9.0)
+    assert b.evidence["decision_time"] == 10.0
+
+
+def test_breach_attributed_to_actuation_lag_when_no_reroute_followed():
+    # forecasts are fine, no fault — but a flagged worker was never
+    # rerouted around before the breach
+    audit = DecisionAudit.from_events([
+        decision(5.0, predictions={0: 1.0}),
+        decision(10.0, predictions={0: 1.0}, observed={0: 1.0},
+                 flagged=(1,)),
+        breach(15.0),
+    ])
+    (b,) = audit.breaches
+    assert b.cause == "actuation-lag"
+    assert b.evidence["flagged_at"] == 10.0
+    assert b.evidence["last_reroute"] is None
+
+
+def test_breach_attributed_to_actuation_lag_when_reroute_landed_too_late():
+    audit = DecisionAudit.from_events(
+        [
+            decision(10.0, predictions={0: 1.0}, observed={0: 1.0},
+                     flagged=(1,)),
+            decision(14.0, predictions={0: 1.0}, observed={0: 1.0}),
+            ev(14.0, CONTROL_APPLY, ratios=[0.9, 0.1],
+               prev_ratios=[0.5, 0.5]),
+            breach(15.0),
+        ],
+        AuditConfig(settle=5.0),
+    )
+    (b,) = audit.breaches
+    assert b.cause == "actuation-lag"
+    assert b.evidence["last_reroute"] == 14.0
+
+
+def test_timely_reroute_leaves_breach_unattributed():
+    audit = DecisionAudit.from_events(
+        [
+            decision(10.0, predictions={0: 1.0}, observed={0: 1.0},
+                     flagged=(1,)),
+            ev(10.0, CONTROL_APPLY, ratios=[0.9, 0.1],
+               prev_ratios=[0.5, 0.5]),
+            breach(25.0),
+        ],
+        AuditConfig(settle=5.0),
+    )
+    (b,) = audit.breaches
+    assert b.cause == "unattributed"
+
+
+# -- config and summaries ----------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AuditConfig(rolling_window=0).validate()
+    with pytest.raises(ValueError):
+        AuditConfig(miss_threshold=0.0).validate()
+    with pytest.raises(ValueError):
+        AuditConfig(fault_lookback=-1.0).validate()
+
+
+def test_summary_shape_and_render():
+    audit = DecisionAudit.from_events([
+        decision(5.0, predictions={0: 1.0}),
+        decision(10.0, predictions={0: 10.0}, observed={0: 1.0},
+                 flagged=(2,)),
+        ev(10.0, CONTROL_APPLY, ratios=[1.0, 0.0], prev_ratios=[0.5, 0.5]),
+        ev(20.0, FAULT_APPLY, fault="MessageLossFault"),
+        breach(25.0),
+        breach(26.0, rule="avail"),
+    ])
+    s = audit.summary()
+    assert s["schema"] == AUDIT_SCHEMA
+    assert s["decisions"] == 2
+    assert s["actuation"] == {
+        "applies": 1, "reroutes": 1, "max_ratio_delta": 0.5,
+    }
+    assert s["breach_causes"] == {"injected-fault": 2}
+    assert [b["cause"] for b in s["breaches"]] == ["injected-fault"] * 2
+    table = audit.render_table()
+    assert "roll err" in table and "injected-fault" in table
+    assert "repr" not in table  # sanity: a real table, not a dataclass dump
+    assert "DecisionAudit" in repr(audit)

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import (
     AvailabilitySLO,
     LatencySLO,
@@ -124,3 +126,74 @@ def test_chaos_run_report_attachment():
     # instrumentation must not change the simulated physics
     assert instrumented.acked == plain.acked
     assert instrumented.failed == plain.failed
+
+
+def test_traced_report_carries_attribution_and_audit_sections():
+    sim = build_sim(
+        seed=9, trace=True, metrics=True, slo=True,
+        faults=[SlowdownFault(start=5, duration=8, worker_id=1, factor=8)],
+    )
+    result = sim.run(duration=25)
+    rep = build_report(result)
+    attr = rep["attribution"]
+    assert attr["schema"] == "repro-attribution/1"
+    assert attr["attributed"] > 0
+    assert attr["exact"] is True
+    # published gauges land next to the raw metrics
+    assert rep["metrics"]["attribution.trees{state=attributed}"] == (
+        attr["attributed"]
+    )
+    # untraced reports stay attribution-free (zero-cost-when-disabled)
+    plain = build_report(build_sim(metrics=True).run(duration=10))
+    assert "attribution" not in plain
+    assert "audit" not in plain
+
+
+def test_compare_reports_diffs_runs_slo_and_attribution():
+    from repro.obs import compare_reports, render_compare
+
+    def one(seed, faults=()):
+        sim = build_sim(
+            seed=seed, trace=True, metrics=True, slo=True, faults=faults,
+        )
+        return build_report(sim.run(duration=25), label=f"arm-{seed}")
+
+    a = one(1)
+    b = one(2, faults=[SlowdownFault(start=5, duration=12, worker_id=1,
+                                     factor=10)])
+    diff = compare_reports(a, b)
+    assert diff["schema"] == "repro-report-diff/1"
+    assert (diff["a"], diff["b"]) == ("arm-1", "arm-2")
+    lat = diff["run"]["p99_complete_latency"]
+    assert lat["delta"] == lat["b"] - lat["a"]
+    assert lat["ratio"] == pytest.approx(lat["b"] / lat["a"])
+    assert set(diff["run"]) <= {
+        "mean_complete_latency", "p50_complete_latency",
+        "p99_complete_latency", "mean_throughput", "acked", "failed",
+    }
+    slo = diff["slo"]
+    assert slo["breach_fraction_delta"] == pytest.approx(
+        slo["b"]["breach_fraction"] - slo["a"]["breach_fraction"]
+    )
+    shares = diff["attribution_shares"]
+    for comp in ("queue", "service", "transit", "replay"):
+        assert shares[comp]["delta"] == pytest.approx(
+            shares[comp]["b"] - shares[comp]["a"]
+        )
+    text = render_compare(diff)
+    assert "arm-1" in text and "p99_complete_latency" in text
+    assert "slo_breach_fraction" in text and "service" in text
+
+
+def test_compare_reports_skips_sections_missing_from_either_side():
+    from repro.obs import compare_reports
+
+    a = build_report(build_sim(seed=1).run(duration=10), label="bare-a")
+    b = build_report(
+        build_sim(seed=2, trace=True, metrics=True, slo=True).run(duration=10),
+        label="full-b",
+    )
+    diff = compare_reports(a, b)
+    assert "slo" not in diff
+    assert "attribution_shares" not in diff
+    assert diff["run"]  # run summaries always diff

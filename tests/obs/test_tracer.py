@@ -122,3 +122,13 @@ def test_observability_passthrough():
     assert again.config is obs.config
     assert obs.tracer is not None
     assert obs.enabled
+
+
+def test_events_rejects_inverted_window():
+    tr = Tracer()
+    tr.record(1.0, TUPLE_EMIT, root=1)
+    with pytest.raises(ValueError, match="inverted time window"):
+        tr.events(t0=5.0, t1=1.0)
+    # an equal-bounds window is valid (and empty: [t0, t1) is half-open)
+    assert tr.events(t0=1.0, t1=1.0) == []
+    assert len(tr.events(t0=1.0, t1=2.0)) == 1
