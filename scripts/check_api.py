@@ -14,6 +14,11 @@ Two rules, enforced over ``src/``, ``examples/``, and ``benchmarks/``
    :class:`repro.des.queues.EventQueue` API; callers use
    ``Environment.scheduler`` / ``Environment.new_queue()`` or the
    public queue protocol instead.
+4. **No new ``Transport.send`` / ``Transport.send_batch`` callers** —
+   both are deprecated shims that emit ``DeprecationWarning``; the one
+   delivery entry point (and the one chaos-fault seam) is
+   ``Transport.deliver``, which takes the whole emission's
+   ``(dst_task, tuple)`` list.
 
 Exit status is non-zero when any violation is found, so CI can gate on
 it.  Run from the repository root::
@@ -49,8 +54,20 @@ QUEUE_ACCESS_ALLOWLIST = {
     Path("scripts/check_api.py"),
 }
 
+#: the module that defines the deprecated transport shims
+TRANSPORT_SEND_ALLOWLIST = {
+    Path("src/repro/storm/executor.py"),
+    Path("scripts/check_api.py"),
+}
+
 CONSTRUCT_RE = re.compile(r"\bStormSimulation\s*\(")
 QUEUE_RE = re.compile(r"\._queue\b")
+#: ``transport.send(...)`` / any ``.send_batch(...)`` call; a bare
+#: ``.send(`` alone would also hit generator ``.send()``, so the send
+#: half is anchored on a transport-ish receiver.
+TRANSPORT_SEND_RE = re.compile(
+    r"(?:\btransport\.send|\.transport\.send|\.send_batch)\s*\("
+)
 #: ``a, b = ....throughput_series()`` / ``latency_series()`` (raw unpack)
 UNPACK_RE = re.compile(
     r"^\s*[A-Za-z_][\w\[\]\. ]*,\s*[A-Za-z_][\w\[\]\. ]*"
@@ -94,6 +111,15 @@ def check_file(path: Path) -> List[Violation]:
                 rel, lineno, "private-queue-access",
                 "._queue is Environment-private; use Environment.scheduler "
                 "/ Environment.new_queue() or the EventQueue protocol",
+            ))
+        if (
+            TRANSPORT_SEND_RE.search(line)
+            and rel not in TRANSPORT_SEND_ALLOWLIST
+        ):
+            violations.append((
+                rel, lineno, "deprecated-transport-send",
+                "Transport.send/send_batch are deprecated shims; pass the "
+                "emission's (dst_task, tuple) list to Transport.deliver",
             ))
     return violations
 

@@ -16,8 +16,8 @@ Two checks run per benchmark, both with the same ``tolerance``:
   ``repro.bench.harness``), but separate runs on a shared machine can
   still drift apart, so this check alone is not enough.
 * paired speedup — for benchmarks with a frozen ``_legacy`` (or
-  same-code ``_serial`` / ``_heap`` / ``_fullbatch``) twin, the
-  interleaved current-vs-twin speedup must not drop below the
+  same-code ``_serial`` / ``_heap`` / ``_fullbatch`` / ``_pertuple``)
+  twin, the interleaved current-vs-twin speedup must not drop below the
   baseline's by more than ``tolerance``.
   Because both sides run interleaved in one process, this ratio is
   immune to machine-load drift and is the reliable signal on busy CI
@@ -46,7 +46,14 @@ LEGACY_SUFFIX = "_legacy"
 SERIAL_SUFFIX = "_serial"
 HEAP_SUFFIX = "_heap"
 FULLBATCH_SUFFIX = "_fullbatch"
-TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX, HEAP_SUFFIX, FULLBATCH_SUFFIX)
+PERTUPLE_SUFFIX = "_pertuple"
+TWIN_SUFFIXES = (
+    LEGACY_SUFFIX,
+    SERIAL_SUFFIX,
+    HEAP_SUFFIX,
+    FULLBATCH_SUFFIX,
+    PERTUPLE_SUFFIX,
+)
 
 
 def _best_time(result: dict) -> float:

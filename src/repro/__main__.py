@@ -591,10 +591,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the campaign report JSON here")
     p.add_argument("--scheduler", default="heap",
-                   choices=("heap", "calendar"),
+                   choices=("heap", "calendar", "wheel"),
                    help="kernel event-queue implementation; a pure "
                         "performance knob — reports are byte-identical "
-                        "under either (default: heap)")
+                        "under any choice (default: heap)")
     _parallel_flags(p)
     p.set_defaults(func=_cmd_chaos)
 
@@ -619,9 +619,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the campaign report JSON here")
     p.add_argument("--scheduler", default="heap",
-                   choices=("heap", "calendar"),
+                   choices=("heap", "calendar", "wheel"),
                    help="kernel event-queue implementation; reports are "
-                        "byte-identical under either (default: heap)")
+                        "byte-identical under any choice (default: heap)")
     _parallel_flags(p)
     p.set_defaults(func=_cmd_scenario)
 

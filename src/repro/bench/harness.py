@@ -32,7 +32,9 @@ with parallelism disabled (``jobs=1``), ``_heap`` twins run the same
 event stream through the default heap scheduler (so the file records the
 calendar queue's cluster-scale speedup), and ``_fullbatch`` twins run
 the same number of optimizer updates full-batch (so the file records the
-per-update cost advantage of mini-batched BPTT) — one file documents
+per-update cost advantage of mini-batched BPTT), and ``_pertuple`` twins
+run the identical topology simulation through the frozen per-tuple data
+plane (so the file records the batched data plane's speedup) — one file documents
 every kind of before/after ratio without needing a second checkout.  Pairs are measured with their repeats interleaved (load drift
 hits both sides) and the speedup is the ratio of the two per-side minima
 — noise is additive, so each minimum is the best estimate of the
@@ -63,8 +65,15 @@ LEGACY_SUFFIX = "_legacy"
 SERIAL_SUFFIX = "_serial"
 HEAP_SUFFIX = "_heap"
 FULLBATCH_SUFFIX = "_fullbatch"
+PERTUPLE_SUFFIX = "_pertuple"
 #: suffixes that pair a twin benchmark with its base name for speedups
-TWIN_SUFFIXES = (LEGACY_SUFFIX, SERIAL_SUFFIX, HEAP_SUFFIX, FULLBATCH_SUFFIX)
+TWIN_SUFFIXES = (
+    LEGACY_SUFFIX,
+    SERIAL_SUFFIX,
+    HEAP_SUFFIX,
+    FULLBATCH_SUFFIX,
+    PERTUPLE_SUFFIX,
+)
 
 
 def _twin_of(name: str) -> Optional[str]:
@@ -257,7 +266,7 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=int, default=1)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
-        "--out", default="BENCH_pr7.json", help="output JSON path"
+        "--out", default="BENCH_pr10.json", help="output JSON path"
     )
     parser.add_argument(
         "--only", nargs="*", default=None,

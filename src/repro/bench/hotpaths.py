@@ -15,7 +15,11 @@ the sharded experiment engine (:mod:`repro.parallel`) on the machine that
 produced it.  The cluster-scale scheduler path has a ``*_heap`` twin: the
 same event stream through the default binary heap, so the file records
 the calendar queue's speedup at cluster event density (see
-``docs/scheduler.md``).
+``docs/scheduler.md``).  The end-to-end topology path has a
+``*_pertuple`` twin: the identical simulation through the frozen
+per-tuple data plane (``TopologyConfig(data_plane="pertuple")``), so the
+file records the batched data plane's speedup (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -50,6 +54,9 @@ SCALES: Dict[str, Dict[str, int]] = {
         "kernel_procs": 20,
         "kernel_chain": 200,
         "transport_tuples": 2_000,
+        "topology_rate": 250,
+        "topology_duration": 8,
+        "topology_fanout": 64,
         "monitor_workers": 16,
         "monitor_intervals": 200,
         "drnn_samples": 48,
@@ -73,6 +80,9 @@ SCALES: Dict[str, Dict[str, int]] = {
         "kernel_procs": 50,
         "kernel_chain": 2_000,
         "transport_tuples": 20_000,
+        "topology_rate": 350,
+        "topology_duration": 20,
+        "topology_fanout": 64,
         "monitor_workers": 16,
         "monitor_intervals": 2_000,
         "drnn_samples": 192,
@@ -164,13 +174,113 @@ def make_transport_send_deliver(scale: Dict[str, int]) -> Callable[[], int]:
         )
         single, batch = n_tuples // 2, n_tuples // 2
         for i in range(single):
-            transport.send(w0, i % 3, tup)
+            transport.deliver(w0, [(i % 3, tup)])
         for _ in range(batch // 2):
-            transport.send_batch(w0, [(1, tup), (2, tup)])
+            transport.deliver(w0, [(1, tup), (2, tup)])
         env.run()
         return n_tuples
 
     return run
+
+
+# -- end-to-end topology data plane ------------------------------------------------
+
+
+def _fanout_topology(scale: Dict[str, int], data_plane: str):
+    """Build the fan-out roll-up topology the data-plane bench runs.
+
+    ``src --shuffle--> fan --fields--> sink``: every fan execute emits a
+    ``topology_fanout``-tuple batch keyed over a small hot key set —
+    the same batch-emission shape as URL-count's windowed roll-up
+    (tick → top-k partials), distilled so the data plane dominates the
+    run.  The sink's queues stay backlogged between batches, which is
+    the regime the batched service targets (drain-and-serve without
+    get events, one delivery event per batch, memoized fields routing).
+    """
+    from repro.storm.api import Bolt, Emission, Spout
+    from repro.storm.topology import TopologyBuilder
+
+    fan = int(scale["topology_fanout"])
+    rate = float(scale["topology_rate"])
+
+    class BlastSpout(Spout):
+        outputs = {"default": ("seq",)}
+
+        def __init__(self) -> None:
+            self._seq = 0
+
+        def open(self, context) -> None:
+            self.ctx = context
+
+        def inter_arrival(self) -> float:
+            return float(
+                self.ctx.rng.exponential(self.ctx.parallelism / rate)
+            )
+
+        def next_tuple(self) -> Emission:
+            self._seq += 1
+            return Emission(values=(self._seq,))
+
+    class FanBolt(Bolt):
+        outputs = {"default": ("key", "seq")}
+        default_cpu_cost = 0.2e-3
+
+        def execute(self, tup, collector) -> None:
+            seq = tup.values[0]
+            for i in range(fan):
+                collector.emit(((seq + i) % 64, seq))
+
+    class SinkBolt(Bolt):
+        outputs = {"default": ()}
+        default_cpu_cost = 0.05e-3
+
+        def execute(self, tup, collector) -> None:
+            pass
+
+    # Deterministic service times: the twins pop identical event streams
+    # either way, and skipping the per-tuple noise draw keeps the ratio
+    # about the data plane rather than the RNG.
+    config = TopologyConfig(
+        num_workers=2, tick_interval=0.0, data_plane=data_plane,
+        service_noise_sigma=0.0,
+    )
+    builder = TopologyBuilder()
+    builder.set_spout("src", BlastSpout(), parallelism=1)
+    builder.set_bolt("fan", FanBolt(), parallelism=2).shuffle_grouping("src")
+    builder.set_bolt("sink", SinkBolt(), parallelism=4).fields_grouping(
+        "fan", ["key"]
+    )
+    return builder.build("fanout-rollup", config)
+
+
+def _topology_workload(scale: Dict[str, int], data_plane: str) -> int:
+    """One fan-out roll-up run through the full simulator stack.
+
+    The ``_pertuple`` twin runs the *identical* simulation (same seed,
+    byte-identical results) through the frozen per-tuple data plane, so
+    the ratio isolates the data-plane mechanics: batched service
+    drain, compiled routing tables, and per-batch delivery events.
+    Work units are executed tuple services, which the twins match
+    exactly.
+    """
+    from repro.storm.builder import SimulationBuilder
+
+    topology = _fanout_topology(scale, data_plane)
+    sim = SimulationBuilder(topology).seed(3).build()
+    sim.run(float(scale["topology_duration"]))
+    return int(
+        sum(ex.executed_count for ex in sim.cluster.executors.values())
+    )
+
+
+def make_topology_throughput(scale: Dict[str, int]) -> Callable[[], int]:
+    return lambda: _topology_workload(scale, "batched")
+
+
+def make_topology_throughput_pertuple(
+    scale: Dict[str, int]
+) -> Callable[[], int]:
+    return lambda: _topology_workload(scale, "pertuple")
 
 
 # -- stats monitor -----------------------------------------------------------------
@@ -498,6 +608,8 @@ BENCHMARKS: Dict[str, Callable[[Dict[str, int]], Callable[[], int]]] = {
     "des_event_loop": make_des_event_loop,
     "des_event_loop_legacy": make_des_event_loop_legacy,
     "transport_send_deliver": make_transport_send_deliver,
+    "topology_throughput": make_topology_throughput,
+    "topology_throughput_pertuple": make_topology_throughput_pertuple,
     "monitor_observe_extract": make_monitor_observe_extract,
     "monitor_observe_extract_legacy": make_monitor_observe_extract_legacy,
     "drnn_fit": make_drnn_fit,

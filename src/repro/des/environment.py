@@ -69,6 +69,22 @@ class Environment:
         #: one else holds it, and :meth:`timeout` reinitialises it in place
         #: instead of allocating.  Bounded so a burst cannot pin memory.
         self._timeout_pool: list = []
+        #: last issued edge id (see :meth:`next_edge_id`); starts at 0 so
+        #: the first id is 1 in every simulation.
+        self._edge_seq = 0
+
+    def next_edge_id(self) -> int:
+        """Unique, deterministic edge id for this simulation's ack ledger.
+
+        Storm draws 64-bit random ids; a per-environment counter is
+        collision-free and keeps runs bit-reproducible, while preserving
+        the XOR-ledger algebra (the ledger only needs ids to be unique,
+        not random).  Owning the counter here — rather than a module
+        global — means two simulations built in one process never share
+        or leak id streams.  Hot callers cache the bound method.
+        """
+        self._edge_seq += 1
+        return self._edge_seq
 
     # -- clock ----------------------------------------------------------------
 

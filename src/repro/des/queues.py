@@ -20,10 +20,19 @@ shipped implementations:
     same-tick bursts, pays them on multi-element tuple compares.
     Selected via ``SimulationBuilder.scheduler("calendar")``.
 
-Both implementations pop the same entries in the same order on any
+:class:`WheelQueue`
+    A timing wheel: fixed-width buckets over a sliding window of days,
+    with an overflow heap for entries beyond the horizon.  Pushes
+    inside the window are a single division plus an append — no
+    adaptive re-estimation, no resize — which suits the pure-tick
+    workloads that dominate dense clusters (deliveries and service
+    completions landing a few fixed-latency ticks out).  Selected via
+    ``SimulationBuilder.scheduler("wheel")``.
+
+All implementations pop the same entries in the same order on any
 interleaving (property-tested in ``tests/des/test_queues.py``), so the
 scheduler choice is a pure performance knob: golden campaign outputs
-are byte-identical under either.
+are byte-identical under any of them.
 """
 
 from __future__ import annotations
@@ -305,11 +314,213 @@ class CalendarQueue:
         )
 
 
+class WheelQueue:
+    """Timing-wheel :class:`EventQueue` (fixed-width buckets + overflow heap).
+
+    The wheel covers a window of ``slots`` consecutive ``width``-wide
+    *days* anchored at ``base``; each day maps to exactly one bucket (the
+    window spans precisely one lap, so buckets never mix days).  A push
+    whose day falls inside the window costs one truncated division plus
+    an append (or an :func:`bisect.insort` when it sorts before the
+    bucket tail); days at or beyond the horizon go to an overflow heap.
+    A pop takes the head of the first occupied bucket at or after the
+    scan day.  Where the calendar queue re-estimates its geometry from
+    the pending span, the wheel's geometry is fixed — the right trade
+    for tick-grid workloads (per-tuple deliveries and service
+    completions land a handful of fixed-latency buckets ahead of
+    ``now``, so pushes almost never touch the heap).
+
+    Ordering invariant: every bucketed entry's day lies in
+    ``[base, base + slots)`` and every overflow entry's day is
+    ``>= base + slots``; days are monotone in the key, so all bucketed
+    entries sort before all overflow entries and the forward bucket scan
+    yields ascending days with full-tuple order inside each bucket —
+    pop order equals :class:`HeapQueue`'s on any interleaving.
+
+    Window maintenance:
+
+    * when the wheel empties but overflow remains, the window *rebases*
+      at the overflow minimum's day and entries within the new window
+      drain from the heap into buckets (sorted heap drain keeps each
+      bucket sorted by plain appends);
+    * a push below the scan day but inside the window just rewinds the
+      scan pointer;
+    * a push below ``base`` (arbitrary ``PriorityStore`` priorities can
+      go backwards) rebuilds the wheel anchored at the new minimum —
+      rare by construction, and correct for any key sequence.
+    """
+
+    kind = "wheel"
+
+    #: Default day width: the simulators' 1 ms tick grid (network
+    #: latencies and service times are fractions of this, so pending
+    #: events concentrate in the first few days ahead of ``now``).
+    DEFAULT_WIDTH = 1e-3
+    #: Default window: 4096 days (~4 s of horizon at the default width);
+    #: message timeouts and ack sweeps land in overflow and migrate in.
+    DEFAULT_SLOTS = 1 << 12
+
+    __slots__ = ("push", "pop", "peek", "_len", "_geometry")
+
+    def __init__(
+        self,
+        entries: Iterable[Entry] = (),
+        *,
+        width: float = DEFAULT_WIDTH,
+        slots: int = DEFAULT_SLOTS,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        if slots < 1 or slots & (slots - 1):
+            raise ValueError(f"slot count must be a power of two, got {slots}")
+        self._install(sorted(entries), float(width), int(slots))
+
+    def _install(self, pending: list, width: float, nslots: int) -> None:
+        """Build the wheel and the closure ops sharing its state cells.
+
+        ``pending`` must be pre-sorted.  Closures over ``nonlocal``
+        cells (not methods) for the same reason as
+        :class:`CalendarQueue`: the kernel binds ``push``/``pop`` once,
+        and closures drop the per-op attribute lookups.
+        """
+        mask = nslots - 1
+        buckets = [[] for _ in range(nslots)]
+        overflow: list = []  # min-heap of entries with day >= base + nslots
+        size = len(pending)  # total entries (buckets + overflow)
+        wheel_size = 0  # entries currently bucketed
+        base = idx = int(pending[0][0] / width) if pending else 0
+        limit = base + nslots
+        for entry in pending:
+            d = int(entry[0] / width)
+            if d < limit:
+                # Sorted load order keeps every bucket sorted via appends.
+                buckets[d & mask].append(entry)
+                wheel_size += 1
+            else:
+                overflow.append(entry)  # already sorted = a valid heap
+
+        def _rebase() -> None:
+            """Anchor the window at the overflow minimum and drain it in."""
+            nonlocal base, idx, limit, wheel_size
+            base = idx = int(overflow[0][0] / width)
+            limit = base + nslots
+            while overflow and int(overflow[0][0] / width) < limit:
+                entry = heappop(overflow)
+                # Heap drain is globally sorted, so appends stay sorted.
+                buckets[int(entry[0] / width) & mask].append(entry)
+                wheel_size += 1
+
+        def _rebuild(day: int) -> None:
+            """Re-anchor at ``day`` (a push below ``base``): redistribute."""
+            nonlocal base, idx, limit, wheel_size
+            stale = [entry for b in buckets for entry in b]
+            for b in buckets:
+                b.clear()
+            stale.extend(overflow)
+            stale.sort()
+            overflow.clear()
+            base = idx = day
+            limit = base + nslots
+            wheel_size = 0
+            for entry in stale:
+                d = int(entry[0] / width)
+                if d < limit:
+                    buckets[d & mask].append(entry)
+                    wheel_size += 1
+                else:
+                    overflow.append(entry)  # sorted tail = a valid heap
+
+        def push(entry) -> None:
+            nonlocal base, idx, limit, size, wheel_size
+            d = int(entry[0] / width)
+            if not size:
+                base = idx = d
+                limit = base + nslots
+            elif d < base:
+                _rebuild(d)
+            size += 1
+            if d < limit:
+                b = buckets[d & mask]
+                if not b or b[-1] < entry:
+                    b.append(entry)
+                else:
+                    insort(b, entry)
+                wheel_size += 1
+                if d < idx:
+                    idx = d  # rewind the scan to the earlier day
+            else:
+                heappush(overflow, entry)
+
+        def pop():
+            nonlocal idx, size, wheel_size
+            if not size:
+                raise IndexError("pop from an empty WheelQueue")
+            if not wheel_size:
+                _rebase()
+            i = idx
+            while True:
+                b = buckets[i & mask]
+                if b:
+                    idx = i
+                    size -= 1
+                    wheel_size -= 1
+                    return b.pop(0)
+                i += 1
+
+        def peek() -> float:
+            nonlocal idx
+            if not size:
+                return _INF
+            if not wheel_size:
+                return overflow[0][0]
+            i = idx
+            while True:
+                b = buckets[i & mask]
+                if b:
+                    idx = i  # advancing past empty days is free and sticky
+                    return b[0][0]
+                i += 1
+
+        def _len() -> int:
+            return size
+
+        def _geometry() -> dict:
+            """Wheel internals for tests and ``repr`` (not a hot path)."""
+            return {
+                "slots": nslots,
+                "width": width,
+                "size": size,
+                "wheel_size": wheel_size,
+                "overflow": len(overflow),
+                "base": base,
+            }
+
+        self.push = push
+        self.pop = pop
+        self.peek = peek
+        self._len = _len
+        self._geometry = _geometry
+
+    def __len__(self) -> int:
+        return self._len()
+
+    def __bool__(self) -> bool:
+        return self._len() > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        g = self._geometry()
+        return (
+            f"<WheelQueue size={g['size']} slots={g['slots']}"
+            f" width={g['width']:g} overflow={g['overflow']}>"
+        )
+
+
 #: Registry of schedulers selectable by name (``SimulationBuilder
 #: .scheduler`` and the ``--scheduler`` CLI flag validate against this).
 QUEUE_KINDS = {
     HeapQueue.kind: HeapQueue,
     CalendarQueue.kind: CalendarQueue,
+    WheelQueue.kind: WheelQueue,
 }
 
 

@@ -150,6 +150,26 @@ class Store:
         self._dispatch()
         return ev
 
+    def take_nowait(self) -> Optional[Any]:
+        """Synchronously take the head item, or ``None`` if none is ready.
+
+        The batched-service fast path in the bolt executor: when an item
+        is already stored, this removes and returns it without creating
+        a :class:`StoreGet` event (the item would have been taken from
+        the store at ``get()``-call time anyway — only the consumer's
+        wakeup event is elided).  Capacity freed here releases blocked
+        putters exactly as a completed ``get`` would.  Returns ``None``
+        when the store is empty (callers fall back to :meth:`get`) or
+        when getters are already waiting (FIFO fairness: a new consumer
+        must not overtake them).
+        """
+        if not self.items or self._getters:
+            return None
+        item = self._do_take()
+        if self._putters:
+            self._dispatch()
+        return item
+
     def drain(self) -> list:
         """Remove and return every stored item (crash/purge semantics).
 

@@ -11,6 +11,17 @@ single synchronous object.  That substitution is behaviour-preserving for
 this paper's experiments: the framework never observes acker placement, only
 (a) complete latencies and (b) replay behaviour, both of which the ledger
 reproduces exactly.  (Acker CPU cost is negligible next to app bolts.)
+
+Storage layout: tree state lives on a *slab* — parallel arrays indexed by
+slot, with a ``root -> slot`` map and a free list for slot reuse (the same
+pattern as the DES kernel's Timeout pool).  The ledger operations on the
+emit/ack hot path (``emit`` is called once per anchored edge per root,
+``ack`` once per processed tuple) then touch one dict lookup plus flat
+list indexing instead of allocating and destructuring a per-tree object;
+the timeout sweep scans one float array.  Slot order is irrelevant to
+semantics — completion order, callbacks, and the sweep's expiry order
+(insertion order of live roots) are identical to the previous dict-of-
+dataclass layout.
 """
 
 from __future__ import annotations
@@ -25,16 +36,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
     from repro.obs.metrics import Counter, LogHistogram, MetricsRegistry
     from repro.obs.tracer import Tracer
-
-
-@dataclass
-class _TreeState:
-    """Per-root ledger entry."""
-
-    spout_task: int
-    msg_id: Any
-    ledger: int  # XOR of outstanding edge ids
-    start_time: float
 
 
 @dataclass
@@ -77,7 +78,13 @@ class AckLedger:
         self.sweep_interval = sweep_interval
         self.tracer = tracer
         self.metrics = metrics
-        self._trees: Dict[int, _TreeState] = {}
+        # -- slab storage: root -> slot, plus parallel per-slot arrays --
+        self._slot_of: Dict[int, int] = {}
+        self._spout_task: List[int] = []
+        self._msg_id: List[Any] = []
+        self._ledger: List[int] = []  # XOR of outstanding edge ids per slot
+        self._start: List[float] = []
+        self._free: List[int] = []  # recycled slots
         self._on_ack: Dict[int, Callable] = {}  # spout_task -> callback
         self._on_fail: Dict[int, Callable] = {}
         self.completions: List[CompletionRecord] = []
@@ -112,37 +119,58 @@ class AckLedger:
     @property
     def in_flight(self) -> int:
         """Number of incomplete tuple trees."""
-        return len(self._trees)
+        return len(self._slot_of)
+
+    @property
+    def _trees(self) -> Dict[int, int]:
+        """Live ``root -> slot`` map (kept under the historical name for
+        introspection of in-flight roots; the slot values are opaque)."""
+        return self._slot_of
 
     def init_tree(
         self, root_id: int, spout_task: int, msg_id: Any, edge_id: int
     ) -> None:
         """Start tracking a new spout tuple (ledger := its first edge id)."""
-        if root_id in self._trees:
+        if root_id in self._slot_of:
             raise ValueError(f"duplicate root id {root_id}")
-        self._trees[root_id] = _TreeState(
-            spout_task=spout_task,
-            msg_id=msg_id,
-            ledger=edge_id,
-            start_time=self.env.now,
-        )
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._spout_task[slot] = spout_task
+            self._msg_id[slot] = msg_id
+            self._ledger[slot] = edge_id
+            self._start[slot] = self.env.now
+        else:
+            slot = len(self._ledger)
+            self._spout_task.append(spout_task)
+            self._msg_id.append(msg_id)
+            self._ledger.append(edge_id)
+            self._start.append(self.env.now)
+        self._slot_of[root_id] = slot
 
     def emit(self, root_id: int, new_edge_id: int) -> None:
         """A bolt emitted a tuple anchored to ``root_id``."""
-        tree = self._trees.get(root_id)
-        if tree is None:
+        slot = self._slot_of.get(root_id)
+        if slot is None:
             return  # tree already completed/failed; late emit is a no-op
-        tree.ledger ^= new_edge_id
+        self._ledger[slot] ^= new_edge_id
 
     def ack(self, root_id: int, edge_id: int) -> None:
         """A bolt acked the tuple with ``edge_id`` in tree ``root_id``."""
-        tree = self._trees.get(root_id)
-        if tree is None:
+        slot = self._slot_of.get(root_id)
+        if slot is None:
             return  # late ack after timeout: ignore, replay already queued
-        tree.ledger ^= edge_id
-        if tree.ledger == 0:
-            del self._trees[root_id]
-            latency = self.env.now - tree.start_time
+        ledger = self._ledger
+        value = ledger[slot] ^ edge_id
+        ledger[slot] = value
+        if value == 0:
+            del self._slot_of[root_id]
+            now = self.env.now
+            latency = now - self._start[slot]
+            spout_task = self._spout_task[slot]
+            msg_id = self._msg_id[slot]
+            self._msg_id[slot] = None  # drop the payload ref until reuse
+            self._free.append(slot)
             self.acked_count += 1
             self.latency_sum += latency
             if self._m_acked is not None:
@@ -150,33 +178,39 @@ class AckLedger:
                 self._m_latency.add(latency)
             if self.tracer is not None:
                 self.tracer.record(
-                    self.env.now, TUPLE_ACK, root=root_id,
-                    msg_id=tree.msg_id, spout_task=tree.spout_task,
+                    now, TUPLE_ACK, root=root_id,
+                    msg_id=msg_id, spout_task=spout_task,
                     latency=latency, edge=edge_id,
                 )
             self.completions.append(
                 CompletionRecord(
-                    msg_id=tree.msg_id,
-                    spout_task=tree.spout_task,
+                    msg_id=msg_id,
+                    spout_task=spout_task,
                     latency=latency,
                     acked=True,
-                    finish_time=self.env.now,
+                    finish_time=now,
                 )
             )
-            cb = self._on_ack.get(tree.spout_task)
+            cb = self._on_ack.get(spout_task)
             if cb is not None:
-                cb(tree.msg_id, latency)
+                cb(msg_id, latency)
 
     def fail(self, root_id: int, reason: str = "failed") -> None:
         """Explicitly fail a tree (bolt ``collector.fail``, shed, crash)."""
-        tree = self._trees.pop(root_id, None)
-        if tree is None:
+        slot = self._slot_of.pop(root_id, None)
+        if slot is None:
             return
-        self._record_failure(tree, root_id, reason=reason)
+        self._record_failure(root_id, slot, reason=reason)
 
     def _record_failure(
-        self, tree: _TreeState, root_id: int, reason: str = "timeout"
+        self, root_id: int, slot: int, reason: str = "timeout"
     ) -> None:
+        """Release ``slot`` and account/report the failure."""
+        spout_task = self._spout_task[slot]
+        msg_id = self._msg_id[slot]
+        start_time = self._start[slot]
+        self._msg_id[slot] = None
+        self._free.append(slot)
         self.failed_count += 1
         self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
         if self.metrics is not None:
@@ -188,21 +222,21 @@ class AckLedger:
         if self.tracer is not None:
             self.tracer.record(
                 self.env.now, TUPLE_FAIL, root=root_id,
-                msg_id=tree.msg_id, spout_task=tree.spout_task,
-                latency=self.env.now - tree.start_time, reason=reason,
+                msg_id=msg_id, spout_task=spout_task,
+                latency=self.env.now - start_time, reason=reason,
             )
         self.completions.append(
             CompletionRecord(
-                msg_id=tree.msg_id,
-                spout_task=tree.spout_task,
-                latency=self.env.now - tree.start_time,
+                msg_id=msg_id,
+                spout_task=spout_task,
+                latency=self.env.now - start_time,
                 acked=False,
                 finish_time=self.env.now,
             )
         )
-        cb = self._on_fail.get(tree.spout_task)
+        cb = self._on_fail.get(spout_task)
         if cb is not None:
-            cb(tree.msg_id)
+            cb(msg_id)
 
     # -- timeout sweep ---------------------------------------------------------------
 
@@ -210,17 +244,20 @@ class AckLedger:
         while True:
             yield self.env.timeout(self.sweep_interval)
             deadline = self.env.now - self.message_timeout
+            start = self._start
+            # Insertion order of live roots = tree creation order, the
+            # same expiry order the dict-of-trees layout produced.
             expired = [
                 root
-                for root, tree in self._trees.items()
-                if tree.start_time <= deadline
+                for root, slot in self._slot_of.items()
+                if start[slot] <= deadline
             ]
             for root in expired:
-                tree = self._trees.pop(root)
-                self._record_failure(tree, root, reason="timeout")
+                slot = self._slot_of.pop(root)
+                self._record_failure(root, slot, reason="timeout")
 
     def __repr__(self) -> str:
         return (
-            f"<AckLedger in_flight={len(self._trees)} acked={self.acked_count}"
+            f"<AckLedger in_flight={len(self._slot_of)} acked={self.acked_count}"
             f" failed={self.failed_count}>"
         )

@@ -91,8 +91,10 @@ class SimulationBuilder:
     def scheduler(self, kind: str) -> "SimulationBuilder":
         """Select the kernel's event-queue implementation.
 
-        ``"heap"`` (the default binary heap) or ``"calendar"`` (the
-        calendar queue, O(1) amortized at cluster-scale event density).
+        ``"heap"`` (the default binary heap), ``"calendar"`` (the
+        calendar queue, O(1) amortized at cluster-scale event density),
+        or ``"wheel"`` (the timing wheel: fixed-width buckets over a
+        sliding window with an overflow heap for far timestamps).
         Every scheduler pops the identical ``(time, priority, seq)``
         order, so results are byte-identical across choices — this is a
         pure performance knob (see :mod:`repro.des.queues` and

@@ -211,6 +211,7 @@ class Cluster:
                     assert isinstance(instance, Bolt)
                     ex = BoltExecutor(bolt=instance, context=context, **common)
                 ex.declared_outputs = dict(instance.declare_outputs())
+                ex._cluster = self  # epoch source for routing-plan rebinds
                 self.executors[task_id] = ex
 
         # Wire outbound groupings: each upstream executor gets its own

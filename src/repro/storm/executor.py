@@ -16,6 +16,7 @@ preserves per-link FIFO order.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple as Tup
@@ -35,8 +36,8 @@ from repro.obs.tracer import (
     TUPLE_TRANSFER,
 )
 from repro.storm.api import Bolt, Emission, OutputCollector, Spout, TopologyContext
-from repro.storm.grouping import DirectGrouping, Grouping
-from repro.storm.tuples import DEFAULT_STREAM, SpoutRecord, Tuple, next_edge_id
+from repro.storm.grouping import DirectGrouping, Grouping, Router
+from repro.storm.tuples import DEFAULT_STREAM, SpoutRecord, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
@@ -174,11 +175,16 @@ class Transport:
     def send(self, src_worker: "Worker", dst_task: int, tup: Tuple) -> None:
         """Deliver one tuple to ``dst_task`` after placement latency.
 
-        .. deprecated:: thin shim over :meth:`deliver`, kept for callers
-           that route tuples one at a time — new code should pass the
-           whole emission to :meth:`deliver`, the single chaos-fault
-           seam.
+        .. deprecated:: thin shim over :meth:`deliver`, kept one release
+           for external callers that route tuples one at a time — pass
+           the whole emission to :meth:`deliver`, the single chaos-fault
+           seam.  ``scripts/check_api.py`` forbids in-repo callers.
         """
+        warnings.warn(
+            "Transport.send is deprecated; use Transport.deliver",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.deliver(src_worker, ((dst_task, tup),))
 
     def send_batch(
@@ -188,7 +194,13 @@ class Transport:
 
         .. deprecated:: thin shim over :meth:`deliver` (the semantics
            moved there unchanged); call :meth:`deliver` directly.
+           ``scripts/check_api.py`` forbids in-repo callers.
         """
+        warnings.warn(
+            "Transport.send_batch is deprecated; use Transport.deliver",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.deliver(src_worker, sends)
 
     def deliver(
@@ -358,6 +370,24 @@ class BaseExecutor:
         #: stream -> [(consumer_id, Grouping)]
         self.outbound: Dict[str, List[Tup[str, Grouping]]] = {}
         self.declared_outputs: Dict[str, Tup[str, ...]] = {}
+        #: set by Cluster.submit: the epoch source for routing-plan
+        #: invalidation (None for executors built outside a cluster)
+        self._cluster: Optional[Any] = None
+        #: compiled routing plans, lazily built per stream; cleared
+        #: whenever the cluster's membership epoch moves (elastic
+        #: add/remove rewires consumer task sets)
+        self._plans: Dict[str, Optional[Tup[Tup[str, ...], List[Router]]]] = {}
+        self._plan_epoch = -1
+        self._next_edge = env.next_edge_id  # bound-method cache (hot path)
+        #: frozen per-tuple twin of the data plane, for benchmarking the
+        #: batched fast path against the exact pre-batching event shape
+        self._pertuple = (
+            getattr(config, "data_plane", "batched") == "pertuple"
+        )
+        # service-noise hot path: sigma is static config, the bound rng
+        # method skips one attribute hop per draw (draw order unchanged)
+        self._noise_sigma = float(config.service_noise_sigma)
+        self._rng_normal = rng.normal
         # cumulative counters (metrics layer diffs these per interval)
         self.executed_count = 0
         self.emitted_count = 0
@@ -373,11 +403,11 @@ class BaseExecutor:
     # -- emission routing (shared by spout and bolt paths) ---------------------------
 
     def _service_noise(self) -> float:
-        sigma = self.config.service_noise_sigma
+        sigma = self._noise_sigma
         if sigma <= 0:
             return 1.0
         # lognormal with unit median: median-preserving multiplicative noise
-        return float(math.exp(self.rng.normal(0.0, sigma)))
+        return float(math.exp(self._rng_normal(0.0, sigma)))
 
     def route_emission(
         self,
@@ -390,6 +420,117 @@ class BaseExecutor:
 
         Returns the edge ids created (the spout path XORs them into the
         fresh tree; the bolt path has already registered them per root).
+
+        Routing runs through the compiled per-stream plan (see
+        :meth:`_compile_plan`); under ``config.data_plane ==
+        "pertuple"`` it instead takes the frozen per-tuple twin, which
+        reproduces the pre-compilation polymorphic dispatch exactly.
+        """
+        if self._pertuple:
+            return self._route_emission_pertuple(
+                values, stream, roots, direct_task
+            )
+        sends: List[Tup[int, Tuple]] = []
+        edges = self._route_collect(values, stream, roots, direct_task, sends)
+        # One deliver() per emission: same-latency targets share delivery
+        # events and chaos faults hook the single transport seam.
+        if sends:
+            self.transport.deliver(self.worker, sends)
+        return edges
+
+    def _compile_plan(
+        self, stream: str
+    ) -> Optional[Tup[Tup[str, ...], List[Router]]]:
+        """Build (and cache) the routing plan for one output stream.
+
+        The plan is ``(declared_fields, [router, ...])`` with one
+        compiled router per subscribed consumer, in wiring order — the
+        same order the per-tuple dispatch enumerated, so edge ids and
+        send order are unchanged.  ``None`` is cached for declared
+        streams nobody subscribes to (the tuple evaporates).
+        """
+        consumers = self.outbound.get(stream)
+        if consumers is None:
+            if stream not in self.declared_outputs:
+                raise ValueError(
+                    f"{self.component_id!r} emitted on undeclared stream "
+                    f"{stream!r} (declared: {sorted(self.declared_outputs)})"
+                )
+            self._plans[stream] = None
+            return None
+        fields = self.declared_outputs.get(stream, ())
+        routers = [
+            grouping.compile_router(
+                fields=fields,
+                stream=stream,
+                source_component=self.component_id,
+                source_task=self.task_id,
+            )
+            for _consumer_id, grouping in consumers
+        ]
+        plan = (fields, routers)
+        self._plans[stream] = plan
+        return plan
+
+    def _route_collect(
+        self,
+        values: Tup[Any, ...],
+        stream: str,
+        roots: Tup[int, ...],
+        direct_task: Optional[int],
+        sends: List[Tup[int, Tuple]],
+    ) -> List[int]:
+        """Route one emission via the compiled plan, appending its
+        ``(dst_task, tuple)`` pairs to ``sends`` (callers batch several
+        emissions into one :meth:`Transport.deliver`)."""
+        cluster = self._cluster
+        if cluster is not None and cluster.membership_epoch != self._plan_epoch:
+            # Elastic add/remove rewired consumer task sets: recompile.
+            self._plans.clear()
+            self._plan_epoch = cluster.membership_epoch
+        try:
+            plan = self._plans[stream]
+        except KeyError:
+            plan = self._compile_plan(stream)
+        if plan is None:
+            return []  # declared but nobody subscribed: tuple evaporates
+        fields, routers = plan
+        edges: List[int] = []
+        next_edge = self._next_edge
+        ledger_emit = self.ledger.emit
+        now = self.env.now
+        component = self.component_id
+        task = self.task_id
+        for router in routers:
+            for dst in router(values, direct_task):
+                edge = next_edge()
+                edges.append(edge)
+                # positional Tuple(values, stream, source_component,
+                # source_task, edge_id, roots, emit_time, msg_id, fields):
+                # keyword binding costs ~2x tuple.__new__ on this path
+                out = Tuple(
+                    values, stream, component, task, edge, roots, now,
+                    None, fields,
+                )
+                for root in roots:
+                    ledger_emit(root, edge)
+                sends.append((dst, out))
+                self.emitted_count += 1
+        return edges
+
+    def _route_emission_pertuple(
+        self,
+        values: Tup[Any, ...],
+        stream: str,
+        roots: Tup[int, ...],
+        direct_task: Optional[int] = None,
+    ) -> List[int]:
+        """Frozen per-tuple routing twin (``data_plane="pertuple"``).
+
+        This is the pre-compilation dispatch body, kept verbatim as the
+        benchmark baseline for the compiled fast path: per-consumer
+        isinstance checks, probe-tuple construction for content-aware
+        groupings, and one :meth:`Transport.deliver` per emission.
         """
         consumers = self.outbound.get(stream)
         if consumers is None:
@@ -422,24 +563,16 @@ class BaseExecutor:
                 )
                 targets = grouping.choose(probe)
             for dst in targets:
-                edge = next_edge_id()
+                edge = self._next_edge()
                 edges.append(edge)
                 out = Tuple(
-                    values=values,
-                    stream=stream,
-                    source_component=self.component_id,
-                    source_task=self.task_id,
-                    edge_id=edge,
-                    roots=roots,
-                    emit_time=self.env.now,
-                    fields=fields,
+                    values, stream, self.component_id, self.task_id,
+                    edge, roots, self.env.now, None, fields,
                 )
                 for root in roots:
                     self.ledger.emit(root, edge)
                 sends.append((dst, out))
                 self.emitted_count += 1
-        # One deliver() per emission: same-latency targets share delivery
-        # events and chaos faults hook the single transport seam.
         if sends:
             self.transport.deliver(self.worker, sends)
         return edges
@@ -605,7 +738,7 @@ class SpoutExecutor(BaseExecutor):
         reliable = rec.msg_id is not None
         tr = self.tracer
         if reliable:
-            root = next_edge_id()
+            root = self._next_edge()
             rec.root_id = root
             rec.emit_time = self.env.now
             # Open the tree *before* routing so no ack can race ahead,
@@ -673,20 +806,47 @@ class BoltExecutor(BaseExecutor):
 
     def run(self):
         self.bolt.prepare(self.context)
+        queue = self.queue
+        take_nowait = queue.take_nowait
+        pertuple = self._pertuple
+        begin = self._begin_service
+        finish = self._finish_service
+        timeout = self.env.timeout
         try:
             while self.running:
                 gate = self.worker.pause_gate()
                 if gate is not None:
                     yield gate
-                envelope = yield self.queue.get()
-                gate = self.worker.pause_gate()
-                if gate is not None:
-                    yield gate
-                yield from self._process(envelope)
+                # Drain-and-serve fast path: a backlogged queue hands the
+                # head envelope over synchronously — no StoreGet event,
+                # no consumer-wakeup event, no extra pause-gate recheck
+                # (nothing yielded, so the gate cannot have changed).
+                # The service timeout below is then the loop's single
+                # rescheduling event per tuple.
+                envelope = None if pertuple else take_nowait()
+                if envelope is None:
+                    envelope = yield queue.get()
+                    gate = self.worker.pause_gate()
+                    if gate is not None:
+                        yield gate
+                # The per-tuple work is split around its one yield point
+                # (the service timeout) into two plain calls, so the hot
+                # loop never pays a nested generator per envelope.
+                tup, is_tick, wait, node, service = begin(envelope)
+                yield timeout(service)
+                finish(tup, is_tick, wait, node, service)
         finally:
             self.bolt.cleanup()
 
-    def _process(self, envelope: Envelope):
+    def _begin_service(self, envelope: Envelope):
+        """Pre-yield half of tuple processing: trace, pick the service time.
+
+        Returns the state :meth:`_finish_service` needs after the caller
+        has yielded the service timeout.  The node is pinned across the
+        yield: an elastic migration can re-home this executor
+        mid-service, and started/finished must pair on the same node's
+        demand counter.
+        """
         tup = envelope.tup
         wait = self.env.now - envelope.enqueue_time
         is_tick = tup.stream == TICK_STREAM
@@ -698,9 +858,6 @@ class BoltExecutor(BaseExecutor):
                 roots=tup.roots, wait=wait,
             )
         nominal = 0.2e-3 if is_tick else self.bolt.cpu_cost(tup)
-        # Pin the node across the service yield: an elastic migration can
-        # re-home this executor mid-service, and started/finished must
-        # pair on the same node's demand counter.
         node = self.worker.node
         dilation = node.service_started()
         service = (
@@ -709,8 +866,19 @@ class BoltExecutor(BaseExecutor):
             * dilation
             * self.worker.slow_factor
         )
-        yield self.env.timeout(service)
+        return tup, is_tick, wait, node, service
+
+    def _finish_service(
+        self,
+        tup: Tuple,
+        is_tick: bool,
+        wait: float,
+        node: "Node",
+        service: float,
+    ) -> None:
+        """Post-yield half: execute the bolt, route, ack, count."""
         node.service_finished()
+        tr = self.tracer
         if tr is not None and not is_tick:
             tr.record(
                 self.env.now, TUPLE_EXECUTE, task=self.task_id,
@@ -722,7 +890,15 @@ class BoltExecutor(BaseExecutor):
         else:
             self.bolt.execute(tup, self.collector)
         emissions, acked, failed = self.collector.drain()
-        roots = tup.roots
+        # Batched mode funnels every emission of this execute() into one
+        # deliver() call: the per-emission send groups land back-to-back
+        # in list order, exactly the order their separate deliveries
+        # would have popped in (consecutive sequence numbers, same
+        # timestamps), and the chaos streams draw per tuple in the same
+        # list order either way.
+        sends: Optional[List[Tup[int, Tuple]]] = (
+            None if self._pertuple else []
+        )
         for values, stream, anchors, direct_task in emissions:
             anchor_roots: Tup[int, ...]
             if anchors:
@@ -734,7 +910,14 @@ class BoltExecutor(BaseExecutor):
                 anchor_roots = tuple(seen)
             else:
                 anchor_roots = ()
-            self.route_emission(values, stream, anchor_roots, direct_task)
+            if sends is None:
+                self.route_emission(values, stream, anchor_roots, direct_task)
+            else:
+                self._route_collect(
+                    values, stream, anchor_roots, direct_task, sends
+                )
+        if sends:
+            self.transport.deliver(self.worker, sends)
         for t in acked:
             self._ack_tuple(t)
         for t in failed:

@@ -15,11 +15,26 @@ immediately.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple as Tup
 
 import numpy as np
 
-from repro.storm.tuples import Tuple, stable_hash
+from repro.storm.tuples import DEFAULT_STREAM, Tuple, stable_hash
+
+#: A compiled routing table entry: ``router(values, direct_task)`` returns
+#: the target task ids for one outgoing tuple.  Routers are closures built
+#: once per ``(source_task, stream)`` at topology-wire time; they must be
+#: element-equal to driving :meth:`Grouping.choose` per tuple (the
+#: Hypothesis property in ``tests/storm/test_routing_tables.py`` pins
+#: this), and they read any mutable grouping state (cursors, pools,
+#: deficit counters) *through the grouping instance* so elastic rewires
+#: stay visible without recompiling.
+Router = Callable[[Tup[Any, ...], Optional[int]], List[int]]
+
+#: Bound on the per-router key→target memo tables (content-dependent
+#: groupings): big enough for any realistic key cardinality, small enough
+#: that an adversarial key stream cannot pin unbounded memory.
+_KEY_CACHE_LIMIT = 1 << 16
 
 
 class Grouping:
@@ -43,6 +58,42 @@ class Grouping:
         """
         raise NotImplementedError
 
+    def compile_router(
+        self,
+        *,
+        fields: Sequence[str] = (),
+        stream: str = DEFAULT_STREAM,
+        source_component: str = "",
+        source_task: int = -1,
+    ) -> Router:
+        """Compile this grouping into a per-tuple routing closure.
+
+        The returned ``router(values, direct_task)`` is the hot-path
+        replacement for the polymorphic dispatch the emit loop used to
+        do per tuple (isinstance checks, probe-tuple construction,
+        ``choose`` method calls).  This base implementation is the
+        behaviour-preserving fallback for third-party subclasses: it
+        reproduces the original dispatch exactly, including the probe
+        tuple handed to content-dependent ``choose`` implementations.
+        Shipped groupings override it with specialised closures.
+        """
+        choose = self.choose
+        if self.content_free:
+            return lambda values, direct_task: choose(None)
+        fields = tuple(fields)
+
+        def router(values: Tup[Any, ...], direct_task: Optional[int]) -> List[int]:
+            # positional Tuple(values, stream, source_component,
+            # source_task, edge_id, roots, emit_time, msg_id, fields)
+            return choose(
+                Tuple(
+                    values, stream, source_component, source_task,
+                    0, (), 0.0, None, fields,
+                )
+            )
+
+        return router
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} targets={len(self.target_tasks)}>"
 
@@ -61,6 +112,19 @@ class ShuffleGrouping(Grouping):
         self._next = (self._next + 1) % len(self.target_tasks)
         return [t]
 
+    def compile_router(self, **_ctx: Any) -> Router:
+        # Cached modular cursor: one closure frame instead of a method
+        # dispatch per tuple.  The cursor stays on the instance so the
+        # per-tuple ``choose`` path (and tests driving it) sees the same
+        # round-robin state.
+        def router(values, direct_task, g=self):
+            tasks = g.target_tasks
+            i = g._next
+            g._next = (i + 1) % len(tasks)
+            return [tasks[i]]
+
+        return router
+
 
 class FieldsGrouping(Grouping):
     """Hash-partition on selected fields (same key -> same task, always)."""
@@ -78,6 +142,38 @@ class FieldsGrouping(Grouping):
         key = tup.select(self.fields)
         return [self._ordered[stable_hash(key) % len(self._ordered)]]
 
+    def compile_router(
+        self, *, fields: Sequence[str] = (), **_ctx: Any
+    ) -> Router:
+        # Precompute field positions once (the per-tuple path re-derives
+        # them through Tuple.value's fields.index per name) and memoise
+        # key → task: repeated keys skip the FNV hash entirely.
+        try:
+            idxs = tuple(fields.index(f) for f in self.fields)
+        except ValueError:
+            # A declared field is missing from the stream: fall back to
+            # the probe-tuple path so the per-tuple KeyError (with its
+            # emitter context) surfaces exactly as before.
+            return super().compile_router(fields=fields, **_ctx)
+        ordered = self._ordered
+        n = len(ordered)
+        cache: Dict[Tup[Any, ...], int] = {}
+
+        def router(values, direct_task):
+            key = tuple(values[i] for i in idxs)
+            try:
+                t = cache.get(key)
+            except TypeError:  # unhashable key value: hash directly
+                return [ordered[stable_hash(key) % n]]
+            if t is None:
+                t = ordered[stable_hash(key) % n]
+                if len(cache) >= _KEY_CACHE_LIMIT:
+                    cache.clear()
+                cache[key] = t
+            return [t]
+
+        return router
+
 
 class GlobalGrouping(Grouping):
     """Everything to the lowest-id task."""
@@ -87,6 +183,10 @@ class GlobalGrouping(Grouping):
     def choose(self, tup: Tuple) -> List[int]:
         return [min(self.target_tasks)]
 
+    def compile_router(self, **_ctx: Any) -> Router:
+        target = [min(self.target_tasks)]  # static: tasks never change
+        return lambda values, direct_task: target
+
 
 class AllGrouping(Grouping):
     """Replicate to every consumer task (control/broadcast streams)."""
@@ -95,6 +195,10 @@ class AllGrouping(Grouping):
 
     def choose(self, tup: Tuple) -> List[int]:
         return list(self.target_tasks)
+
+    def compile_router(self, **_ctx: Any) -> Router:
+        targets = list(self.target_tasks)  # static snapshot, read-only
+        return lambda values, direct_task: targets
 
 
 class DirectGrouping(Grouping):
@@ -110,6 +214,31 @@ class DirectGrouping(Grouping):
                 f"({self.target_tasks})"
             )
         return [task_id]
+
+    def compile_router(
+        self,
+        *,
+        stream: str = DEFAULT_STREAM,
+        source_component: str = "",
+        **_ctx: Any,
+    ) -> Router:
+        members = frozenset(self.target_tasks)
+        tasks = self.target_tasks
+
+        def router(values, direct_task):
+            if direct_task is None:
+                raise ValueError(
+                    f"{source_component!r}: direct grouping on stream "
+                    f"{stream!r} requires emit(..., direct_task=)"
+                )
+            if direct_task not in members:
+                raise ValueError(
+                    f"direct emit to {direct_task}, not a consumer task "
+                    f"({tasks})"
+                )
+            return [direct_task]
+
+        return router
 
 
 class LocalOrShuffleGrouping(Grouping):
@@ -134,6 +263,19 @@ class LocalOrShuffleGrouping(Grouping):
         self._next = (self._next + 1) % len(self._pool)
         return [t]
 
+    def compile_router(self, **_ctx: Any) -> Router:
+        # Pool and cursor are read through the instance on every call:
+        # the elastic scheduler rewires ``_pool``/``local_tasks`` in
+        # place after worker joins/leaves, and a compiled table must see
+        # the new pool without waiting for a recompile.
+        def router(values, direct_task, g=self):
+            pool = g._pool
+            i = g._next
+            g._next = (i + 1) % len(pool)
+            return [pool[i]]
+
+        return router
+
 
 class PartialKeyGrouping(Grouping):
     """Two-choice key grouping (Nasir et al.): each key may go to the less
@@ -157,6 +299,47 @@ class PartialKeyGrouping(Grouping):
         pick = a if self._sent[a] <= self._sent[b] else b
         self._sent[pick] += 1
         return [pick]
+
+    def compile_router(
+        self, *, fields: Sequence[str] = (), **_ctx: Any
+    ) -> Router:
+        # Memoise the candidate pair per key (two FNV hashes saved on
+        # repeats); the two-choice pick itself stays live against the
+        # shared ``_sent`` load counters, which the per-tuple path and
+        # every other emitter of this grouping instance also update.
+        try:
+            idxs = tuple(fields.index(f) for f in self.fields)
+        except ValueError:
+            return super().compile_router(fields=fields, **_ctx)
+        ordered = self._ordered
+        n = len(ordered)
+        cache: Dict[Tup[Any, ...], Tup[int, int]] = {}
+        sent = self._sent
+
+        def router(values, direct_task):
+            key = tuple(values[i] for i in idxs)
+            try:
+                pair = cache.get(key)
+            except TypeError:  # unhashable key value: hash directly
+                a = ordered[stable_hash(key) % n]
+                b = ordered[stable_hash(("salt", key)) % n]
+                pick = a if sent[a] <= sent[b] else b
+                sent[pick] += 1
+                return [pick]
+            if pair is None:
+                pair = (
+                    ordered[stable_hash(key) % n],
+                    ordered[stable_hash(("salt", key)) % n],
+                )
+                if len(cache) >= _KEY_CACHE_LIMIT:
+                    cache.clear()
+                cache[key] = pair
+            a, b = pair
+            pick = a if sent[a] <= sent[b] else b
+            sent[pick] += 1
+            return [pick]
+
+        return router
 
 
 class SplitRatioControl:

@@ -62,13 +62,31 @@ class Node:
 
         Dilation ``max(1, demand/cores)`` is computed *including* the new
         arrival, so even the first tuple on a saturated node runs slow.
+
+        This and :meth:`service_finished` run twice per executed tuple —
+        the integral update is inlined (same expression as
+        :meth:`_advance_integral`, so the float stream is identical).
         """
-        self._advance_integral()
-        self.busy_executors += 1
-        return self.dilation()
+        now = self.env.now
+        cores = self.cores
+        demand = self.busy_executors + self.external_load
+        self._demand_integral += (
+            demand if demand < cores else cores
+        ) * (now - self._last_change)
+        self._last_change = now
+        busy = self.busy_executors + 1
+        self.busy_executors = busy
+        demand = busy + self.external_load
+        return 1.0 if demand <= cores else demand / cores
 
     def service_finished(self) -> None:
-        self._advance_integral()
+        now = self.env.now
+        cores = self.cores
+        demand = self.busy_executors + self.external_load
+        self._demand_integral += (
+            demand if demand < cores else cores
+        ) * (now - self._last_change)
+        self._last_change = now
         self.busy_executors -= 1
         assert self.busy_executors >= 0, "service_finished without start"
 

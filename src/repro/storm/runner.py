@@ -51,7 +51,6 @@ from repro.storm.cluster import Cluster, NodeSpec
 from repro.storm.faults import Fault, FaultInjector
 from repro.storm.metrics import MetricsCollector, MultilevelSnapshot
 from repro.storm.topology import Topology
-from repro.storm.tuples import reset_edge_ids
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.controller import PredictiveController
@@ -252,9 +251,8 @@ class StormSimulation:
         observability: Union[ObservabilityConfig, Observability, None] = None,
         scheduler: str = "heap",
     ) -> None:
-        # Fresh edge-id space per simulation keeps runs independent even
-        # within one process (pytest runs many simulations back to back).
-        reset_edge_ids()
+        # Edge ids are per-Environment (each counter starts at 1), so
+        # back-to-back simulations in one process stay independent.
         self.obs = Observability(observability)
         self.env = Environment(queue=scheduler)
         if self.obs.profiler is not None:

@@ -140,6 +140,27 @@ def test_checked_in_bench_pr6_cluster_speedup():
     assert doc["speedups"]["cluster_scale"] >= 2.0
 
 
+def test_checked_in_bench_pr10_data_plane_speedup():
+    """Acceptance pin: BENCH_pr10.json shows >=2x batched-vs-pertuple
+    topology throughput on the topology_throughput pair (interleaved
+    min-ratio over identical simulations — same seed, same tuple counts
+    — so the ratio isolates the data-plane fast path; see
+    docs/performance.md)."""
+    import os
+
+    import pytest
+
+    path = Path(__file__).parents[2] / "BENCH_pr10.json"
+    if not path.exists():
+        pytest.skip("BENCH_pr10.json not generated in this checkout")
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("bench ratios are unreliable below 2 cores")
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro-bench/2"
+    assert "topology_throughput_pertuple" in doc["results"]
+    assert doc["speedups"]["topology_throughput"] >= 2.0
+
+
 def test_checked_in_bench_pr7_minibatch_speedup():
     """Acceptance pin: BENCH_pr7.json shows >=1.5x minibatch-vs-
     fullbatch training throughput on the drnn_minibatch pair

@@ -18,8 +18,12 @@ from repro.des.queues import (
     CalendarQueue,
     EventQueue,
     HeapQueue,
+    WheelQueue,
     make_queue,
 )
+
+#: every non-heap implementation must match the heap's pop order exactly
+ALT_KINDS = sorted(k for k in QUEUE_KINDS if k != "heap")
 
 # Keys mix continuous values, a coarse grid (frequent exact ties), and
 # negative values (PriorityStore pushes arbitrary priorities).
@@ -39,10 +43,11 @@ _STEPS = st.lists(
 )
 
 
+@pytest.mark.parametrize("kind", ALT_KINDS)
 @settings(max_examples=120, deadline=None)
 @given(steps=_STEPS)
-def test_calendar_matches_heap_on_arbitrary_interleavings(steps):
-    heap, cal = HeapQueue(), CalendarQueue()
+def test_alt_queues_match_heap_on_arbitrary_interleavings(kind, steps):
+    heap, cal = HeapQueue(), make_queue(kind)
     seq = 0
     for step in steps:
         if step is False:
@@ -62,15 +67,16 @@ def test_calendar_matches_heap_on_arbitrary_interleavings(steps):
     assert not cal
 
 
+@pytest.mark.parametrize("kind", ALT_KINDS)
 @settings(max_examples=60, deadline=None)
 @given(
     keys=st.lists(_KEYS, max_size=200),
     churn=st.integers(min_value=0, max_value=100),
 )
-def test_bulk_load_matches_incremental_and_heap(keys, churn):
+def test_bulk_load_matches_incremental_and_heap(kind, keys, churn):
     entries = [(key, 1, seq, None) for seq, key in enumerate(keys)]
     heap = HeapQueue(entries)
-    cal = CalendarQueue(entries)
+    cal = QUEUE_KINDS[kind](entries)
     seq = len(entries)
     # Hold cycles exercise the steady-state push/pop mix on the loaded ring.
     for _ in range(min(churn, len(entries))):
@@ -126,6 +132,38 @@ def test_calendar_constructor_validation():
         CalendarQueue(width=0.0)
     with pytest.raises(ValueError, match="power of two"):
         CalendarQueue(buckets=12)
+
+
+def test_wheel_constructor_validation():
+    with pytest.raises(ValueError, match="width"):
+        WheelQueue(width=0.0)
+    with pytest.raises(ValueError, match="power of two"):
+        WheelQueue(slots=100)
+
+
+def test_wheel_overflow_and_rebase():
+    # Entries beyond the wheel's horizon go to the overflow heap and are
+    # drained back into buckets once the in-window entries are consumed.
+    wheel = WheelQueue(width=1.0, slots=4)  # horizon: 4 days
+    near = [(float(i), 1, i + 1, None) for i in range(4)]
+    far = [(100.0 + i, 1, 10 + i, None) for i in range(3)]
+    for entry in near + far:
+        wheel.push(entry)
+    geo = wheel._geometry()
+    assert geo["overflow"] == 3 and geo["wheel_size"] == 4
+    assert [wheel.pop() for _ in range(7)] == sorted(near + far)
+    assert not wheel
+
+
+def test_wheel_rebuilds_on_push_below_base():
+    # PriorityStore pushes arbitrary (even negative) keys: a push below
+    # the anchored window must rebuild, not lose order.
+    wheel = WheelQueue(width=1.0, slots=4)
+    wheel.push((10.0, 1, 1, None))
+    wheel.push((-5.0, 1, 2, None))
+    wheel.push((3.0, 1, 3, None))
+    assert wheel.peek() == -5.0
+    assert [wheel.pop()[0] for _ in range(3)] == [-5.0, 3.0, 10.0]
 
 
 def test_environment_exposes_scheduler_and_new_queue():

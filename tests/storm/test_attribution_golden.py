@@ -4,7 +4,8 @@
 sections of a small traced chaos campaign (2 × 60 s of ``url_count``
 under two message-loss faults, so replay subtrees are exercised).  The
 campaign is replayed here under the heap scheduler, the calendar
-scheduler, and sharded across two worker processes — all three must
+scheduler, the timing-wheel scheduler, and sharded across two worker
+processes — all four must
 reproduce the golden *byte-for-byte*, pinning both the determinism of
 the trace pipeline and the bitwise exact-sum invariant
 (``exact: true`` inside the golden is the acker-latency identity
@@ -64,8 +65,8 @@ def campaign_attribution(scheduler: str, jobs: int) -> str:
 
 @pytest.mark.parametrize(
     "scheduler,jobs",
-    [("heap", 1), ("calendar", 1), ("heap", 2)],
-    ids=["heap-serial", "calendar-serial", "heap-jobs2"],
+    [("heap", 1), ("calendar", 1), ("wheel", 1), ("heap", 2)],
+    ids=["heap-serial", "calendar-serial", "wheel-serial", "heap-jobs2"],
 )
 def test_attribution_matches_golden(scheduler, jobs):
     assert campaign_attribution(scheduler, jobs) == GOLDEN.read_text(), (

@@ -4,13 +4,14 @@ Two guarantees ride on the pluggable EventQueue API (see
 ``docs/scheduler.md``):
 
 * the chaos-smoke golden (``tests/golden/chaos_smoke.json``) must be
-  reproduced byte-for-byte with ``scheduler="calendar"`` — the same
-  campaign the heap-backed golden test replays;
+  reproduced byte-for-byte with ``scheduler="calendar"`` and
+  ``scheduler="wheel"`` — the same campaign the heap-backed golden
+  test replays;
 * a 100-node / 2000-executor cluster run (``tests/golden/
-  cluster_scale.json``) must produce the same summary under both
-  schedulers — the calendar queue's target regime, pinned so a future
-  "optimisation" cannot trade determinism for speed at exactly the
-  scale the ``cluster_scale`` benchmark quotes.
+  cluster_scale.json``) must produce the same summary under every
+  scheduler — the alternative queues' target regime, pinned so a
+  future "optimisation" cannot trade determinism for speed at exactly
+  the scale the ``cluster_scale`` benchmark quotes.
 
 Regenerate ``cluster_scale.json`` by running ``_cluster_summary`` (either
 scheduler — the point is they agree) and dumping it with
@@ -35,7 +36,8 @@ CLUSTER_NODES = 100
 CLUSTER_EXECUTORS = 2000
 
 
-def test_chaos_smoke_golden_holds_under_calendar_scheduler(tmp_path):
+@pytest.mark.parametrize("scheduler", ["calendar", "wheel"])
+def test_chaos_smoke_golden_holds_under_alt_schedulers(tmp_path, scheduler):
     report = run_chaos_campaign(
         app="url_count",
         spec=ChaosSpec(crashes=1, losses=1),
@@ -43,21 +45,24 @@ def test_chaos_smoke_golden_holds_under_calendar_scheduler(tmp_path):
         runs=3,
         horizon=90.0,
         base_rate=120.0,
-        scheduler="calendar",
+        scheduler=scheduler,
     )
-    out = tmp_path / "chaos_smoke_calendar.json"
+    out = tmp_path / f"chaos_smoke_{scheduler}.json"
     summary_to_json(report.summary(), out)
     golden = (GOLDEN_DIR / "chaos_smoke.json").read_text()
     assert out.read_text() == golden, (
-        "calendar scheduler diverged from the heap-backed golden — the "
-        "EventQueue implementations no longer pop the same order"
+        f"{scheduler} scheduler diverged from the heap-backed golden — "
+        "the EventQueue implementations no longer pop the same order"
     )
 
 
 @pytest.mark.slow
-def test_online_retraining_golden_holds_under_calendar_scheduler(tmp_path):
+@pytest.mark.parametrize("scheduler", ["calendar", "wheel"])
+def test_online_retraining_golden_holds_under_alt_schedulers(
+    tmp_path, scheduler
+):
     # Heaviest per-event payload in the suite: in-sim DRNN refits riding
-    # on the calendar queue must still pop the identical event order.
+    # on an alternative queue must still pop the identical event order.
     report = run_chaos_campaign(
         app="url_count",
         spec=ChaosSpec(crashes=1, losses=0),
@@ -69,13 +74,13 @@ def test_online_retraining_golden_holds_under_calendar_scheduler(tmp_path):
         control_interval=5.0,
         window=4,
         retrain_interval=20.0,
-        scheduler="calendar",
+        scheduler=scheduler,
     )
-    out = tmp_path / "online_calendar.json"
+    out = tmp_path / f"online_{scheduler}.json"
     summary_to_json(report.summary(), out)
     golden = (GOLDEN_DIR / "online_retraining.json").read_text()
     assert out.read_text() == golden, (
-        "calendar scheduler diverged from the heap-backed online-"
+        f"{scheduler} scheduler diverged from the heap-backed online-"
         "retraining golden — schedulers no longer pop the same order"
     )
 
@@ -102,13 +107,13 @@ def _cluster_summary(scheduler: str) -> dict:
     return sim.run(duration=5.0).summary()
 
 
-def test_cluster_scale_summary_pinned_under_both_schedulers():
+def test_cluster_scale_summary_pinned_under_all_schedulers():
     golden = json.loads((GOLDEN_DIR / "cluster_scale.json").read_text())
     heap = _cluster_summary("heap")
-    calendar = _cluster_summary("calendar")
-    assert json.dumps(heap, sort_keys=True) == json.dumps(
-        calendar, sort_keys=True
-    ), "schedulers disagree at cluster scale"
+    for alt in ("calendar", "wheel"):
+        assert json.dumps(heap, sort_keys=True) == json.dumps(
+            _cluster_summary(alt), sort_keys=True
+        ), f"heap and {alt} schedulers disagree at cluster scale"
     assert json.dumps(heap, sort_keys=True) == json.dumps(
         golden, sort_keys=True
     ), (

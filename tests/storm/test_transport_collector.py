@@ -36,10 +36,10 @@ def test_latency_tiers():
     assert t.latency(w0, 12) == 1e-3  # cross-node
 
 
-def test_send_delivers_after_latency():
+def test_deliver_arrives_after_latency():
     env, t, (w0, _w1, _w2) = make_transport()
     tup = Tuple(values=(1,))
-    t.send(w0, 12, tup)
+    t.deliver(w0, [(12, tup)])
     assert t.queues[12].level == 0  # not yet delivered
     env.run(until=2e-3)
     assert t.queues[12].level == 1
@@ -50,10 +50,10 @@ def test_send_delivers_after_latency():
     assert t.sent_count == 1
 
 
-def test_send_preserves_per_link_order():
+def test_deliver_preserves_per_link_order():
     env, t, (w0, _w1, _w2) = make_transport()
     for i in range(5):
-        t.send(w0, 11, Tuple(values=(i,)))
+        t.deliver(w0, [(11, Tuple(values=(i,)))])
     env.run(until=1.0)
     values = [e.tup[0] for e in t.queues[11].items]
     assert values == [0, 1, 2, 3, 4]
@@ -75,20 +75,20 @@ def test_call_later_zero_delay():
     assert hits == [0.0]
 
 
-# --- batched sends ----------------------------------------------------------------
+# --- batched delivery ----------------------------------------------------------------
 
 
-def test_send_batch_matches_individual_sends():
+def test_deliver_batch_matches_individual_delivers():
     tuples = [Tuple(values=(i,)) for i in range(6)]
     dests = [10, 11, 12, 11, 12, 10]
 
     env_a, ta, (w0a, _, _) = make_transport()
     for dst, tup in zip(dests, tuples):
-        ta.send(w0a, dst, tup)
+        ta.deliver(w0a, [(dst, tup)])
     env_a.run(until=1.0)
 
     env_b, tb, (w0b, _, _) = make_transport()
-    tb.send_batch(w0b, list(zip(dests, tuples)))
+    tb.deliver(w0b, list(zip(dests, tuples)))
     env_b.run(until=1.0)
 
     assert tb.sent_count == ta.sent_count == 6
@@ -101,9 +101,9 @@ def test_send_batch_matches_individual_sends():
         ]
 
 
-def test_send_batch_groups_by_latency_but_keeps_order():
+def test_deliver_groups_by_latency_but_keeps_order():
     env, t, (w0, _, _) = make_transport()
-    t.send_batch(w0, [(11, Tuple(values=(i,))) for i in range(4)])
+    t.deliver(w0, [(11, Tuple(values=(i,))) for i in range(4)])
     env.run(until=1.0)
     assert [e.tup[0] for e in t.queues[11].items] == [0, 1, 2, 3]
     # same-node destinations arrive after the intra-node latency tier
@@ -112,7 +112,7 @@ def test_send_batch_groups_by_latency_but_keeps_order():
     )
 
 
-def test_send_batch_draws_loss_per_tuple():
+def test_deliver_draws_loss_per_tuple():
     import numpy as np
 
     env, t, (w0, _, _) = make_transport()
@@ -120,7 +120,7 @@ def test_send_batch_draws_loss_per_tuple():
     t.loss_probability = 1.0
     # Cross-worker transfers are all lost; the same-worker one survives
     # (loss only applies between workers).
-    t.send_batch(
+    t.deliver(
         w0, [(12, Tuple(values=(0,))), (10, Tuple(values=(1,))),
              (11, Tuple(values=(2,)))]
     )
@@ -131,14 +131,38 @@ def test_send_batch_draws_loss_per_tuple():
     assert t.queues[11].level == 0 and t.queues[12].level == 0
 
 
-def test_send_batch_skips_crashed_destination():
+def test_deliver_skips_crashed_destination():
     env, t, (w0, _w1, w2) = make_transport()
     w2.crashed = True
-    t.send_batch(w0, [(12, Tuple(values=(0,))), (11, Tuple(values=(1,)))])
+    t.deliver(w0, [(12, Tuple(values=(0,))), (11, Tuple(values=(1,)))])
     env.run(until=1.0)
     assert t.lost_count == 1
     assert [e.tup[0] for e in t.queues[11].items] == [1]
     assert t.queues[12].level == 0
+
+
+# --- deprecated shims -------------------------------------------------------------
+
+
+def test_send_shim_warns_and_delivers():
+    env, t, (w0, _w1, _w2) = make_transport()
+    tup = Tuple(values=(1,))
+    with pytest.warns(DeprecationWarning, match="Transport.send is deprecated"):
+        t.send(w0, 12, tup)
+    env.run(until=2e-3)
+    assert [e.tup for e in t.queues[12].items] == [tup]
+
+
+def test_send_batch_shim_warns_and_delivers():
+    env, t, (w0, _w1, _w2) = make_transport()
+    sends = [(11, Tuple(values=(0,))), (12, Tuple(values=(1,)))]
+    with pytest.warns(
+        DeprecationWarning, match="Transport.send_batch is deprecated"
+    ):
+        t.send_batch(w0, sends)
+    env.run(until=1.0)
+    assert t.sent_count == 2
+    assert t.queues[11].level == 1 and t.queues[12].level == 1
 
 
 # --- collector --------------------------------------------------------------------

@@ -2,28 +2,25 @@
 
 import pytest
 
-from repro.storm.tuples import (
-    SpoutRecord,
-    Tuple,
-    next_edge_id,
-    reset_edge_ids,
-    stable_hash,
-)
+from repro.des import Environment
+from repro.storm.tuples import SpoutRecord, Tuple, stable_hash
 
 
 def test_edge_ids_unique_and_monotonic():
-    reset_edge_ids()
-    ids = [next_edge_id() for _ in range(100)]
+    env = Environment()
+    ids = [env.next_edge_id() for _ in range(100)]
     assert ids == sorted(ids)
     assert len(set(ids)) == 100
 
 
-def test_reset_edge_ids_restarts():
-    reset_edge_ids()
-    a = next_edge_id()
-    reset_edge_ids()
-    b = next_edge_id()
-    assert a == b == 1
+def test_edge_ids_start_at_one_per_environment():
+    # Two simulations in one process must not share or leak id streams,
+    # and each must start at 1 (golden runs depend on the seed value).
+    a = Environment()
+    b = Environment()
+    assert a.next_edge_id() == 1
+    assert a.next_edge_id() == 2
+    assert b.next_edge_id() == 1  # unaffected by a's draws
 
 
 def test_tuple_field_access_by_name():
